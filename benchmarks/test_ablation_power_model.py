@@ -1,0 +1,66 @@
+"""Ablation — power-model shape (DESIGN.md: V²f vs linear-in-f dynamic
+power) and epoch length for the lifetime budget."""
+
+import pytest
+
+from repro.cluster.frequency import FrequencyPlan
+from repro.cluster.power import PowerModel
+from repro.reliability.wearout import EpochBudget
+
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+def test_ablation_power_model_shape(benchmark, record_result):
+    """The V²f law makes overclocking super-linearly expensive; a naive
+    linear-in-f model would understate the cost by >2x."""
+    plan = FrequencyPlan()
+    model = PowerModel(plan=plan)
+
+    def deltas():
+        v2f = model.overclock_core_delta(1.0)
+        turbo_dyn = model.core_dynamic_watts(1.0, plan.turbo_ghz)
+        linear = turbo_dyn * (plan.overclock_max_ghz / plan.turbo_ghz - 1)
+        return v2f, linear
+
+    v2f_delta, linear_delta = benchmark(deltas)
+    print(f"\nAblation — per-core overclock delta: "
+          f"V²f={v2f_delta:.2f}W vs linear-in-f={linear_delta:.2f}W "
+          f"({v2f_delta / linear_delta:.1f}x)")
+    assert v2f_delta > 2 * linear_delta
+    record_result("ablation_power_model", v2f_delta=v2f_delta,
+                  linear_delta=linear_delta)
+
+
+def test_ablation_epoch_length(benchmark, record_result):
+    """Week epochs let weekend budget fund weekday peaks (§IV-B); with
+    day epochs a 3-hour weekday peak cannot be covered at the same
+    lifetime budget fraction."""
+    fraction = 0.06  # ~1h/day, ~10.1h/week
+    peak_s = 3 * 3600.0  # daily 3h peak, weekdays only
+
+    def run(epoch_seconds):
+        budget = EpochBudget(budget_fraction=fraction,
+                             epoch_seconds=epoch_seconds,
+                             carryover_cap_epochs=0.0)
+        covered = 0.0
+        for day in range(5):  # Monday-Friday peaks
+            t = day * DAY + 10 * 3600.0
+            step = 300.0
+            remaining = peak_s
+            while remaining > 0:
+                if budget.consume(t, step):
+                    covered += step
+                t += step
+                remaining -= step
+        return covered / (5 * peak_s)
+
+    def sweep():
+        return {"day": run(DAY), "week": run(WEEK)}
+
+    coverage = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nAblation — epoch length: peak coverage day={coverage['day']:.2f} "
+          f"week={coverage['week']:.2f}")
+    # Week epochs pool the whole allowance: better peak coverage.
+    assert coverage["week"] > coverage["day"]
+    record_result("ablation_epoch", **coverage)

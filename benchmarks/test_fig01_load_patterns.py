@@ -1,0 +1,36 @@
+"""Fig. 1 — load pattern of Services A/B/C on a typical weekday."""
+
+import numpy as np
+
+
+def test_fig01_load_patterns(benchmark, record_result):
+    from repro.experiments.characterization import fig1_load_patterns
+
+    patterns = benchmark(fig1_load_patterns)
+
+    print("\nFig. 1 — normalized weekday load (hourly means)")
+    hours_axis = np.arange(24)
+    for name, (hours, levels) in patterns.items():
+        hourly = [float(np.mean(levels[(hours >= h) & (hours < h + 1)]))
+                  for h in hours_axis]
+        row = " ".join(f"{v:4.2f}" for v in hourly)
+        print(f"  {name}: {row}")
+
+    a_hours, a_levels = patterns["Service A"]
+    peak_window = a_levels[(a_hours >= 10) & (a_hours <= 12)]
+    off_peak = a_levels[(a_hours >= 0) & (a_hours <= 6)]
+    # Paper: Service A peaks 10am-noon for a few hours a day.
+    assert peak_window.min() > 0.99
+    assert off_peak.max() < 0.5
+
+    b_hours, b_levels = patterns["Service B"]
+    minute = (b_hours * 60.0) % 60.0
+    spikes = b_levels[minute < 5.0]
+    valleys = b_levels[(minute >= 10) & (minute < 25)]
+    # Paper: 5 minutes at the top of the hour dominate provisioning.
+    assert spikes.mean() > 1.5 * valleys.mean()
+
+    record_result("fig01",
+                  service_a_peak=float(peak_window.mean()),
+                  service_b_spike_ratio=float(spikes.mean()
+                                              / valleys.mean()))

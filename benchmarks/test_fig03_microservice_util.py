@@ -1,0 +1,44 @@
+"""Fig. 3 — CPU utilization of the SocialNet microservices for the same
+sweep as Fig. 2."""
+
+
+def test_fig03_microservice_util(benchmark, record_result):
+    from repro.experiments.characterization import (
+        fig2_fig3_microservice_sweep,
+    )
+
+    sweep = benchmark(fig2_fig3_microservice_sweep)
+    by_key = {(p.service, p.load, p.environment): p for p in sweep}
+    services = sorted({p.service for p in sweep})
+
+    print("\nFig. 3 — CPU utilization")
+    print(f"{'service':<14} | " + " | ".join(
+        f"{load:^23}" for load in ("low", "medium", "high")))
+    for service in services:
+        cells = []
+        for load in ("low", "medium", "high"):
+            for env in ("Baseline", "Overclock", "ScaleOut"):
+                cells.append(
+                    f"{by_key[(service, load, env)].utilization:8.2f}")
+        print(f"{service:<14} | " + "".join(cells))
+
+    # Overclocking lowers utilization (same work, faster cores);
+    # ScaleOut halves it (two VMs).
+    for service in services:
+        for load in ("low", "medium", "high"):
+            base = by_key[(service, load, "Baseline")].utilization
+            assert by_key[(service, load, "Overclock")].utilization \
+                <= base + 1e-9
+            if base < 0.5:  # unclamped region
+                assert by_key[(service, load, "ScaleOut")].utilization \
+                    <= 0.55 * base + 1e-9
+
+    # The workload-agnostic-trigger insight (§III Q1): a service can
+    # violate its SLO at LOWER utilization than another that meets it.
+    urlshort = by_key[("UrlShort", "low", "Baseline")]
+    usr = by_key[("Usr", "medium", "Baseline")]
+    assert not urlshort.meets_slo and usr.meets_slo
+    assert urlshort.utilization < usr.utilization
+    record_result("fig03",
+                  urlshort_low_util=urlshort.utilization,
+                  usr_medium_util=usr.utilization)

@@ -1,0 +1,26 @@
+"""Fig. 4 — WebConf VM- vs deployment-level CPU utilization with and
+without overclocking."""
+
+
+def test_fig04_webconf(benchmark, record_result):
+    from repro.experiments.characterization import fig4_webconf
+
+    results = benchmark(fig4_webconf)
+
+    print("\nFig. 4 — WebConf utilization")
+    for env, row in results.items():
+        print(f"  {env:<10} VM1={row['vm1_util']:.2f} "
+              f"VM2={row['vm2_util']:.2f} "
+              f"deployment={row['deployment_util']:.2f} "
+              f"target_met={row['meets_target']}")
+
+    base, oc = results["Baseline"], results["Overclock"]
+    # The paper's point: overclocking VM2 does lower its utilization...
+    assert oc["vm2_util"] < base["vm2_util"]
+    # ...but it was unnecessary: the deployment-level goal (< 50 %) was
+    # already met without it.
+    assert base["meets_target"]
+    assert not base["overclock_needed"]
+    record_result("fig04",
+                  vm2_base=base["vm2_util"], vm2_oc=oc["vm2_util"],
+                  deployment_base=base["deployment_util"])

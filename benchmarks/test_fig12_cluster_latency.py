@@ -1,0 +1,56 @@
+"""Fig. 12 — P99 tail and average latency of the SocialNet services in
+the four cluster environments (Baseline / ScaleOut / ScaleUp /
+SmartOClock) at three load levels."""
+
+from repro.experiments.cluster import ENVIRONMENTS
+
+
+def test_fig12_cluster_latency(benchmark, record_result, cluster_results):
+    results = benchmark.pedantic(lambda: cluster_results,
+                                 rounds=1, iterations=1)
+
+    print("\nFig. 12 — P99 / mean latency (ms) by load class")
+    print(f"{'environment':<13}" + "".join(
+        f"{cls:>22}" for cls in ("low", "medium", "high")))
+    for env in ENVIRONMENTS:
+        row = results[env]
+        cells = "".join(
+            f"{row.per_class[cls].p99_ms:11.1f}/"
+            f"{row.per_class[cls].mean_ms:<10.1f}"
+            for cls in ("low", "medium", "high"))
+        print(f"{env:<13}{cells}")
+
+    high = {env: results[env].per_class["high"] for env in ENVIRONMENTS}
+    reductions = {
+        env: 1.0 - high["SmartOClock"].p99_ms / high[env].p99_ms
+        for env in ("Baseline", "ScaleOut", "ScaleUp")}
+    miss_ratios = {
+        env: high[env].missed_slo_fraction
+        / max(high["SmartOClock"].missed_slo_fraction, 1e-9)
+        for env in ("Baseline", "ScaleOut", "ScaleUp")}
+    print(f"SmartOClock P99 reduction at high load: {reductions} "
+          f"(paper: 19.0% / 10.5% / 8.9%)")
+    print(f"missed-SLO ratio vs SmartOClock:        {miss_ratios} "
+          f"(paper: 26x / 4.8x / 2.3x)")
+
+    # Paper findings:
+    # (1) Low load: all systems perform equally well.
+    low_p99 = [results[env].per_class["low"].p99_ms
+               for env in ENVIRONMENTS]
+    assert max(low_p99) <= min(low_p99) * 1.3
+    # (2) At high load SmartOClock has the lowest tail latency.
+    assert all(high["SmartOClock"].p99_ms < high[env].p99_ms
+               for env in ("Baseline", "ScaleOut", "ScaleUp"))
+    # (3) SmartOClock misses far fewer SLOs than Baseline and ScaleUp;
+    # it is at least on par with ScaleOut.
+    assert miss_ratios["Baseline"] > 5.0
+    assert miss_ratios["ScaleUp"] > 1.5
+    assert miss_ratios["ScaleOut"] > 0.8
+    record_result(
+        "fig12",
+        p99_reduction_vs_baseline=reductions["Baseline"],
+        p99_reduction_vs_scaleout=reductions["ScaleOut"],
+        p99_reduction_vs_scaleup=reductions["ScaleUp"],
+        miss_ratio_vs_baseline=miss_ratios["Baseline"],
+        miss_ratio_vs_scaleout=miss_ratios["ScaleOut"],
+        miss_ratio_vs_scaleup=miss_ratios["ScaleUp"])

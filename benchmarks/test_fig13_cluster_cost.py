@@ -1,0 +1,41 @@
+"""Fig. 13 — average number of concurrently active VM instances (the
+application-cost metric)."""
+
+from repro.experiments.cluster import ENVIRONMENTS
+
+
+def test_fig13_cluster_cost(benchmark, record_result, cluster_results):
+    results = benchmark.pedantic(lambda: cluster_results,
+                                 rounds=1, iterations=1)
+
+    print("\nFig. 13 — average concurrent instances by load class")
+    print(f"{'environment':<13}" + "".join(
+        f"{cls:>10}" for cls in ("low", "medium", "high")))
+    for env in ENVIRONMENTS:
+        cells = "".join(
+            f"{results[env].per_class[cls].avg_instances:10.2f}"
+            for cls in ("low", "medium", "high"))
+        print(f"{env:<13}{cells}")
+
+    smart_high = results["SmartOClock"].per_class["high"].avg_instances
+    so_high = results["ScaleOut"].per_class["high"].avg_instances
+    saving = 1.0 - smart_high / so_high
+    print(f"SmartOClock instance saving vs ScaleOut at high load: "
+          f"{saving:.1%} (paper: 30.4%)")
+
+    # Paper findings:
+    # (1) Baseline / ScaleUp never add instances.
+    for env in ("Baseline", "ScaleUp"):
+        for cls in ("low", "medium", "high"):
+            assert results[env].per_class[cls].avg_instances == 1.0
+    # (2) SmartOClock substantially reduces the instances ScaleOut needs
+    # at high load (overclocking absorbs load that would otherwise
+    # trigger a scale-out).
+    assert saving >= 0.15
+    # (3) And at medium load too.
+    assert results["SmartOClock"].per_class["medium"].avg_instances <= \
+        results["ScaleOut"].per_class["medium"].avg_instances
+    record_result("fig13", instance_saving_high=saving,
+                  paper_instance_saving=0.304,
+                  smart_high_instances=smart_high,
+                  scaleout_high_instances=so_high)

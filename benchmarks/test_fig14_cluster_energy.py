@@ -1,0 +1,44 @@
+"""Fig. 14 — normalized per-server energy by load class, plus total
+system energy."""
+
+from repro.experiments.cluster import ENVIRONMENTS
+
+
+def test_fig14_cluster_energy(benchmark, record_result, cluster_results):
+    results = benchmark.pedantic(lambda: cluster_results,
+                                 rounds=1, iterations=1)
+
+    base_energy = {
+        cls: results["Baseline"].per_class[cls].home_server_energy_j
+        for cls in ("low", "medium", "high")}
+    base_total = results["Baseline"].total_energy_j
+
+    print("\nFig. 14 — energy normalized to Baseline")
+    print(f"{'environment':<13}" + "".join(
+        f"{cls:>9}" for cls in ("low", "medium", "high")) + f"{'total':>9}")
+    for env in ENVIRONMENTS:
+        row = results[env]
+        cells = "".join(
+            f"{row.per_class[cls].home_server_energy_j / base_energy[cls]:9.3f}"
+            for cls in ("low", "medium", "high"))
+        print(f"{env:<13}{cells}{row.total_energy_j / base_total:9.3f}")
+
+    smart = results["SmartOClock"]
+    scale_out = results["ScaleOut"]
+    scale_up = results["ScaleUp"]
+
+    # Paper findings:
+    # (1) Overclocking raises per-server energy with load (ScaleUp and
+    # SmartOClock burn more on their home servers at high load).
+    assert scale_up.per_class["high"].home_server_energy_j > \
+        base_energy["high"]
+    assert smart.per_class["high"].home_server_energy_j > \
+        smart.per_class["low"].home_server_energy_j
+    # (2) SmartOClock's *total* energy does not exceed ScaleOut's (it
+    # uses fewer instances, so fewer servers burn idle power).
+    assert smart.total_energy_j <= scale_out.total_energy_j * 1.01
+    total_saving = 1.0 - smart.total_energy_j / scale_out.total_energy_j
+    print(f"SmartOClock total-energy saving vs ScaleOut: "
+          f"{total_saving:.2%} (paper: ~10%)")
+    record_result("fig14", total_energy_saving_vs_scaleout=total_saving,
+                  paper_total_energy_saving=0.10)

@@ -1,0 +1,33 @@
+"""Fig. 16 — Service B: CPU utilization vs request rate, with and without
+overclocking."""
+
+
+def test_fig16_service_b(benchmark, record_result):
+    from repro.experiments.production import fig16_service_b
+
+    result = benchmark(fig16_service_b)
+
+    print("\nFig. 16 — Service B utilization by request rate")
+    print("  RPS   :", " ".join(f"{r:6.0f}" for r in result.rps_buckets))
+    print("  base  :", " ".join(f"{u:6.2f}" for u in result.baseline_util))
+    print("  oclock:", " ".join(f"{u:6.2f}"
+                                for u in result.overclocked_util))
+    print(f"  util reduction at {result.peak_rps:.0f} RPS: "
+          f"{result.util_reduction_at_peak:.1%} (paper: 23%)")
+    print(f"  iso-utilization RPS gain: "
+          f"{result.iso_util_rps_gain:.1%} (paper: 28%)")
+
+    # Paper findings: overclocking reduces utilization at peak load and,
+    # equivalently, serves more RPS at the same utilization — the
+    # down-provisioning opportunity.  (Our 3.3→4.0 GHz frequency-scaling
+    # model bounds the reduction at ~17.5 %; the paper's 23 % implies
+    # additional microarchitectural benefit we do not model.)
+    assert 0.12 <= result.util_reduction_at_peak <= 0.25
+    assert 0.15 <= result.iso_util_rps_gain <= 0.30
+    assert all(oc < base for oc, base in
+               zip(result.overclocked_util, result.baseline_util))
+    record_result("fig16",
+                  util_reduction=result.util_reduction_at_peak,
+                  paper_util_reduction=0.23,
+                  iso_rps_gain=result.iso_util_rps_gain,
+                  paper_iso_rps_gain=0.28)

@@ -1,0 +1,67 @@
+"""§V-A constrained studies: power-constrained (NaiveOClock vs
+SmartOClock) and overclocking-budget-constrained (reactive vs proactive
+scale-out)."""
+
+from repro.experiments.cluster import (
+    ClusterConfig,
+    overclock_constrained_experiment,
+    power_constrained_experiment,
+)
+
+
+def test_power_constrained(benchmark, record_result):
+    config = ClusterConfig(duration_s=5400.0)
+    results = benchmark.pedantic(
+        lambda: power_constrained_experiment(config),
+        rounds=1, iterations=1)
+
+    print("\n§V-A power-constrained: NaiveOClock vs SmartOClock")
+    for name, result in results.items():
+        high = result.per_class["high"]
+        medium = result.per_class["medium"]
+        print(f"  {name:<12} med p99={medium.p99_ms:6.1f}ms "
+              f"high p99={high.p99_ms:7.1f}ms "
+              f"MLTrain={result.ml_throughput:7.1f} samples/s "
+              f"caps={result.cap_events}")
+
+    naive, smart = results["NaiveOClock"], results["SmartOClock"]
+    ml_gain = smart.ml_throughput / naive.ml_throughput - 1.0
+    print(f"  MLTrain throughput gain: +{ml_gain:.1%} (paper: +10.4%)")
+
+    # Paper findings: admission control + heterogeneous budgeting avoid
+    # the capping events entirely, protecting the MLTrain bystanders
+    # (paper: +10.4% throughput, tail reduced 6.7-8.4%).
+    assert naive.cap_events > 0
+    assert smart.cap_events < naive.cap_events
+    assert smart.ml_throughput > naive.ml_throughput
+    assert smart.per_class["medium"].p99_ms <= \
+        naive.per_class["medium"].p99_ms * 1.05
+    record_result("sec5a_power",
+                  naive_caps=naive.cap_events, smart_caps=smart.cap_events,
+                  ml_throughput_gain=ml_gain, paper_ml_gain=0.104)
+
+
+def test_overclock_constrained(benchmark, record_result):
+    config = ClusterConfig(duration_s=5400.0)
+    results = benchmark.pedantic(
+        lambda: overclock_constrained_experiment(
+            config, budget_scales=(0.75, 0.50, 0.25)),
+        rounds=1, iterations=1)
+
+    print("\n§V-A overclocking-constrained: missed-SLO time fraction")
+    print(f"  {'budget':<8}{'reactive':>10}{'proactive':>11}")
+    for scale, row in results.items():
+        print(f"  {scale:<8.2f}{row['reactive']:>10.3f}"
+              f"{row['proactive']:>11.3f}")
+
+    # Paper findings: with restricted budgets, reactive scale-out misses
+    # the SLO for 5.0-7.2 % of time; proactive scale-out (exhaustion
+    # prediction 15 minutes ahead) eliminates the extra misses.
+    for scale, row in results.items():
+        assert row["proactive"] <= row["reactive"] + 1e-9
+    gaps = {scale: row["reactive"] - row["proactive"]
+            for scale, row in results.items()}
+    assert max(gaps.values()) > 0.0
+    record_result("sec5a_budget", **{
+        f"gap_at_{int(scale * 100)}pct": gap
+        for scale, gap in gaps.items()})

@@ -1,0 +1,77 @@
+"""Table I — SmartOClock vs Central / NaiveOClock / NoFeedback /
+NoWarning across High-/Medium-/Low-power cluster classes."""
+
+from repro.experiments.largescale import format_table1
+
+
+def test_table1_policy_comparison(benchmark, record_result,
+                                  table1_results):
+    results = benchmark.pedantic(lambda: table1_results,
+                                 rounds=1, iterations=1)
+    print("\nTable I — policy comparison")
+    print(format_table1(results))
+
+    high = results["High-Power"]
+    medium = results["Medium-Power"]
+    low = results["Low-Power"]
+
+    # --- High-power clusters (the stressed regime) ----------------------
+    # Caps: Naive >> NoWarning > SmartOClock >= NoFeedback >= Central.
+    assert high["NaiveOClock"].cap_events > high["NoWarning"].cap_events
+    assert high["NoWarning"].cap_events > high["SmartOClock"].cap_events
+    assert high["SmartOClock"].cap_events >= high["NoFeedback"].cap_events
+    assert high["Central"].cap_events <= high["NoFeedback"].cap_events
+    # Success: Central best; SmartOClock best of the practical policies;
+    # NaiveOClock worst (paper: 92/89/81/72/55).
+    assert high["Central"].success_rate == max(
+        s.success_rate for s in high.values())
+    assert high["SmartOClock"].success_rate == max(
+        s.success_rate for name, s in high.items() if name != "Central")
+    assert high["NaiveOClock"].success_rate == min(
+        s.success_rate for s in high.values())
+    # The headline deltas:
+    cap_reduction = 1.0 - (high["SmartOClock"].cap_events
+                           / high["NaiveOClock"].cap_events)
+    success_gain = (high["SmartOClock"].success_rate
+                    - high["NaiveOClock"].success_rate)
+    feedback_gain = (high["SmartOClock"].success_rate
+                     / high["NoFeedback"].success_rate)
+    print(f"cap events cut vs NaiveOClock: {cap_reduction:.1%} "
+          f"(paper: up to 94.7%)")
+    print(f"success-rate gain vs NaiveOClock: +{success_gain:.1%} "
+          f"(paper: up to +34pp / 1.62x)")
+    print(f"success vs NoFeedback: {feedback_gain:.2f}x "
+          f"(paper: up to 1.24x)")
+    assert cap_reduction > 0.5
+    assert success_gain > 0.10
+    assert feedback_gain > 1.02
+    # Penalty on caps: naive's fair-share capping hurts bystanders most.
+    assert high["NaiveOClock"].cap_penalty >= max(
+        s.cap_penalty for name, s in high.items() if name != "NaiveOClock")
+    # Normalized performance tracks success (bounded by 4.0/3.3).
+    for s in high.values():
+        assert s.normalized_performance <= 4.0 / 3.3 + 1e-9
+    assert high["SmartOClock"].normalized_performance > \
+        high["NaiveOClock"].normalized_performance
+
+    # --- Medium-power clusters ------------------------------------------
+    assert medium["SmartOClock"].success_rate > \
+        medium["NoFeedback"].success_rate
+    assert medium["SmartOClock"].cap_events < \
+        medium["NaiveOClock"].cap_events + 1
+    # --- Low-power clusters: everyone succeeds, caps vanish --------------
+    assert low["Central"].success_rate > 0.99
+    assert low["SmartOClock"].success_rate > 0.95
+    assert low["SmartOClock"].cap_events <= low["NaiveOClock"].cap_events
+
+    record_result(
+        "table1",
+        high_cap_reduction_vs_naive=cap_reduction,
+        high_success_smart=high["SmartOClock"].success_rate,
+        high_success_central=high["Central"].success_rate,
+        high_success_naive=high["NaiveOClock"].success_rate,
+        high_success_nofeedback=high["NoFeedback"].success_rate,
+        high_success_nowarning=high["NoWarning"].success_rate,
+        smart_vs_nofeedback_gain=feedback_gain,
+        medium_success_smart=medium["SmartOClock"].success_rate,
+        low_success_smart=low["SmartOClock"].success_rate)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Lifetime budgeting walkthrough: how SmartOClock turns the vendor
+ageing model into a weekly overclocking allowance, and what naive
+overclocking does to a CPU (the paper's Fig. 7 / §III Q2 analysis).
+
+Run with::
+
+    python examples/lifetime_budgeting.py
+"""
+
+from repro.cluster.frequency import DEFAULT_FREQUENCY_PLAN
+from repro.reliability import (
+    DEFAULT_AGING_MODEL,
+    EpochBudget,
+    OverclockBudgetPlanner,
+)
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+
+def main() -> None:
+    model = DEFAULT_AGING_MODEL
+    plan = DEFAULT_FREQUENCY_PLAN
+    v_ref = model.reference_volts
+    v_oc = plan.voltage(plan.overclock_max_ghz)
+
+    print("=== the vendor ageing model ===")
+    print(f"rated point: {v_ref:.2f} V at {plan.turbo_ghz} GHz; "
+          f"overclocked: {v_oc:.2f} V at {plan.overclock_max_ghz} GHz")
+    print(f"voltage acceleration at the overclocked point: "
+          f"{model.voltage_acceleration(v_oc):.1f}x wear")
+    print(f"conservative fleet usage (50% util at rated voltage) ages "
+          f"{model.aging(5.0, 0.5, v_ref):.1f} years over 5 years")
+    naive = 0.5 * model.wear_rate(0.5, v_ref) + 0.5 * model.wear_rate(
+        0.5, v_oc)
+    print(f"naively overclocking 50% of the time burns 5 years of "
+          f"lifetime in {5.0 / naive:.2f} years")
+
+    print("\n=== deriving the budget (offline vendor analysis) ===")
+    planner = OverclockBudgetPlanner(model)
+    for util in (0.3, 0.5, 0.7):
+        fraction = planner.budget_fraction(baseline_utilization=util,
+                                           oc_utilization=util,
+                                           oc_volts=v_oc)
+        print(f"  at {util:.0%} utilization: lifetime-neutral overclock "
+              f"share = {fraction:.1%} of time "
+              f"({fraction * WEEK / HOUR:.1f} h/week)")
+    cold = planner.budget_fraction(
+        baseline_utilization=0.5, oc_utilization=0.5, oc_volts=v_oc,
+        temp_k=model.reference_temp_k - 25.0)
+    print(f"  with advanced cooling (-25 K): "
+          f"{cold:.1%} of time — cooling enlarges the budget")
+
+    print("\n=== enforcing it with weekly epochs ===")
+    budget = EpochBudget(budget_fraction=0.10)
+    print(f"weekly allowance: "
+          f"{budget.epoch_allowance_seconds / HOUR:.1f} h; "
+          f"per-weekday share: "
+          f"{budget.per_weekday_seconds() / HOUR:.1f} h")
+    # A scheduled 2h peak reserves budget; metrics-based bursts draw from
+    # the remaining pool.
+    budget.reserve(0.0, 5 * 2 * HOUR)
+    print(f"after reserving 5 weekday 2h peaks: "
+          f"{budget.available_seconds(0.0) / HOUR:.1f} h unreserved")
+    burst = 0
+    while budget.consume(0.0, 15 * 60.0):
+        burst += 1
+    print(f"that funds {burst} unscheduled 15-minute bursts this week")
+    print(f"next week the allowance refreshes: "
+          f"{budget.available_seconds(WEEK + 1) / HOUR:.1f} h available "
+          f"(reservation released, no carryover used)")
+
+
+if __name__ == "__main__":
+    main()

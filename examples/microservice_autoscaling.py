@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Microservice cluster study: the paper's §V-A experiment in miniature.
+
+Runs the same load trace through the four environments (Baseline,
+ScaleOut, ScaleUp, SmartOClock) on a shrunken cluster and prints the
+latency / cost / energy story of Figs. 12-14.
+
+Run with::
+
+    python examples/microservice_autoscaling.py
+"""
+
+from repro.experiments.cluster import (
+    ENVIRONMENTS,
+    ClusterConfig,
+    run_environment,
+)
+
+
+def main() -> None:
+    config = ClusterConfig(
+        n_lc_servers=6, n_ml_servers=6, n_scaleout_servers=4,
+        class_counts=(("low", 2), ("medium", 2), ("high", 2)),
+        duration_s=3600.0, tick_s=10.0,
+        peak_start_s=1200.0, peak_duration_s=1200.0, seed=7)
+
+    print("running the four environments over an identical load trace "
+          "(6 latency-critical + 6 ML servers, 1h with a 20min peak)...\n")
+    results = {}
+    for env in ENVIRONMENTS:
+        results[env] = run_environment(env, config)
+        high = results[env].per_class["high"]
+        print(f"  {env:<12} high-load p99={high.p99_ms:7.1f}ms "
+              f"missed={high.missed_slo_fraction:6.3%} "
+              f"instances={high.avg_instances:4.2f} "
+              f"grants={results[env].overclock_grants:3d} "
+              f"scale-outs={results[env].scale_outs:2d}")
+
+    smart = results["SmartOClock"]
+    scale_out = results["ScaleOut"]
+    base = results["Baseline"]
+    print("\nsummary (high-load class):")
+    print(f"  tail latency vs Baseline : "
+          f"-{1 - smart.per_class['high'].p99_ms / base.per_class['high'].p99_ms:.0%}")
+    print(f"  instances vs ScaleOut    : "
+          f"-{1 - smart.per_class['high'].avg_instances / scale_out.per_class['high'].avg_instances:.0%}")
+    print(f"  total energy vs ScaleOut : "
+          f"{smart.total_energy_j / scale_out.total_energy_j - 1:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Autoscaling comparators.
+
+The paper's cluster baselines (§V-A): *ScaleOut* scales the instance count
+horizontally on observed tail latency, *ScaleUp* scales core frequency
+vertically, *Baseline* does neither.  SmartOClock extends the same
+autoscaling interface with overclocking plus scale-out as the fallback.
+"""
+
+from repro.autoscale.scaler import (
+    HorizontalAutoscaler,
+    ScalerConfig,
+    VerticalScaler,
+)
+
+__all__ = ["ScalerConfig", "HorizontalAutoscaler", "VerticalScaler"]

@@ -1,0 +1,183 @@
+"""Reactive horizontal and vertical scalers.
+
+Both scalers watch a deployment's tail latency against its SLO and act
+after ``consecutive_ticks`` consecutive out-of-band observations —
+standard threshold autoscaling with hysteresis (scale-up band above
+``high_fraction``·SLO, scale-down band below ``low_fraction``·SLO).
+
+The horizontal scaler models VM boot delay: a newly requested instance
+only becomes active ``boot_delay_s`` later ("booting up a new VM can take
+up to a few minutes", §I) — the latency window during which overclocking,
+which engages in milliseconds, wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ScalerConfig", "HorizontalAutoscaler", "VerticalScaler"]
+
+
+@dataclass(frozen=True)
+class ScalerConfig:
+    """Common threshold-scaler knobs."""
+
+    high_fraction: float = 0.8     # scale up when p99 > high_fraction * SLO
+    low_fraction: float = 0.4      # scale down when p99 < low_fraction * SLO
+    consecutive_ticks: int = 2
+    # Scale-in requires a longer quiet streak than scale-out: releasing
+    # capacity too eagerly causes thrash (default: 3x the up streak).
+    scale_in_ticks: int = 6
+    min_instances: int = 1
+    max_instances: int = 16
+    boot_delay_s: float = 120.0
+    cooldown_s: float = 60.0       # min time between scaling actions
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_fraction < self.high_fraction:
+            raise ValueError(
+                f"need 0 < low < high, got {self.low_fraction}"
+                f"/{self.high_fraction}")
+        if self.consecutive_ticks < 1:
+            raise ValueError(
+                f"consecutive_ticks must be >= 1: {self.consecutive_ticks}")
+        if self.scale_in_ticks < 1:
+            raise ValueError(
+                f"scale_in_ticks must be >= 1: {self.scale_in_ticks}")
+        if not 1 <= self.min_instances <= self.max_instances:
+            raise ValueError("bad instance bounds: "
+                             f"[{self.min_instances}, {self.max_instances}]")
+        if self.boot_delay_s < 0 or self.cooldown_s < 0:
+            raise ValueError("delays must be >= 0")
+
+
+class HorizontalAutoscaler:
+    """Scale-out/in on tail latency, with boot delay for new instances.
+
+    The scaler tracks a *desired* count; ``active_instances(now)`` reports
+    how many are actually serving (booted).  The driving experiment applies
+    that number to the deployment each tick.
+    """
+
+    def __init__(self, config: ScalerConfig, slo_ms: float,
+                 initial_instances: int = 1) -> None:
+        if slo_ms <= 0:
+            raise ValueError(f"slo_ms must be > 0: {slo_ms}")
+        if not (config.min_instances <= initial_instances
+                <= config.max_instances):
+            raise ValueError(
+                f"initial_instances {initial_instances} outside "
+                f"[{config.min_instances}, {config.max_instances}]")
+        self.config = config
+        self.slo_ms = slo_ms
+        self.desired = initial_instances
+        self._booting: list[tuple[float, int]] = []  # (ready_time, count)
+        self._active = initial_instances
+        self._high_streak = 0
+        self._low_streak = 0
+        self._last_action = -float("inf")
+        self.scale_out_count = 0
+        self.scale_in_count = 0
+
+    def active_instances(self, now: float) -> int:
+        """Instances serving traffic at ``now`` (booted ones only)."""
+        still_booting = []
+        for ready_time, count in self._booting:
+            if ready_time <= now:
+                self._active += count
+            else:
+                still_booting.append((ready_time, count))
+        self._booting = still_booting
+        return self._active
+
+    def observe(self, now: float, p99_ms: float) -> int:
+        """Feed one latency observation; returns the new desired count."""
+        cfg = self.config
+        if p99_ms > cfg.high_fraction * self.slo_ms:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif p99_ms < cfg.low_fraction * self.slo_ms:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        in_cooldown = now - self._last_action < cfg.cooldown_s
+        if (self._high_streak >= cfg.consecutive_ticks and not in_cooldown
+                and self.desired < cfg.max_instances):
+            self.request_scale_out(now)
+        elif (self._low_streak >= cfg.scale_in_ticks and not in_cooldown
+                and self.desired > cfg.min_instances):
+            self._scale_in(now)
+        return self.desired
+
+    def request_scale_out(self, now: float, count: int = 1) -> int:
+        """Request ``count`` new instances (used by SmartOClock's proactive
+        fallback as well as the reactive path).  Returns instances added."""
+        cfg = self.config
+        added = min(count, cfg.max_instances - self.desired)
+        if added <= 0:
+            return 0
+        self.desired += added
+        self._booting.append((now + cfg.boot_delay_s, added))
+        self._last_action = now
+        self._high_streak = 0
+        self.scale_out_count += added
+        return added
+
+    def _scale_in(self, now: float) -> None:
+        self.desired -= 1
+        # Remove a booting instance first; otherwise an active one.
+        if self._booting:
+            ready_time, count = self._booting.pop()
+            if count > 1:
+                self._booting.append((ready_time, count - 1))
+        else:
+            self._active -= 1
+        self._last_action = now
+        self._low_streak = 0
+        self.scale_in_count += 1
+
+
+class VerticalScaler:
+    """Scale frequency up/down on tail latency (the ScaleUp baseline).
+
+    Unlike overclocking under SmartOClock, this naive vertical scaler has
+    no admission control: it requests the max frequency whenever latency is
+    high and drops back to turbo when latency is low.
+    """
+
+    def __init__(self, config: ScalerConfig, slo_ms: float,
+                 turbo_ghz: float = 3.3, max_ghz: float = 4.0) -> None:
+        if slo_ms <= 0:
+            raise ValueError(f"slo_ms must be > 0: {slo_ms}")
+        if not 0 < turbo_ghz <= max_ghz:
+            raise ValueError(f"need 0 < turbo <= max: {turbo_ghz}/{max_ghz}")
+        self.config = config
+        self.slo_ms = slo_ms
+        self.turbo_ghz = turbo_ghz
+        self.max_ghz = max_ghz
+        self.freq_ghz = turbo_ghz
+        self._high_streak = 0
+        self._low_streak = 0
+        self.boost_ticks = 0
+
+    def observe(self, now: float, p99_ms: float) -> float:
+        """Feed one latency observation; returns the target frequency."""
+        cfg = self.config
+        if p99_ms > cfg.high_fraction * self.slo_ms:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif p99_ms < cfg.low_fraction * self.slo_ms:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if self._high_streak >= cfg.consecutive_ticks:
+            self.freq_ghz = self.max_ghz
+        elif self._low_streak >= cfg.consecutive_ticks:
+            self.freq_ghz = self.turbo_ghz
+        if self.freq_ghz > self.turbo_ghz:
+            self.boost_ticks += 1
+        return self.freq_ghz

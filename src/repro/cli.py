@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5 --racks 60
+    python -m repro table1 --racks 4 --weeks 2
+    python -m repro cluster --duration 3600
+    python -m repro fig15
+
+Each subcommand prints the same series/rows its benchmark counterpart
+reports (the benchmarks add assertions and timing on top).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name, (_, help_text) in sorted(_COMMANDS.items()):
+        print(f"  {name:<10} {help_text}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.characterization import fig1_load_patterns
+    patterns = fig1_load_patterns()
+    for name, (hours, levels) in patterns.items():
+        hourly = [float(np.mean(levels[(hours >= h) & (hours < h + 1)]))
+                  for h in range(24)]
+        print(f"{name}: " + " ".join(f"{v:4.2f}" for v in hourly))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.characterization import (
+        fig2_fig3_microservice_sweep,
+    )
+    sweep = fig2_fig3_microservice_sweep()
+    print(f"{'service':<14}{'load':<8}{'env':<10}"
+          f"{'p99(ms)':>9}{'util':>6}{'SLO ok':>8}")
+    for point in sweep:
+        print(f"{point.service:<14}{point.load:<8}"
+              f"{point.environment:<10}{point.p99_ms:9.1f}"
+              f"{point.utilization:6.2f}{str(point.meets_slo):>8}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.characterization import fig5_rack_power_cdf
+    cdfs = fig5_rack_power_cdf(n_racks=args.racks, seed=args.seed)
+    for name, cdf in cdfs.items():
+        print(f"{name:>4}: P50={cdf.value_at(0.5):.2f} "
+              f"P90={cdf.value_at(0.9):.2f} P99={cdf.value_at(0.99):.2f}")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.experiments.characterization import fig7_aging_policies
+    for name, curve in fig7_aging_policies(days=args.days).items():
+        print(f"{name:<18} {float(curve[-1]):6.2f} days of wear")
+    return 0
+
+
+def _cmd_fig15(args: argparse.Namespace) -> int:
+    from repro.prediction.predictor import evaluate_template
+    from repro.prediction.templates import TemplateKind
+    from repro.traces.synthetic import FleetConfig, generate_fleet
+    week = 7 * 86400.0
+    fleet = generate_fleet(FleetConfig(n_racks=args.racks, weeks=2,
+                                       seed=args.seed))
+    for kind in TemplateKind:
+        rmses = []
+        for rack in fleet.racks:
+            power = rack.total_power()
+            hist = rack.times < week
+            ev = evaluate_template(kind, rack.times[hist], power[hist],
+                                   rack.times[~hist], power[~hist])
+            rmses.append(ev.rmse / len(rack.servers))
+        print(f"{kind.value:<9} median per-server RMSE "
+              f"{float(np.median(rmses)):7.2f} W")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.largescale import (
+        cluster_class_fleets,
+        format_table1,
+        table1,
+    )
+    fleets = cluster_class_fleets(n_racks=args.racks, weeks=args.weeks,
+                                  seed=args.seed)
+    print(format_table1(table1(fleets)))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.experiments.cluster import (
+        ENVIRONMENTS,
+        ClusterConfig,
+        run_environment,
+    )
+    config = ClusterConfig(duration_s=args.duration, seed=args.seed)
+    for env in ENVIRONMENTS:
+        result = run_environment(env, config)
+        high = result.per_class["high"]
+        print(f"{env:<12} high p99={high.p99_ms:7.1f}ms "
+              f"miss={high.missed_slo_fraction:6.3%} "
+              f"instances={high.avg_instances:4.2f} "
+              f"totalE={result.total_energy_j / 1e6:6.1f}MJ")
+    return 0
+
+
+def _cmd_fig16(args: argparse.Namespace) -> int:
+    from repro.experiments.production import fig16_service_b
+    result = fig16_service_b()
+    print(f"utilization reduction at peak: "
+          f"{result.util_reduction_at_peak:.1%}")
+    print(f"iso-utilization RPS gain:      {result.iso_util_rps_gain:.1%}")
+    return 0
+
+
+def _cmd_fig17(args: argparse.Namespace) -> int:
+    from repro.experiments.production import fig17_service_c
+    print(f"5-minute peak reduction: "
+          f"{fig17_service_c().peak_reduction:.1%}")
+    return 0
+
+
+_COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], int], str]] = {
+    "list": (_cmd_list, "list available experiments"),
+    "fig1": (_cmd_fig1, "weekday load patterns of Services A/B/C"),
+    "fig2": (_cmd_fig2, "SocialNet latency sweep (also covers fig3)"),
+    "fig5": (_cmd_fig5, "rack power utilization CDFs"),
+    "fig7": (_cmd_fig7, "CPU ageing under overclocking policies"),
+    "fig15": (_cmd_fig15, "template prediction accuracy"),
+    "table1": (_cmd_table1, "policy comparison across cluster classes"),
+    "cluster": (_cmd_cluster, "the four-environment cluster study"),
+    "fig16": (_cmd_fig16, "Service B utilization vs request rate"),
+    "fig17": (_cmd_fig17, "Service C 5-minute peak reduction"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with one subcommand per experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate SmartOClock (ISCA 2024) experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (func, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+        p.add_argument("--seed", type=int, default=1)
+        if name in ("fig5", "fig15", "table1"):
+            p.add_argument("--racks", type=int,
+                           default=30 if name != "table1" else 4)
+        if name == "table1":
+            p.add_argument("--weeks", type=int, default=2)
+        if name == "fig7":
+            p.add_argument("--days", type=int, default=5)
+        if name == "cluster":
+            p.add_argument("--duration", type=float, default=3600.0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Container-granularity overclocking (paper §VI "Finer-grained
+overclocking").
+
+First-party operators want to overclock *containers inside VMs*, because
+boosting the whole VM "is inefficient because of the higher power and
+reliability impact".  This module implements the guest-participation
+mechanism the paper sketches: a :class:`ContainerHost` (the guest agent)
+pins containers to disjoint subsets of the VM's cores and reports per-core
+utilization, so the host can boost exactly the cores running the hot
+container — with proportionally smaller power and wear cost.
+
+Frequency changes still flow through the host-side server object (guests
+never control frequency unsupervised — the safety concern §VI raises);
+the host exposes :meth:`boost_container` / :meth:`unboost_container` as
+the narrow interface an sOA can drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.topology import Core, Server, VirtualMachine
+
+__all__ = ["Container", "ContainerHost"]
+
+
+@dataclass
+class Container:
+    """A container: a core reservation plus a utilization level."""
+
+    name: str
+    n_cores: int
+    utilization: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(
+                f"a container needs at least 1 core: {self.n_cores}")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1]: {self.utilization}")
+
+
+class ContainerHost:
+    """The guest agent: maps containers onto a placed VM's cores."""
+
+    def __init__(self, vm: VirtualMachine, server: Server) -> None:
+        if vm.server is not server:
+            raise ValueError(f"{vm.name} is not placed on "
+                             f"{server.server_id}")
+        self.vm = vm
+        self.server = server
+        self._assignments: dict[str, list[Core]] = {}
+
+    @property
+    def containers(self) -> list[str]:
+        return list(self._assignments)
+
+    def free_cores(self) -> list[Core]:
+        taken = {core.index for cores in self._assignments.values()
+                 for core in cores}
+        return [core for core in self.server.vm_cores(self.vm)
+                if core.index not in taken]
+
+    def add_container(self, container: Container) -> None:
+        """Pin the container to free cores of the VM."""
+        if container.name in self._assignments:
+            raise ValueError(
+                f"container {container.name!r} already deployed")
+        free = self.free_cores()
+        if len(free) < container.n_cores:
+            raise ValueError(
+                f"{self.vm.name} has {len(free)} unpinned cores, "
+                f"container {container.name!r} needs {container.n_cores}")
+        assigned = free[:container.n_cores]
+        for core in assigned:
+            core.utilization_override = container.utilization
+        self._assignments[container.name] = assigned
+        self._refresh_vm_utilization()
+
+    def remove_container(self, name: str) -> None:
+        cores = self._assignments.pop(name, None)
+        if cores is None:
+            raise KeyError(f"no container {name!r}")
+        for core in cores:
+            core.utilization_override = None
+            core.freq_ghz = self.server.plan.turbo_ghz
+        self._refresh_vm_utilization()
+
+    def set_container_utilization(self, name: str,
+                                  utilization: float) -> None:
+        cores = self._lookup(name)
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1]: {utilization}")
+        for core in cores:
+            core.utilization_override = utilization
+        self._refresh_vm_utilization()
+
+    def boost_container(self, name: str, freq_ghz: float) -> float:
+        """Overclock only the container's cores.  Returns the applied
+        frequency (clamped to the plan)."""
+        cores = self._lookup(name)
+        applied = self.server.plan.clamp(freq_ghz)
+        for core in cores:
+            core.freq_ghz = applied
+        return applied
+
+    def unboost_container(self, name: str) -> None:
+        for core in self._lookup(name):
+            core.freq_ghz = self.server.plan.turbo_ghz
+
+    def container_cores(self, name: str) -> list[Core]:
+        return list(self._lookup(name))
+
+    def overclocked_containers(self) -> list[str]:
+        plan = self.server.plan
+        return [name for name, cores in self._assignments.items()
+                if any(plan.is_overclocked(core.freq_ghz)
+                       for core in cores)]
+
+    def _lookup(self, name: str) -> list[Core]:
+        cores = self._assignments.get(name)
+        if cores is None:
+            raise KeyError(f"no container {name!r}")
+        return cores
+
+    def _refresh_vm_utilization(self) -> None:
+        """All of a managed VM's load comes from its containers: unpinned
+        cores are idle (override 0), and the VM-level utilization becomes
+        pure telemetry (the per-core average)."""
+        pinned = {core.index for cores in self._assignments.values()
+                  for core in cores}
+        cores = self.server.vm_cores(self.vm)
+        total = 0.0
+        for core in cores:
+            if core.index not in pinned:
+                core.utilization_override = 0.0
+            total += core.effective_utilization(0.0)
+        self.vm.set_utilization(min(1.0, total / len(cores)))

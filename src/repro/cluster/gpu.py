@@ -1,0 +1,42 @@
+"""GPU overclocking profile (paper §VI "Overclocking beyond CPUs").
+
+"SmartOClock is a general framework and its principles can be easily
+applied for overclocking any server component."  The framework's only
+component-specific inputs are the :class:`~repro.cluster.frequency.FrequencyPlan`
+(operating points and the V/f curve) and the
+:class:`~repro.cluster.power.PowerModel` calibration; this module provides
+a datacenter-GPU instantiation so the identical sOA/gOA machinery manages
+GPU boost clocks.
+
+Calibration sketch (A100-class part): base 1.1 GHz, boost 1.41 GHz,
+overclock ceiling 1.6 GHz; ~80 W idle, ~400 W at full-utilization boost
+across 108 "cores" (SMs); overclocking an SM costs disproportionate power
+through the same V²f law.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.frequency import FrequencyPlan
+from repro.cluster.power import PowerModel
+
+__all__ = ["GPU_FREQUENCY_PLAN", "GPU_POWER_MODEL"]
+
+GPU_FREQUENCY_PLAN = FrequencyPlan(
+    base_ghz=1.10,
+    turbo_ghz=1.41,          # the vendor boost clock
+    overclock_max_ghz=1.60,  # qualified overclock ceiling
+    step_ghz=0.015,          # ~15 MHz clock-offset steps
+    turbo_volts=0.90,
+    volts_per_ghz_below_turbo=0.50,
+    volts_per_ghz_above_turbo=1.80,
+    min_volts=0.70,
+)
+
+#: Full-boost dynamic power ≈ 108 SMs × ~2.6 W ≈ 285 W on top of ~80 W
+#: idle/HBM floor — a ~365 W part at sustained full utilization.
+GPU_POWER_MODEL = PowerModel(
+    plan=GPU_FREQUENCY_PLAN,
+    idle_watts=80.0,
+    dynamic_coefficient=2.3,
+    cores=108,
+)

@@ -1,0 +1,85 @@
+"""VM placement policies (paper §III Q2 future work).
+
+The paper's findings hold under the default resource-centric VM scheduler;
+it explicitly leaves power-aware placement as future work: "Providers can
+add power-aware scheduling policies to aid overclocking, but this
+exploration is future work."  This module implements both so the effect
+can be quantified (see ``benchmarks/test_ablation_placement.py``):
+
+* :class:`ResourceCentricPlacer` — first server with enough free cores
+  (the Protean-style rule set reduced to its core-count essence);
+* :class:`PowerAwarePlacer` — among servers with enough free cores, pick
+  the one whose *predicted peak power* after placement is lowest, keeping
+  rack power balanced so overclocking headroom is spread evenly.
+
+Both operate on the same :class:`~repro.cluster.topology.Rack`/``Server``
+objects the rest of the system uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.cluster.topology import Server, VirtualMachine
+
+__all__ = ["PlacementError", "ResourceCentricPlacer", "PowerAwarePlacer"]
+
+
+class PlacementError(RuntimeError):
+    """No server can host the VM."""
+
+
+class ResourceCentricPlacer:
+    """First-fit by free cores (the default cloud scheduler's behaviour
+    for our purposes)."""
+
+    def place(self, vm: VirtualMachine,
+              servers: Iterable[Server]) -> Server:
+        for server in servers:
+            if server.free_cores >= vm.n_cores:
+                server.place_vm(vm)
+                return server
+        raise PlacementError(
+            f"no server has {vm.n_cores} free cores for {vm.name}")
+
+
+class PowerAwarePlacer:
+    """Balance predicted peak power across servers.
+
+    ``peak_utilization`` estimates the VM's worst-case utilization when
+    computing the placement cost (provisioning is for peaks, not means).
+    A custom ``predictor`` can supply per-server baseline peak power
+    (e.g. from templates); by default the server's current draw is used.
+    """
+
+    def __init__(self, *, peak_utilization: float = 1.0,
+                 predictor: Optional[Callable[[Server], float]] = None
+                 ) -> None:
+        if not 0.0 < peak_utilization <= 1.0:
+            raise ValueError(
+                f"peak_utilization must be in (0, 1]: {peak_utilization}")
+        self.peak_utilization = peak_utilization
+        self.predictor = predictor or (lambda server: server.power_watts())
+
+    def _cost_after(self, server: Server, vm: VirtualMachine) -> float:
+        added = vm.n_cores * server.power_model.core_dynamic_watts(
+            self.peak_utilization, server.plan.turbo_ghz)
+        return self.predictor(server) + added
+
+    def place(self, vm: VirtualMachine,
+              servers: Iterable[Server]) -> Server:
+        candidates = [s for s in servers if s.free_cores >= vm.n_cores]
+        if not candidates:
+            raise PlacementError(
+                f"no server has {vm.n_cores} free cores for {vm.name}")
+        best = min(candidates, key=lambda s: self._cost_after(s, vm))
+        best.place_vm(vm)
+        return best
+
+    def imbalance(self, servers: Iterable[Server]) -> float:
+        """Spread between the hottest and coolest server (W) — the metric
+        power-aware placement minimizes."""
+        powers = [self.predictor(s) for s in servers]
+        if not powers:
+            raise ValueError("no servers given")
+        return max(powers) - min(powers)

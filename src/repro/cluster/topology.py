@@ -1,0 +1,294 @@
+"""Datacenter topology: datacenter → rack → server → VM → core.
+
+This is the physical plant the SmartOClock control plane manages.  The
+objects are deliberately "dumb": they hold placement, per-VM operating
+points, and utilization, and can report power through a
+:class:`~repro.cluster.power.PowerModel`.  All policy (who gets to
+overclock, how budgets are split) lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.cluster.frequency import FrequencyPlan
+from repro.cluster.power import PowerModel
+
+__all__ = ["Core", "VirtualMachine", "Server", "Rack", "Datacenter"]
+
+_vm_ids = itertools.count()
+
+
+@dataclass
+class Core:
+    """One physical core: operating point plus wear-relevant accounting.
+
+    ``utilization_override`` lets finer-grained schedulers (containers
+    inside a VM, SmartOClock paper section VI) pin a per-core utilization distinct from
+    the VM-level average; ``None`` means "use the VM's utilization".
+    """
+
+    index: int
+    freq_ghz: float
+    vm_id: Optional[int] = None
+    busy_seconds: float = 0.0
+    overclock_seconds: float = 0.0
+    utilization_override: Optional[float] = None
+
+    @property
+    def allocated(self) -> bool:
+        return self.vm_id is not None
+
+    def effective_utilization(self, vm_utilization: float) -> float:
+        if self.utilization_override is None:
+            return vm_utilization
+        return self.utilization_override
+
+
+class VirtualMachine:
+    """A VM instance: cores, utilization, operating point, priority.
+
+    ``priority`` orders VMs for prioritized capping and for the sOA's
+    feedback loop: **higher value = more important** (throttled last,
+    overclocked first).  ``utilization`` is the average per-core busy
+    fraction in [0, 1].
+    """
+
+    def __init__(self, n_cores: int, *, name: str = "",
+                 priority: int = 0, workload: str = "generic",
+                 utilization: float = 0.0,
+                 vm_id: Optional[int] = None) -> None:
+        if n_cores < 1:
+            raise ValueError(f"a VM needs at least 1 core, got {n_cores}")
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1], got {utilization}")
+        self.vm_id = next(_vm_ids) if vm_id is None else vm_id
+        self.name = name or f"vm-{self.vm_id}"
+        self.n_cores = n_cores
+        self.priority = priority
+        self.workload = workload
+        self.utilization = utilization
+        self.freq_ghz: Optional[float] = None  # set on placement
+        self.server: Optional["Server"] = None
+
+    @property
+    def placed(self) -> bool:
+        return self.server is not None
+
+    def set_utilization(self, utilization: float) -> None:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1], got {utilization}")
+        self.utilization = utilization
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.server.server_id if self.server else "unplaced"
+        return (f"VirtualMachine({self.name}, cores={self.n_cores}, "
+                f"util={self.utilization:.2f}, f={self.freq_ghz}, on={where})")
+
+
+class Server:
+    """A physical server hosting VMs on its cores.
+
+    The server applies per-VM frequencies to the VM's assigned cores and
+    reports power via its :class:`PowerModel`.  ``advance(dt)`` accrues the
+    busy/overclocked core-seconds that the reliability subsystem consumes.
+    """
+
+    def __init__(self, server_id: str, power_model: PowerModel,
+                 rack: Optional["Rack"] = None) -> None:
+        self.server_id = server_id
+        self.power_model = power_model
+        self.rack = rack
+        plan = power_model.plan
+        self.cores = [Core(i, plan.turbo_ghz)
+                      for i in range(power_model.cores)]
+        self.vms: dict[int, VirtualMachine] = {}
+        self._vm_cores: dict[int, list[Core]] = {}
+        # Extra non-VM power (e.g. a colocated agent); usually zero.
+        self.background_watts = 0.0
+
+    @property
+    def plan(self) -> FrequencyPlan:
+        return self.power_model.plan
+
+    @property
+    def free_cores(self) -> int:
+        return sum(1 for c in self.cores if not c.allocated)
+
+    def place_vm(self, vm: VirtualMachine) -> None:
+        """Assign the VM to free cores at max turbo."""
+        if vm.placed:
+            raise ValueError(f"{vm.name} is already placed on "
+                             f"{vm.server.server_id}")
+        free = [c for c in self.cores if not c.allocated]
+        if len(free) < vm.n_cores:
+            raise ValueError(
+                f"{self.server_id}: need {vm.n_cores} cores, "
+                f"only {len(free)} free")
+        assigned = free[:vm.n_cores]
+        for core in assigned:
+            core.vm_id = vm.vm_id
+            core.freq_ghz = self.plan.turbo_ghz
+        self.vms[vm.vm_id] = vm
+        self._vm_cores[vm.vm_id] = assigned
+        vm.server = self
+        vm.freq_ghz = self.plan.turbo_ghz
+
+    def remove_vm(self, vm: VirtualMachine) -> None:
+        if vm.vm_id not in self.vms:
+            raise KeyError(f"{vm.name} is not on {self.server_id}")
+        for core in self._vm_cores[vm.vm_id]:
+            core.vm_id = None
+            core.freq_ghz = self.plan.turbo_ghz
+            core.utilization_override = None
+        del self.vms[vm.vm_id]
+        del self._vm_cores[vm.vm_id]
+        vm.server = None
+        vm.freq_ghz = None
+
+    def vm_cores(self, vm: VirtualMachine) -> list[Core]:
+        return list(self._vm_cores[vm.vm_id])
+
+    def set_vm_frequency(self, vm: VirtualMachine, freq_ghz: float) -> float:
+        """Set the VM's cores to ``freq_ghz`` (clamped to the plan). Returns
+        the actually-applied frequency."""
+        if vm.vm_id not in self.vms:
+            raise KeyError(f"{vm.name} is not on {self.server_id}")
+        applied = self.plan.clamp(freq_ghz)
+        for core in self._vm_cores[vm.vm_id]:
+            core.freq_ghz = applied
+        vm.freq_ghz = applied
+        return applied
+
+    def reassign_vm_cores(self, vm: VirtualMachine,
+                          new_cores: list[Core]) -> None:
+        """Move the VM onto a different set of this server's free cores.
+
+        Implements the sOA's per-core budget exploration of §IV-D: when a
+        VM's cores run out of overclock budget, the sOA reschedules it on
+        cores that still have budget.
+        """
+        if vm.vm_id not in self.vms:
+            raise KeyError(f"{vm.name} is not on {self.server_id}")
+        if len(new_cores) != vm.n_cores:
+            raise ValueError(
+                f"need exactly {vm.n_cores} cores, got {len(new_cores)}")
+        for core in new_cores:
+            if core.allocated and core.vm_id != vm.vm_id:
+                raise ValueError(
+                    f"core {core.index} is allocated to VM {core.vm_id}")
+        freq = vm.freq_ghz if vm.freq_ghz is not None else self.plan.turbo_ghz
+        for core in self._vm_cores[vm.vm_id]:
+            core.vm_id = None
+            core.freq_ghz = self.plan.turbo_ghz
+        for core in new_cores:
+            core.vm_id = vm.vm_id
+            core.freq_ghz = freq
+        self._vm_cores[vm.vm_id] = list(new_cores)
+
+    def core_loads(self) -> list[tuple[float, float]]:
+        """(utilization, freq) per allocated core, for the power model."""
+        loads = []
+        for vm in self.vms.values():
+            for core in self._vm_cores[vm.vm_id]:
+                loads.append((core.effective_utilization(vm.utilization),
+                              core.freq_ghz))
+        return loads
+
+    def power_watts(self) -> float:
+        """Current wall power of this server."""
+        return (self.power_model.server_watts(self.core_loads())
+                + self.background_watts)
+
+    def overclocked_vms(self) -> list[VirtualMachine]:
+        plan = self.plan
+        return [vm for vm in self.vms.values()
+                if vm.freq_ghz is not None and plan.is_overclocked(vm.freq_ghz)]
+
+    def overclocked_core_count(self) -> int:
+        plan = self.plan
+        return sum(1 for c in self.cores
+                   if c.allocated and plan.is_overclocked(c.freq_ghz))
+
+    def advance(self, dt: float) -> None:
+        """Accrue ``dt`` seconds of busy/overclock time on allocated cores."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        plan = self.plan
+        for vm in self.vms.values():
+            for core in self._vm_cores[vm.vm_id]:
+                core.busy_seconds += core.effective_utilization(
+                    vm.utilization) * dt
+                if plan.is_overclocked(core.freq_ghz):
+                    core.overclock_seconds += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Server({self.server_id}, vms={len(self.vms)}, "
+                f"free_cores={self.free_cores})")
+
+
+class Rack:
+    """A rack: the power-delivery unit whose limit SmartOClock respects."""
+
+    def __init__(self, rack_id: str, power_limit_watts: float) -> None:
+        if power_limit_watts <= 0:
+            raise ValueError(
+                f"power limit must be positive, got {power_limit_watts}")
+        self.rack_id = rack_id
+        self.power_limit_watts = power_limit_watts
+        self.servers: list[Server] = []
+
+    def add_server(self, server: Server) -> None:
+        if server.rack is not None:
+            raise ValueError(f"{server.server_id} already belongs to "
+                             f"{server.rack.rack_id}")
+        server.rack = self
+        self.servers.append(server)
+
+    def power_watts(self) -> float:
+        return sum(s.power_watts() for s in self.servers)
+
+    def utilization(self) -> float:
+        """Rack power as a fraction of the rack limit."""
+        return self.power_watts() / self.power_limit_watts
+
+    def fair_share_watts(self) -> float:
+        """The even per-server split of the rack budget (the baseline the
+        paper's heterogeneous assignment improves on, §III Q4)."""
+        if not self.servers:
+            raise ValueError(f"rack {self.rack_id} has no servers")
+        return self.power_limit_watts / len(self.servers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Rack({self.rack_id}, servers={len(self.servers)}, "
+                f"limit={self.power_limit_watts}W)")
+
+
+class Datacenter:
+    """A collection of racks with id-based lookup."""
+
+    def __init__(self, name: str = "dc") -> None:
+        self.name = name
+        self.racks: dict[str, Rack] = {}
+
+    def add_rack(self, rack: Rack) -> None:
+        if rack.rack_id in self.racks:
+            raise ValueError(f"duplicate rack id {rack.rack_id}")
+        self.racks[rack.rack_id] = rack
+
+    def servers(self) -> Iterator[Server]:
+        for rack in self.racks.values():
+            yield from rack.servers
+
+    def find_server(self, server_id: str) -> Server:
+        for server in self.servers():
+            if server.server_id == server_id:
+                return server
+        raise KeyError(f"no server {server_id} in datacenter {self.name}")
+
+    def total_power_watts(self) -> float:
+        return sum(rack.power_watts() for rack in self.racks.values())

@@ -1,0 +1,131 @@
+"""Heterogeneous power-budget computation (paper §IV-C).
+
+The gOA splits each rack's power limit across its servers in three phases:
+
+1. separate each server's profile into *regular* and *overclock* power
+   (done upstream: the :class:`~repro.core.types.ServerProfileReport`
+   carries regular power and overclocked-core counts);
+2. give every server an initial budget equal to its regular power;
+3. split the remaining headroom proportionally to each server's overclock
+   *need* in watts (granted cores × per-core overclock delta).
+
+Worked example from the paper: limit 1.3 kW; Server-X regular 400 W,
+needs 50 W; Server-Y regular 300 W, needs 100 W → budgets 600 W and 700 W.
+
+Edge cases the paper leaves implicit, resolved here:
+
+* nobody needs overclocking at a slot → headroom is split evenly (any
+  server may later *explore* into it);
+* predicted regular power already exceeds the limit (overcommitted rack /
+  misprediction) → budgets are regular power scaled down proportionally so
+  they sum to the limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import ServerProfileReport
+
+__all__ = ["BudgetAssignment", "compute_heterogeneous_budgets",
+           "fair_share_budgets"]
+
+
+@dataclass(frozen=True)
+class BudgetAssignment:
+    """Per-server power budgets, one value per slot of the planning week."""
+
+    slot_s: float
+    budgets: dict[str, np.ndarray]
+
+    def budget_at(self, server_id: str, t: float) -> float:
+        series = self.budgets[server_id]
+        slot = int(t // self.slot_s) % len(series)
+        return float(series[slot])
+
+    def total_at(self, t: float) -> float:
+        return sum(self.budget_at(sid, t) for sid in self.budgets)
+
+
+def compute_heterogeneous_budgets(
+        rack_limit_watts: float,
+        profiles: list[ServerProfileReport],
+        oc_delta_watts_per_core: float,
+        even_headroom_fraction: float = 0.3) -> BudgetAssignment:
+    """Three-phase heterogeneous split of ``rack_limit_watts``.
+
+    All profiles must share slot resolution and length.  Budgets at every
+    slot sum to exactly the rack limit (the whole limit is distributed:
+    unneeded headroom still belongs to someone so local decisions can use
+    it).
+
+    ``even_headroom_fraction`` of the headroom is always split evenly so
+    that a server whose demand the templates missed entirely still holds a
+    usable floor (its exploration then starts from there); the remainder
+    follows the paper's proportional-to-need rule.
+    """
+    if not 0.0 <= even_headroom_fraction <= 1.0:
+        raise ValueError("even_headroom_fraction must be in [0, 1]: "
+                         f"{even_headroom_fraction}")
+    if rack_limit_watts <= 0:
+        raise ValueError(f"rack limit must be > 0: {rack_limit_watts}")
+    if not profiles:
+        raise ValueError("need at least one server profile")
+    if oc_delta_watts_per_core <= 0:
+        raise ValueError(
+            f"per-core delta must be > 0: {oc_delta_watts_per_core}")
+    slot_s = profiles[0].slot_s
+    n_slots = len(profiles[0].regular_power_watts)
+    for p in profiles:
+        if p.slot_s != slot_s or len(p.regular_power_watts) != n_slots:
+            raise ValueError("profiles must share slot resolution/length")
+
+    regular = np.stack([p.regular_power_watts for p in profiles])
+    # Need is driven by *requested* cores: a server whose requests were
+    # rejected last week still signals demand (otherwise budgets can never
+    # bootstrap out of a bad initial split).
+    need = np.stack([p.oc_requested_cores for p in profiles]).astype(float)
+    need *= oc_delta_watts_per_core
+
+    total_regular = regular.sum(axis=0)
+    headroom = rack_limit_watts - total_regular
+    total_need = need.sum(axis=0)
+
+    budgets = np.empty_like(regular)
+    n = len(profiles)
+    for s in range(n_slots):
+        if headroom[s] <= 0:
+            # Overcommitted: scale regular power down proportionally.
+            budgets[:, s] = (regular[:, s] * rack_limit_watts
+                             / total_regular[s])
+        elif total_need[s] > 0:
+            even = even_headroom_fraction * headroom[s]
+            by_need = headroom[s] - even
+            budgets[:, s] = (regular[:, s] + even / n
+                             + by_need * need[:, s] / total_need[s])
+        else:
+            budgets[:, s] = regular[:, s] + headroom[s] / n
+
+    return BudgetAssignment(
+        slot_s=slot_s,
+        budgets={p.server_id: budgets[i] for i, p in enumerate(profiles)})
+
+
+def fair_share_budgets(rack_limit_watts: float,
+                       profiles: list[ServerProfileReport]) -> BudgetAssignment:
+    """The even split the paper's characterization argues against (§III Q4).
+
+    Used as the NaiveOClock capping behaviour and in ablation benches.
+    """
+    if rack_limit_watts <= 0:
+        raise ValueError(f"rack limit must be > 0: {rack_limit_watts}")
+    if not profiles:
+        raise ValueError("need at least one server profile")
+    n_slots = len(profiles[0].regular_power_watts)
+    share = rack_limit_watts / len(profiles)
+    series = np.full(n_slots, share)
+    return BudgetAssignment(
+        slot_s=profiles[0].slot_s,
+        budgets={p.server_id: series.copy() for p in profiles})

@@ -1,0 +1,112 @@
+"""All SmartOClock tunables in one place.
+
+Defaults follow the values the paper states explicitly: 100 MHz frequency
+steps, 20 W exploration step, 30 s exploration confirmation window, 95 %
+warning threshold, 15-minute exhaustion window, week-long lifetime epochs
+with a 10 % overclocking budget, weekly DailyMed template recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prediction.templates import TemplateKind
+
+__all__ = ["SmartOClockConfig"]
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class SmartOClockConfig:
+    """Knobs for the whole platform (one instance shared by all agents)."""
+
+    # --- telemetry & control cadence -------------------------------------
+    control_interval_s: float = 10.0       # sOA feedback-loop tick
+    telemetry_interval_s: float = 300.0    # samples into template stores
+    budget_update_period_s: float = SECONDS_PER_WEEK  # gOA recompute
+
+    # --- prediction -------------------------------------------------------
+    template_kind: TemplateKind = TemplateKind.DAILY_MED
+    template_history_weeks: int = 2
+    budget_slot_s: float = 300.0           # resolution of per-server budgets
+
+    # --- power enforcement (sOA feedback loop, §IV-D) ----------------------
+    power_buffer_watts: float = 20.0       # threshold = limit - buffer
+
+    # --- exploration beyond assigned budgets (§IV-D) -----------------------
+    explore_step_watts: float = 20.0
+    explore_confirm_s: float = 30.0
+    explore_backoff_initial_s: float = 60.0
+    explore_backoff_factor: float = 2.0
+    explore_backoff_max_s: float = 3600.0
+    exploit_duration_s: float = 600.0
+
+    # --- rack power safety --------------------------------------------------
+    warning_fraction: float = 0.95         # rack warning threshold
+
+    # --- lifetime management (§IV-B) ----------------------------------------
+    # "epoch": offline vendor analysis, fixed time share per epoch (§IV-B).
+    # "online": per-core wear counters budget against live lifetime
+    # credits (the §VI "wear-out counters" extension).
+    lifetime_mode: str = "epoch"
+    online_wear_safety_margin: float = 0.2
+    online_wear_warmup_s: float = 3600.0
+    oc_budget_fraction: float = 0.10       # vendor-agreed time share
+    epoch_seconds: float = SECONDS_PER_WEEK
+    weekday_only_budget: bool = True
+    carryover_cap_epochs: float = 1.0
+
+    # --- exhaustion prediction / proactive scale-out (§IV-D) ----------------
+    exhaustion_window_s: float = 900.0     # signal if exhaustion within 15min
+    min_grant_s: float = 60.0              # shortest useful overclock grant
+
+    # --- feature flags for ablated variants (§V-B baselines) ----------------
+    enable_admission_control: bool = True  # False → NaiveOClock
+    enable_exploration: bool = True        # False → NoFeedback
+    enable_warnings: bool = True           # False → NoWarning
+    enable_proactive_scaleout: bool = True
+
+    def __post_init__(self) -> None:
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be > 0")
+        if self.telemetry_interval_s <= 0:
+            raise ValueError("telemetry_interval_s must be > 0")
+        if not 0.0 < self.warning_fraction <= 1.0:
+            raise ValueError(
+                f"warning_fraction must be in (0, 1]: {self.warning_fraction}")
+        if self.power_buffer_watts < 0:
+            raise ValueError("power_buffer_watts must be >= 0")
+        if self.explore_step_watts <= 0:
+            raise ValueError("explore_step_watts must be > 0")
+        if self.explore_backoff_factor < 1.0:
+            raise ValueError("explore_backoff_factor must be >= 1")
+        if not 0.0 <= self.oc_budget_fraction <= 1.0:
+            raise ValueError("oc_budget_fraction must be in [0, 1]")
+        if self.exhaustion_window_s < 0:
+            raise ValueError("exhaustion_window_s must be >= 0")
+        if self.lifetime_mode not in ("epoch", "online"):
+            raise ValueError(
+                f"lifetime_mode must be 'epoch' or 'online', got "
+                f"{self.lifetime_mode!r}")
+
+    # Named variants used throughout the evaluation -------------------------
+
+    def as_naive(self) -> "SmartOClockConfig":
+        """NaiveOClock: grant everything, no exploration machinery."""
+        return _replace(self, enable_admission_control=False,
+                        enable_exploration=False, enable_warnings=False)
+
+    def as_no_feedback(self) -> "SmartOClockConfig":
+        """NoFeedback: budgets respected strictly, no exploration beyond."""
+        return _replace(self, enable_exploration=False)
+
+    def as_no_warning(self) -> "SmartOClockConfig":
+        """NoWarning: explores, but only capping events rein it in."""
+        return _replace(self, enable_warnings=False)
+
+
+def _replace(config: SmartOClockConfig, **changes: object) -> SmartOClockConfig:
+    import dataclasses
+    return dataclasses.replace(config, **changes)

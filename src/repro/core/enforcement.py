@@ -1,0 +1,150 @@
+"""Per-server prioritized feedback loop (paper §IV-D).
+
+Once a VM's overclocking request is granted, the sOA does not jump it to
+the target frequency: a control loop steps frequencies in ``step_ghz``
+increments (100 MHz) while watching measured server power against the
+server's budget:
+
+* ``draw < threshold``   → step **up** (highest-priority VM first),
+* ``threshold <= draw < limit`` → hold,
+* ``draw >= limit``      → step **down** (lowest-priority VM first),
+
+where ``threshold = limit - buffer``.  Prioritization means the more
+important VMs reach the ceiling before less important VMs get anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.topology import Server, VirtualMachine
+
+__all__ = ["FeedbackLoop", "LoopAction"]
+
+
+@dataclass(frozen=True)
+class LoopAction:
+    """What one control tick did (telemetry for tests/experiments)."""
+
+    stepped_up: int
+    stepped_down: int
+    draw_watts: float
+    limit_watts: float
+
+    @property
+    def held(self) -> bool:
+        return self.stepped_up == 0 and self.stepped_down == 0
+
+
+class FeedbackLoop:
+    """Drives granted VMs toward their target frequencies under a budget."""
+
+    def __init__(self, server: Server, buffer_watts: float = 20.0) -> None:
+        if buffer_watts < 0:
+            raise ValueError(f"buffer must be >= 0: {buffer_watts}")
+        self.server = server
+        self.buffer_watts = buffer_watts
+        # vm_id -> target frequency while the grant is active.
+        self._targets: dict[int, float] = {}
+
+    @property
+    def active_vms(self) -> int:
+        return len(self._targets)
+
+    def engage(self, vm: VirtualMachine, target_freq_ghz: float) -> None:
+        """Start ramping ``vm`` toward ``target_freq_ghz``."""
+        if vm.vm_id not in self.server.vms:
+            raise KeyError(f"{vm.name} is not on {self.server.server_id}")
+        target = self.server.plan.clamp(target_freq_ghz)
+        self._targets[vm.vm_id] = target
+
+    def disengage(self, vm: VirtualMachine, *,
+                  reset_to_turbo: bool = True) -> None:
+        """Stop controlling ``vm`` (grant expired/revoked)."""
+        self._targets.pop(vm.vm_id, None)
+        if reset_to_turbo and vm.vm_id in self.server.vms:
+            self.server.set_vm_frequency(vm, self.server.plan.turbo_ghz)
+
+    def disengage_all(self, *, reset_to_turbo: bool = True) -> None:
+        for vm_id in list(self._targets):
+            vm = self.server.vms.get(vm_id)
+            if vm is not None:
+                self.disengage(vm, reset_to_turbo=reset_to_turbo)
+            else:
+                self._targets.pop(vm_id, None)
+
+    def is_engaged(self, vm: VirtualMachine) -> bool:
+        return vm.vm_id in self._targets
+
+    def all_at_target(self) -> bool:
+        """True when every controlled VM reached its target frequency."""
+        for vm_id, target in self._targets.items():
+            vm = self.server.vms.get(vm_id)
+            if vm is not None and vm.freq_ghz < target - 1e-9:
+                return False
+        return True
+
+    def constrained(self, limit_watts: float) -> bool:
+        """True when some VM is held below target by the power budget."""
+        if self.all_at_target():
+            return False
+        threshold = limit_watts - self.buffer_watts
+        return self.server.power_watts() >= threshold
+
+    def _controlled(self, ascending_priority: bool) -> list[VirtualMachine]:
+        vms = [self.server.vms[vm_id] for vm_id in self._targets
+               if vm_id in self.server.vms]
+        return sorted(vms, key=lambda vm: (vm.priority, vm.vm_id),
+                      reverse=not ascending_priority)
+
+    def tick(self, limit_watts: float, max_steps: int = 128) -> LoopAction:
+        """Run one control iteration against ``limit_watts``.
+
+        The real loop iterates every few milliseconds; a simulation tick
+        covers many iterations, so the up-phase steps repeatedly (most
+        important VM first) until the threshold is reached, every VM is at
+        target, or ``max_steps`` step quota is used.
+        """
+        if limit_watts <= 0:
+            raise ValueError(f"limit must be > 0: {limit_watts}")
+        self._prune()
+        threshold = limit_watts - self.buffer_watts
+        draw = self.server.power_watts()
+        stepped_up = 0
+        stepped_down = 0
+        while draw < threshold and stepped_up < max_steps:
+            stepped = False
+            for vm in self._controlled(ascending_priority=False):
+                target = self._targets[vm.vm_id]
+                if vm.freq_ghz < target - 1e-9:
+                    self.server.set_vm_frequency(
+                        vm, min(target,
+                                self.server.plan.step_up(vm.freq_ghz)))
+                    stepped_up += 1
+                    stepped = True
+                    break
+            if not stepped:
+                break
+            draw = self.server.power_watts()
+        if draw >= limit_watts:
+            # Over the limit: drain the least important overclocked VM all
+            # the way to turbo before touching the next one.
+            for vm in self._controlled(ascending_priority=True):
+                while (self.server.power_watts() >= limit_watts
+                       and vm.freq_ghz > self.server.plan.turbo_ghz + 1e-9
+                       and stepped_down < max_steps):
+                    self.server.set_vm_frequency(
+                        vm, max(self.server.plan.turbo_ghz,
+                                self.server.plan.step_down(vm.freq_ghz)))
+                    stepped_down += 1
+                if self.server.power_watts() < limit_watts:
+                    break
+        return LoopAction(stepped_up=stepped_up, stepped_down=stepped_down,
+                          draw_watts=draw, limit_watts=limit_watts)
+
+    def _prune(self) -> None:
+        gone = [vm_id for vm_id in self._targets
+                if vm_id not in self.server.vms]
+        for vm_id in gone:
+            del self._targets[vm_id]

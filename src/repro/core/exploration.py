@@ -1,0 +1,134 @@
+"""Explore/exploit beyond the assigned power budget (paper §IV-D).
+
+Budget assignments come from predictions and can go stale.  A constrained
+sOA (VMs held below their overclock targets) *explores*: it conditionally
+raises its local budget by a step (20 W); if no rack-level warning arrives
+within the confirmation window (30 s), it raises again, until either all
+VMs reach their targets — then it *exploits* the discovered budget for a
+bounded time — or a warning arrives, in which case it steps back and
+schedules the next exploration with exponential back-off.  A capping event
+resets everything to the assigned budget.
+
+The controller only manages the *extra* watts above the assigned budget;
+the assigned value itself comes from the gOA and may change underneath.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ExplorationPhase", "ExplorationController"]
+
+
+class ExplorationPhase(str, enum.Enum):
+    IDLE = "idle"
+    EXPLORING = "exploring"
+    EXPLOITING = "exploiting"
+
+
+class ExplorationController:
+    """State machine owning the extra-watts overlay on one server."""
+
+    def __init__(self, *, step_watts: float = 20.0,
+                 confirm_s: float = 30.0,
+                 backoff_initial_s: float = 60.0,
+                 backoff_factor: float = 2.0,
+                 backoff_max_s: float = 3600.0,
+                 exploit_duration_s: float = 600.0) -> None:
+        if step_watts <= 0:
+            raise ValueError(f"step_watts must be > 0: {step_watts}")
+        if confirm_s <= 0:
+            raise ValueError(f"confirm_s must be > 0: {confirm_s}")
+        if backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1: {backoff_factor}")
+        if exploit_duration_s <= 0:
+            raise ValueError(
+                f"exploit_duration_s must be > 0: {exploit_duration_s}")
+        self.step_watts = step_watts
+        self.confirm_s = confirm_s
+        self.backoff_initial_s = backoff_initial_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self.exploit_duration_s = exploit_duration_s
+
+        self.phase = ExplorationPhase.IDLE
+        self.extra_watts = 0.0
+        self._confirm_deadline = 0.0
+        self._exploit_deadline = 0.0
+        self._backoff_until = -float("inf")
+        self._backoff_current = backoff_initial_s
+        # Telemetry
+        self.explorations_started = 0
+        self.warnings_heeded = 0
+        self.caps_seen = 0
+
+    # ------------------------------------------------------------------
+    # Driving API (called by the sOA each control tick)
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float, constrained: bool,
+             all_at_target: bool) -> float:
+        """Advance the state machine; returns current extra watts.
+
+        ``constrained`` — some granted VM is held below target by power;
+        ``all_at_target`` — every granted VM reached its target frequency.
+        """
+        if self.phase is ExplorationPhase.IDLE:
+            if constrained and now >= self._backoff_until:
+                self._start_exploration(now)
+        elif self.phase is ExplorationPhase.EXPLORING:
+            if all_at_target:
+                self._enter_exploit(now)
+            elif now >= self._confirm_deadline:
+                # Quiet confirmation window: push further.
+                self.extra_watts += self.step_watts
+                self._confirm_deadline = now + self.confirm_s
+        elif self.phase is ExplorationPhase.EXPLOITING:
+            if now >= self._exploit_deadline:
+                self.phase = ExplorationPhase.IDLE
+                if not constrained:
+                    # Budget no longer needed; release the overlay so the
+                    # headroom returns to the rack.
+                    self.extra_watts = 0.0
+        return self.extra_watts
+
+    def _start_exploration(self, now: float) -> None:
+        self.phase = ExplorationPhase.EXPLORING
+        self.extra_watts += self.step_watts
+        self._confirm_deadline = now + self.confirm_s
+        self.explorations_started += 1
+
+    def _enter_exploit(self, now: float) -> None:
+        self.phase = ExplorationPhase.EXPLOITING
+        self._exploit_deadline = now + self.exploit_duration_s
+        # A successful (warning-free) exploration resets the back-off.
+        self._backoff_current = self.backoff_initial_s
+
+    # ------------------------------------------------------------------
+    # Rack events
+    # ------------------------------------------------------------------
+
+    def on_warning(self, now: float) -> None:
+        """Rack warning: only meaningful while exploring (§IV-D)."""
+        if self.phase is not ExplorationPhase.EXPLORING:
+            return
+        self.warnings_heeded += 1
+        self.extra_watts = max(0.0, self.extra_watts - self.step_watts)
+        self._backoff_until = now + self._backoff_current
+        self._backoff_current = min(self.backoff_max_s,
+                                    self._backoff_current
+                                    * self.backoff_factor)
+        # The budget discovered so far (minus the step) is safe: exploit it.
+        self._enter_exploit(now)
+
+    def on_cap(self, now: float) -> None:
+        """Capping event: revert to the assigned budget entirely."""
+        self.caps_seen += 1
+        self.extra_watts = 0.0
+        self.phase = ExplorationPhase.IDLE
+        self._backoff_until = now + self._backoff_current
+        self._backoff_current = min(self.backoff_max_s,
+                                    self._backoff_current
+                                    * self.backoff_factor)

@@ -1,0 +1,73 @@
+"""Global Overclocking Agent (paper §IV-C).
+
+One gOA per rack.  It collects each sOA's weekly profile report (regular
+power series + overclock demand series), computes heterogeneous per-server
+power budgets for the next period, and pushes them back to the sOAs.  The
+gOA failing is survivable: sOAs keep operating on their last assignment
+(decentralization, §III Q5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.topology import Rack
+from repro.core.budgets import BudgetAssignment, compute_heterogeneous_budgets
+from repro.core.config import SmartOClockConfig
+from repro.core.soa import ServerOverclockingAgent
+from repro.core.types import ServerProfileReport
+
+__all__ = ["GlobalOverclockingAgent"]
+
+
+class GlobalOverclockingAgent:
+    """Collects profiles and assigns heterogeneous budgets."""
+
+    def __init__(self, rack: Rack, config: SmartOClockConfig,
+                 soas: list[ServerOverclockingAgent]) -> None:
+        if not soas:
+            raise ValueError("a gOA needs at least one sOA")
+        for soa in soas:
+            if soa.server.rack is not rack:
+                raise ValueError(
+                    f"{soa.server.server_id} is not in rack {rack.rack_id}")
+        self.rack = rack
+        self.config = config
+        self.soas = {soa.server.server_id: soa for soa in soas}
+        self._latest_profiles: dict[str, ServerProfileReport] = {}
+        self._assignment: Optional[BudgetAssignment] = None
+        self.budget_updates = 0
+
+    @property
+    def assignment(self) -> Optional[BudgetAssignment]:
+        return self._assignment
+
+    def collect_profiles(self) -> None:
+        """Pull the weekly profile report from every sOA."""
+        for server_id, soa in self.soas.items():
+            self._latest_profiles[server_id] = soa.build_profile_report()
+            soa.reset_profile_window()
+
+    def recompute_budgets(self) -> BudgetAssignment:
+        """Compute and push heterogeneous budgets from latest profiles."""
+        if len(self._latest_profiles) < len(self.soas):
+            self.collect_profiles()
+        first = next(iter(self.soas.values()))
+        delta = first.server.power_model.overclock_core_delta(1.0)
+        assignment = compute_heterogeneous_budgets(
+            self.rack.power_limit_watts,
+            [self._latest_profiles[sid] for sid in sorted(self.soas)],
+            oc_delta_watts_per_core=delta)
+        self._assignment = assignment
+        for soa in self.soas.values():
+            soa.set_budget_assignment(assignment)
+        self.budget_updates += 1
+        return assignment
+
+    def update(self, now: float) -> BudgetAssignment:
+        """One periodic gOA cycle: collect profiles, recompute, push."""
+        self.collect_profiles()
+        for soa in self.soas.values():
+            if soa.power_store.samples >= 2:
+                soa.recompute_template()
+        return self.recompute_budgets()

@@ -1,0 +1,181 @@
+"""The composed SmartOClock platform.
+
+Wires the whole architecture of paper Fig. 10 onto a simulated cluster:
+one sOA per server, one gOA + rack power manager per rack, and per-service
+Global WI agents with per-VM Local WI agents.  The platform is tick-driven
+(``tick(now, dt)``): experiments advance simulated time and the platform
+runs its control, telemetry, capping and budget-update cadences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster.capping import (
+    FairShareThrottler,
+    PrioritizedThrottler,
+    RackPowerManager,
+)
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.goa import GlobalOverclockingAgent
+from repro.core.soa import ServerOverclockingAgent
+from repro.core.types import ExhaustionSignal
+from repro.core.workload_intelligence import (
+    GlobalWIAgent,
+    LocalWIAgent,
+    MetricsTriggerPolicy,
+    OverclockSchedule,
+)
+
+__all__ = ["SmartOClockPlatform"]
+
+
+class SmartOClockPlatform:
+    """SmartOClock deployed on a datacenter."""
+
+    def __init__(self, datacenter: Datacenter,
+                 config: Optional[SmartOClockConfig] = None) -> None:
+        self.datacenter = datacenter
+        self.config = config or SmartOClockConfig()
+        self.soas: dict[str, ServerOverclockingAgent] = {}
+        self.goas: dict[str, GlobalOverclockingAgent] = {}
+        self.rack_managers: dict[str, RackPowerManager] = {}
+        self.services: dict[str, GlobalWIAgent] = {}
+        self._last_telemetry = -float("inf")
+        self._last_budget_update = -float("inf")
+
+        for rack in datacenter.racks.values():
+            rack_soas = []
+            for server in rack.servers:
+                soa = ServerOverclockingAgent(
+                    server, self.config,
+                    on_exhaustion=self._route_exhaustion,
+                    on_grant_revoked=self._route_revocation)
+                self.soas[server.server_id] = soa
+                rack_soas.append(soa)
+            # Prioritized capping is part of the SmartOClock stack; the
+            # NaiveOClock ablation falls back to fair-share capping.
+            throttler = (PrioritizedThrottler()
+                         if self.config.enable_admission_control
+                         else FairShareThrottler())
+            manager = RackPowerManager(
+                rack, warning_fraction=self.config.warning_fraction,
+                graceful_restore=self.config.enable_admission_control,
+                throttler=throttler)
+            for soa in rack_soas:
+                manager.on_warning(soa.on_warning)
+                manager.on_cap(soa.on_cap)
+            self.rack_managers[rack.rack_id] = manager
+            self.goas[rack.rack_id] = GlobalOverclockingAgent(
+                rack, self.config, rack_soas)
+
+    # ------------------------------------------------------------------
+    # Service registration
+    # ------------------------------------------------------------------
+
+    def register_service(self, name: str, *,
+                         metrics_policy: Optional[MetricsTriggerPolicy] = None,
+                         schedule: Optional[OverclockSchedule] = None,
+                         scale_out_handler: Optional[
+                             Callable[[float, int], None]] = None,
+                         rejections_per_scale_out: int = 2,
+                         scale_out_per: int = 1) -> GlobalWIAgent:
+        """Create the Global WI agent for a service."""
+        if name in self.services:
+            raise ValueError(f"service {name!r} already registered")
+        agent = GlobalWIAgent(
+            name, metrics_policy=metrics_policy, schedule=schedule,
+            scale_out_handler=scale_out_handler,
+            rejections_per_scale_out=rejections_per_scale_out,
+            scale_out_per=scale_out_per)
+        self.services[name] = agent
+        return agent
+
+    def attach_vm(self, service_name: str, vm: VirtualMachine, *,
+                  target_freq_ghz: float = 4.0,
+                  priority: int = 0) -> LocalWIAgent:
+        """Deploy a VM's Local WI agent and hook it to its server's sOA."""
+        if vm.server is None:
+            raise ValueError(f"{vm.name} must be placed before attaching")
+        service = self.services.get(service_name)
+        if service is None:
+            raise KeyError(f"unknown service {service_name!r}")
+        soa = self.soas[vm.server.server_id]
+        local = LocalWIAgent(vm, soa, target_freq_ghz=target_freq_ghz,
+                             priority=priority)
+        service.attach(local)
+        return local
+
+    def _route_revocation(self, vm: VirtualMachine, why: str,
+                          now: float) -> None:
+        """A grant was revoked (budget ran out): the owning service takes
+        corrective action (§IV-D "Managing resource exhaustion")."""
+        for service in self.services.values():
+            if any(local.vm.vm_id == vm.vm_id for local in service.locals):
+                service.on_rejection(now)
+                return
+
+    def _route_exhaustion(self, signal: ExhaustionSignal) -> None:
+        """Deliver an sOA exhaustion signal to the services with VMs on the
+        affected server."""
+        for service in self.services.values():
+            if any(local.vm.server is not None
+                   and local.vm.server.server_id == signal.server_id
+                   for local in service.locals):
+                service.on_exhaustion(signal)
+
+    # ------------------------------------------------------------------
+    # Time driving
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float, dt: float) -> None:
+        """Advance the platform by one control interval.
+
+        Order matters and mirrors the paper's architecture: local control
+        (sOAs) first, then rack-level safety (warnings/caps), then the
+        slower telemetry and weekly budget cadences.
+        """
+        for soa in self.soas.values():
+            soa.control_tick(now, dt)
+        for manager in self.rack_managers.values():
+            manager.sample(now)
+        for rack in self.datacenter.racks.values():
+            for server in rack.servers:
+                server.advance(dt)
+        if now - self._last_telemetry >= self.config.telemetry_interval_s:
+            self._last_telemetry = now
+            for soa in self.soas.values():
+                soa.telemetry_tick(now)
+        if now - self._last_budget_update >= self.config.budget_update_period_s:
+            # First update happens immediately (bootstraps fair-share away).
+            if self._last_budget_update > -float("inf"):
+                for goa in self.goas.values():
+                    goa.update(now)
+            self._last_budget_update = now
+
+    def force_budget_update(self, now: float) -> None:
+        """Trigger gOA profile collection + budget recompute immediately."""
+        for goa in self.goas.values():
+            goa.update(now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_cap_events(self) -> int:
+        return sum(len(m.cap_events) for m in self.rack_managers.values())
+
+    def total_warnings(self) -> int:
+        return sum(len(m.warnings) for m in self.rack_managers.values())
+
+    def grant_statistics(self) -> dict[str, int]:
+        received = sum(s.requests_received for s in self.soas.values())
+        granted = sum(s.requests_granted for s in self.soas.values())
+        rej_power = sum(s.requests_rejected_power
+                        for s in self.soas.values())
+        rej_life = sum(s.requests_rejected_lifetime
+                       for s in self.soas.values())
+        return {"received": received, "granted": granted,
+                "rejected_power": rej_power, "rejected_lifetime": rej_life}

@@ -1,0 +1,373 @@
+"""Trace-driven overclocking policies (paper §V-B, Table I).
+
+These are the decision kernels the large-scale simulator
+(:mod:`repro.experiments.largescale`) runs against production-style rack
+traces at 5-minute granularity:
+
+* **Central** — an oracle with a zero-latency global view of rack power;
+  grants exactly as many overclocked cores as fit under the limit.  Its
+  only error source is telemetry lag (decisions see the previous tick).
+* **NaiveOClock** — grants everything; fair-share capping.
+* **NoFeedback** — heterogeneous per-server budgets from weekly templates,
+  strictly enforced, no exploration.
+* **NoWarning** — NoFeedback + exploration beyond the budget, but only
+  capping events rein it in.
+* **SmartOClock** — full system: budgets, exploration, rack warnings with
+  exponential back-off.
+
+Each policy sees, per tick, last tick's observed baseline power and
+utilization (telemetry lag), the servers' overclock demand in cores, and
+its own persistent state; it returns granted cores per server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.budgets import compute_heterogeneous_budgets
+from repro.core.types import ServerProfileReport
+from repro.prediction.templates import TemplateKind, build_template
+
+__all__ = [
+    "TickContext",
+    "TracePolicy",
+    "CentralOracle",
+    "NaiveOClock",
+    "NoFeedback",
+    "NoWarning",
+    "SmartOClockPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class TickContext:
+    """Everything a policy may look at when deciding one tick.
+
+    ``observed_power`` / ``observed_util`` are from the *previous* tick
+    (telemetry lag); ``oracle_power`` is the *current* tick's baseline
+    power, which only the Central oracle may read; ``demand_cores`` is the
+    current tick's overclock demand; ``delta_full_watts`` is the per-core
+    overclock power delta at full utilization (scale by utilization for
+    the expected draw).
+    """
+
+    index: int
+    time: float
+    limit_watts: float
+    warning_watts: float
+    observed_power: np.ndarray
+    observed_util: np.ndarray
+    oracle_power: np.ndarray
+    oracle_util: np.ndarray
+    demand_cores: np.ndarray
+    delta_full_watts: float
+
+
+class TracePolicy:
+    """Base class; subclasses override :meth:`decide` and the hooks."""
+
+    name = "base"
+    capping_mode = "heterogeneous"  # or "fair"
+
+    def __init__(self, n_servers: int) -> None:
+        if n_servers < 1:
+            raise ValueError(f"need at least one server: {n_servers}")
+        self.n_servers = n_servers
+
+    def begin_week(self, history_times: np.ndarray,
+                   history_power: np.ndarray,
+                   history_demand: np.ndarray,
+                   limit_watts: float) -> None:
+        """Install the prior week's telemetry (per-server rows)."""
+
+    def decide(self, ctx: TickContext) -> np.ndarray:
+        raise NotImplementedError
+
+    def on_warning(self, ctx: TickContext) -> None:
+        """Rack power crossed the warning threshold this tick."""
+
+    def on_cap(self, ctx: TickContext) -> None:
+        """Rack power exceeded the limit this tick."""
+
+    def budget_at(self, ctx: TickContext) -> Optional[np.ndarray]:
+        """Per-server *assigned* budgets, if the policy maintains them
+        (used for capping blame assignment); None → fair share."""
+        return None
+
+    def enforcement_budget_at(self, ctx: TickContext) -> Optional[np.ndarray]:
+        """Per-server budgets the local feedback loop enforces (assigned
+        plus any exploration overlay).  None → no local enforcement: the
+        policy's grants draw their full overclock power regardless of
+        budget (Central trusts its oracle; NaiveOClock has no budgets)."""
+        return None
+
+
+class CentralOracle(TracePolicy):
+    """Global view: pack overclocked cores under the rack limit.
+
+    Reads the *current* tick's power (``oracle_power``): the paper's
+    Central "can precisely decide if an overclocking request will result
+    in capping".  Its residual capping events come only from ticks where
+    the baseline alone exceeds the limit.
+    """
+
+    name = "Central"
+
+    def decide(self, ctx: TickContext) -> np.ndarray:
+        granted = np.zeros(self.n_servers, dtype=np.int64)
+        expected_delta = ctx.delta_full_watts * np.maximum(
+            ctx.oracle_util, 0.01)
+        headroom = ctx.limit_watts - float(np.sum(ctx.oracle_power))
+        if headroom <= 0:
+            return granted
+        demand = ctx.demand_cores.copy()
+        # Round-robin core-by-core so no server starves.
+        progress = True
+        while progress and headroom > 0:
+            progress = False
+            for i in range(self.n_servers):
+                if demand[i] > 0 and expected_delta[i] <= headroom:
+                    granted[i] += 1
+                    demand[i] -= 1
+                    headroom -= expected_delta[i]
+                    progress = True
+        return granted
+
+
+class NaiveOClock(TracePolicy):
+    """Grant everything; even budget split during capping."""
+
+    name = "NaiveOClock"
+    capping_mode = "fair"
+
+    def decide(self, ctx: TickContext) -> np.ndarray:
+        return ctx.demand_cores.copy()
+
+
+class NoFeedback(TracePolicy):
+    """Heterogeneous per-server budgets, strictly enforced."""
+
+    name = "NoFeedback"
+
+    def __init__(self, n_servers: int,
+                 template_kind: TemplateKind = TemplateKind.DAILY_MED,
+                 slot_s: float = 300.0) -> None:
+        super().__init__(n_servers)
+        self.template_kind = template_kind
+        self.slot_s = slot_s
+        self._budgets: Optional[np.ndarray] = None   # (servers, slots)
+        self._templates: list = []
+        self._slots_per_week = int(round(7 * 86400.0 / slot_s))
+
+    def begin_week(self, history_times: np.ndarray,
+                   history_power: np.ndarray,
+                   history_demand: np.ndarray,
+                   limit_watts: float) -> None:
+        self._templates = [
+            build_template(self.template_kind, history_times,
+                           history_power[i])
+            for i in range(self.n_servers)
+        ]
+        # Build slot-resolution profile reports and compute budgets.
+        week_start = (history_times[-1] // (7 * 86400.0) + 1) * 7 * 86400.0
+        slot_times = week_start + self.slot_s * np.arange(
+            self._slots_per_week)
+        profiles = []
+        for i in range(self.n_servers):
+            regular = self._templates[i].predict_series(slot_times)
+            # Demand template: per-slot-of-week max over history.
+            slots = ((history_times % (7 * 86400.0))
+                     // self.slot_s).astype(int) % self._slots_per_week
+            demand = np.zeros(self._slots_per_week)
+            np.maximum.at(demand, slots, history_demand[i])
+            profiles.append(ServerProfileReport(
+                server_id=f"s{i:03d}", slot_s=self.slot_s,
+                regular_power_watts=regular,
+                oc_requested_cores=demand,
+                oc_granted_cores=demand))
+        # The headroom split is proportional, so any positive per-core
+        # delta yields the same budgets; 1.0 keeps the weights in "cores".
+        assignment = compute_heterogeneous_budgets(
+            limit_watts, profiles, oc_delta_watts_per_core=1.0)
+        self._budgets = np.stack(
+            [assignment.budgets[f"s{i:03d}"] for i in range(self.n_servers)])
+
+    def _slot(self, t: float) -> int:
+        return int((t % (7 * 86400.0)) // self.slot_s) % self._slots_per_week
+
+    def _predicted_power(self, ctx: TickContext) -> np.ndarray:
+        return np.array([tpl.predict(ctx.time) for tpl in self._templates])
+
+    def _effective_budget(self, ctx: TickContext) -> np.ndarray:
+        if self._budgets is None:
+            raise RuntimeError("begin_week was not called")
+        return self._budgets[:, self._slot(ctx.time)]
+
+    def budget_at(self, ctx: TickContext) -> Optional[np.ndarray]:
+        if self._budgets is None:
+            return None
+        return self._budgets[:, self._slot(ctx.time)]
+
+    def enforcement_budget_at(self, ctx: TickContext) -> Optional[np.ndarray]:
+        if self._budgets is None:
+            return None
+        return self._effective_budget(ctx)
+
+    def decide(self, ctx: TickContext) -> np.ndarray:
+        predicted = self._predicted_power(ctx)
+        budget = self._effective_budget(ctx)
+        expected_delta = ctx.delta_full_watts * np.maximum(
+            ctx.observed_util, 0.05)
+        slack = budget - predicted
+        max_cores = np.floor(slack / expected_delta).astype(np.int64)
+        return np.clip(max_cores, 0, ctx.demand_cores)
+
+
+class NoWarning(NoFeedback):
+    """Budgets + exploration; capping events are the only brake.
+
+    A constrained server raises a local budget overlay (``extra``); the
+    per-tick ramp is bounded by how many 30-second confirmation windows
+    fit in one trace tick.  On a capping event every exploring server
+    reverts to its assigned budget and backs off exponentially.
+    """
+
+    name = "NoWarning"
+
+    def __init__(self, n_servers: int, *,
+                 explore_step_watts: float = 20.0,
+                 confirm_s: float = 30.0,
+                 tick_s: float = 300.0,
+                 backoff_ticks: int = 2,
+                 template_kind: TemplateKind = TemplateKind.DAILY_MED,
+                 slot_s: float = 300.0) -> None:
+        super().__init__(n_servers, template_kind, slot_s)
+        self.explore_step_watts = explore_step_watts
+        self.backoff_ticks = backoff_ticks
+        # Exploration steps that fit in one tick without hearing back.
+        self.max_ramp_watts = explore_step_watts * max(
+            1.0, tick_s / confirm_s)
+        self.extra = np.zeros(n_servers)
+        self._backoff_until = np.full(n_servers, -1)
+        self._backoff_current = np.full(n_servers, backoff_ticks)
+
+    def _effective_budget(self, ctx: TickContext) -> np.ndarray:
+        return super()._effective_budget(ctx) + self.extra
+
+    def _ramp(self, ctx: TickContext, granted: np.ndarray,
+              allowed: np.ndarray) -> None:
+        """Raise the overlay of constrained servers by up to the per-tick
+        ramp, but no more than the unmet demand actually needs."""
+        expected_delta = ctx.delta_full_watts * np.maximum(
+            ctx.observed_util, 0.05)
+        unmet = (ctx.demand_cores - granted).astype(float)
+        need = unmet * expected_delta + self.explore_step_watts
+        grow = allowed & (unmet > 0)
+        self.extra[grow] += np.minimum(need[grow], self.max_ramp_watts)
+
+    def decide(self, ctx: TickContext) -> np.ndarray:
+        granted = super().decide(ctx)
+        allowed = ctx.index >= self._backoff_until
+        self._ramp(ctx, granted, allowed)
+        # A cap-free exploration that met its demand resets the back-off.
+        satisfied = (ctx.demand_cores > 0) & (granted >= ctx.demand_cores)
+        self._backoff_current[satisfied] = self.backoff_ticks
+        return granted
+
+    def _backoff(self, ctx: TickContext, mask: np.ndarray) -> None:
+        self._backoff_until[mask] = (ctx.index
+                                     + self._backoff_current[mask])
+        self._backoff_current[mask] = np.minimum(
+            self._backoff_current[mask] * 2, 288)
+
+    def on_cap(self, ctx: TickContext) -> None:
+        exploring = self.extra > 0
+        self.extra[:] = 0.0
+        self._backoff(ctx, exploring)
+
+    def begin_week(self, *args, **kwargs) -> None:
+        super().begin_week(*args, **kwargs)
+        self._backoff_current[:] = self.backoff_ticks
+
+
+class SmartOClockPolicy(NoWarning):
+    """Full system: exploration heeds rack warnings, then *exploits*.
+
+    On a warning, exploring servers give back one step and enter an
+    exploitation phase: they keep granting against the discovered budget,
+    ignore further warnings (per the paper, warnings only matter while
+    exploring), and do not push higher until the exploitation window
+    expires and their back-off allows a new exploration.
+    """
+
+    def __init__(self, n_servers: int, *, exploit_ticks: int = 2,
+                 **kwargs) -> None:
+        super().__init__(n_servers, **kwargs)
+        self.exploit_ticks = exploit_ticks
+        self._exploit_until = np.full(n_servers, -1)
+
+    name = "SmartOClock"
+
+    def decide(self, ctx: TickContext) -> np.ndarray:
+        granted = NoFeedback.decide(self, ctx)
+        exploiting = ctx.index < self._exploit_until
+        allowed = (ctx.index >= self._backoff_until) & ~exploiting
+        # A 5-minute trace tick contains ten 30-second confirmation
+        # windows: within a tick, warnings stop the ramp as soon as the
+        # rack approaches the warning threshold.  Emulate that sub-tick
+        # sequencing by bounding the rack-wide ramp to the distance
+        # between the last broadcast rack power and the threshold.
+        rack_room = ctx.warning_watts - float(
+            np.sum(ctx.observed_power) + np.sum(self.extra))
+        if rack_room <= 0:
+            self.on_warning(ctx)
+            return granted
+        before = self.extra.copy()
+        self._ramp(ctx, granted, allowed)
+        added = self.extra - before
+        total_added = float(np.sum(added))
+        if total_added > rack_room:
+            self.extra = before + added * (rack_room / total_added)
+        # A warning-free exploration that met its demand resets the
+        # back-off (the paper resets it after a successful exploration).
+        satisfied = (ctx.demand_cores > 0) & (granted >= ctx.demand_cores)
+        self._backoff_current[satisfied] = self.backoff_ticks
+        return granted
+
+    def on_warning(self, ctx: TickContext) -> None:
+        exploiting = ctx.index < self._exploit_until
+        exploring = (self.extra > 0) & ~exploiting
+        if not np.any(exploring):
+            return
+        self.extra[exploring] = np.maximum(
+            0.0, self.extra[exploring] - self.explore_step_watts)
+        self._exploit_until[exploring] = ctx.index + self.exploit_ticks
+        self._backoff(ctx, exploring)
+
+    def on_cap(self, ctx: TickContext) -> None:
+        super().on_cap(ctx)
+        self._exploit_until[:] = -1
+
+
+POLICY_NAMES = ("Central", "NaiveOClock", "NoFeedback", "NoWarning",
+                "SmartOClock")
+
+
+def make_policy(name: str, n_servers: int) -> TracePolicy:
+    """Factory by Table-I policy name."""
+    factories = {
+        "Central": CentralOracle,
+        "NaiveOClock": NaiveOClock,
+        "NoFeedback": NoFeedback,
+        "NoWarning": NoWarning,
+        "SmartOClock": SmartOClockPolicy,
+    }
+    if name not in factories:
+        raise KeyError(
+            f"unknown policy {name!r}; choose from {sorted(factories)}")
+    return factories[name](n_servers)

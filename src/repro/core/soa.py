@@ -1,0 +1,519 @@
+"""Server Overclocking Agent (paper Fig. 11, §IV-B/§IV-D).
+
+The sOA is the decentralized decision-maker on every server:
+
+* **admission control** — grants/rejects overclocking requests against the
+  server's power budget (predicted power + overclock delta ≤ budget) and
+  the per-core lifetime budgets;
+* **enforcement** — a prioritized feedback loop steps granted VMs toward
+  their targets while keeping measured power under the effective budget;
+* **exploration** — when constrained by a possibly-stale budget, probes
+  beyond it, guided by rack warnings (see
+  :class:`~repro.core.exploration.ExplorationController`);
+* **lifetime accounting** — consumes per-core epoch budgets while VMs run
+  overclocked; reschedules VMs onto cores with remaining budget when their
+  cores run dry;
+* **exhaustion prediction** — warns the workload-intelligence layer when
+  power or lifetime budget will run out within the configured window so it
+  can scale out proactively;
+* **profiling** — builds the weekly power/overclock profile report the gOA
+  uses for heterogeneous budgeting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.capping import CapEvent, WarningMessage
+from repro.cluster.topology import Server, VirtualMachine
+from repro.core.budgets import BudgetAssignment
+from repro.core.config import SmartOClockConfig
+from repro.core.enforcement import FeedbackLoop
+from repro.core.exploration import ExplorationController
+from repro.core.types import (
+    AdmissionDecision,
+    ExhaustionKind,
+    ExhaustionSignal,
+    OverclockRequest,
+    RejectionReason,
+    RequestKind,
+    ServerProfileReport,
+)
+from repro.prediction.predictor import TemplateStore
+from repro.reliability.online_wear import OnlineWearBudget
+from repro.reliability.wearout import CoreWearoutCounter, EpochBudget
+
+__all__ = ["ServerOverclockingAgent", "GrantState"]
+
+SECONDS_PER_WEEK = 7 * 86400.0
+
+
+@dataclass
+class GrantState:
+    """Book-keeping for one active overclocking grant."""
+
+    vm_id: int
+    kind: RequestKind
+    target_freq_ghz: float
+    granted_at: float
+    granted_until: Optional[float]
+    from_reservation: bool = False
+
+
+class ServerOverclockingAgent:
+    """One sOA per server."""
+
+    def __init__(self, server: Server, config: SmartOClockConfig, *,
+                 on_exhaustion: Optional[
+                     Callable[[ExhaustionSignal], None]] = None,
+                 on_grant_revoked: Optional[
+                     Callable[[VirtualMachine, str, float], None]] = None
+                 ) -> None:
+        self.server = server
+        self.config = config
+        self.on_exhaustion = on_exhaustion or (lambda signal: None)
+        self.on_grant_revoked = on_grant_revoked or (
+            lambda vm, why, now: None)
+
+        self.power_store = TemplateStore(config.template_kind,
+                                         config.template_history_weeks)
+        self.loop = FeedbackLoop(server,
+                                 buffer_watts=config.power_buffer_watts)
+        self.explorer = ExplorationController(
+            step_watts=config.explore_step_watts,
+            confirm_s=config.explore_confirm_s,
+            backoff_initial_s=config.explore_backoff_initial_s,
+            backoff_factor=config.explore_backoff_factor,
+            backoff_max_s=config.explore_backoff_max_s,
+            exploit_duration_s=config.exploit_duration_s)
+        self.core_budgets = [
+            EpochBudget(budget_fraction=config.oc_budget_fraction,
+                        epoch_seconds=config.epoch_seconds,
+                        weekday_only=config.weekday_only_budget,
+                        carryover_cap_epochs=config.carryover_cap_epochs)
+            for _ in server.cores
+        ]
+        self.wear_counters = [CoreWearoutCounter()
+                              for _ in server.cores]
+        self.online_budgets = [
+            OnlineWearBudget(counter,
+                             safety_margin=config.online_wear_safety_margin,
+                             warmup_seconds=config.online_wear_warmup_s)
+            for counter in self.wear_counters
+        ]
+        self._assignment: Optional[BudgetAssignment] = None
+        self._grants: dict[int, GrantState] = {}
+        # Per-slot-of-week overclock demand telemetry for the gOA profile.
+        self._slot_s = config.budget_slot_s
+        n_slots = int(round(SECONDS_PER_WEEK / self._slot_s))
+        self._oc_requested = np.zeros(n_slots)
+        self._oc_granted = np.zeros(n_slots)
+        self._regular_power = np.zeros(n_slots)
+        self._regular_count = np.zeros(n_slots, dtype=np.int64)
+        # Telemetry counters
+        self.requests_received = 0
+        self.requests_granted = 0
+        self.requests_rejected_power = 0
+        self.requests_rejected_lifetime = 0
+        self._last_exhaustion_signal_at = -float("inf")
+        self._last_power_rejection_at = -float("inf")
+
+    # ------------------------------------------------------------------
+    # Budget plumbing
+    # ------------------------------------------------------------------
+
+    def set_budget_assignment(self, assignment: BudgetAssignment) -> None:
+        """Install the gOA's latest heterogeneous budget."""
+        if self.server.server_id not in assignment.budgets:
+            raise KeyError(f"assignment lacks {self.server.server_id}")
+        self._assignment = assignment
+
+    def assigned_budget(self, now: float) -> float:
+        """The gOA-assigned budget (fair fallback before first assignment)."""
+        if self._assignment is not None:
+            return self._assignment.budget_at(self.server.server_id, now)
+        rack = self.server.rack
+        if rack is not None:
+            return rack.fair_share_watts()
+        # Standalone server: its own max power is the only bound.
+        return self.server.power_model.max_server_watts()
+
+    def effective_budget(self, now: float) -> float:
+        """Assigned budget plus whatever exploration has claimed."""
+        return self.assigned_budget(now) + self.explorer.extra_watts
+
+    # ------------------------------------------------------------------
+    # Admission control (§IV-B)
+    # ------------------------------------------------------------------
+
+    def predicted_power(self, t: float) -> float:
+        """Server power prediction from the local template (falls back to
+        the live measurement before the first weekly recompute)."""
+        return self.power_store.predict_or(t, self.server.power_watts())
+
+    def _oc_extra_watts(self, n_cores: int,
+                        utilization: float = 1.0) -> float:
+        """Overclock power delta for ``n_cores`` at ``utilization``.
+
+        Admission uses the VM's predicted utilization (its recent level,
+        floored for safety); exhaustion prediction keeps the worst case
+        (§IV-D: "at a given core frequency and worst-case utilization").
+        """
+        return n_cores * self.server.power_model.overclock_core_delta(
+            utilization)
+
+    def _lifetime_available_s(self, vm: VirtualMachine, now: float) -> float:
+        cores = self.server.vm_cores(vm)
+        if self.config.lifetime_mode == "online":
+            # Section VI wear-out counters: budget against each core's live
+            # lifetime credits at the worst-case operating point.
+            volts = self.server.plan.voltage(
+                self.server.plan.overclock_max_ghz)
+            return min(self.online_budgets[c.index].available_seconds(
+                max(0.5, vm.utilization), volts) for c in cores)
+        return min(self.core_budgets[c.index].available_seconds(now)
+                   for c in cores)
+
+    def handle_request(self, request: OverclockRequest,
+                       now: float) -> AdmissionDecision:
+        """Grant or reject an overclocking request (Fig. 11 left path)."""
+        self.requests_received += 1
+        vm = self.server.vms.get(request.vm_id)
+        if vm is None:
+            return AdmissionDecision(False, RejectionReason.UNKNOWN_VM)
+        if request.vm_id in self._grants:
+            return AdmissionDecision(
+                False, RejectionReason.ALREADY_OVERCLOCKED)
+        self._note_request(now, request.n_cores)
+
+        if not self.config.enable_admission_control:
+            # NaiveOClock: grant unconditionally.
+            return self._grant(vm, request, now, granted_until=None)
+
+        # Lifetime check: enough per-core budget for a useful grant.
+        available_s = self._lifetime_available_s(vm, now)
+        if request.kind is RequestKind.SCHEDULED:
+            needed = request.duration_s
+            if available_s < needed:
+                self.requests_rejected_lifetime += 1
+                return AdmissionDecision(
+                    False, RejectionReason.LIFETIME_BUDGET)
+        else:
+            if available_s < self.config.min_grant_s:
+                self.requests_rejected_lifetime += 1
+                return AdmissionDecision(
+                    False, RejectionReason.LIFETIME_BUDGET)
+
+        # Power check: the request is admitted if at least the *minimum*
+        # overclock step fits under the budget; the prioritized feedback
+        # loop then ramps the VM as far as the budget allows (SmartOClock paper, section IV-D).
+        predicted = self.predicted_power(now)
+        admission_util = max(0.5, vm.utilization)
+        plan = self.server.plan
+        min_step_delta = request.n_cores * (
+            self.server.power_model.core_dynamic_watts(
+                admission_util, plan.turbo_ghz + plan.step_ghz)
+            - self.server.power_model.core_dynamic_watts(
+                admission_util, plan.turbo_ghz))
+        if predicted + min_step_delta > self.effective_budget(now):
+            self.requests_rejected_power += 1
+            self._last_power_rejection_at = now
+            return AdmissionDecision(False, RejectionReason.POWER_BUDGET)
+
+        if request.kind is RequestKind.SCHEDULED:
+            # Soft-reserve lifetime budget on each core for the window.
+            for core in self.server.vm_cores(vm):
+                if not self.core_budgets[core.index].reserve(
+                        now, request.duration_s):
+                    # Roll back partial reservations.
+                    for other in self.server.vm_cores(vm):
+                        if other.index == core.index:
+                            break
+                        self.core_budgets[other.index].release_reservation(
+                            now, request.duration_s)
+                    self.requests_rejected_lifetime += 1
+                    return AdmissionDecision(
+                        False, RejectionReason.LIFETIME_BUDGET)
+            granted_until = now + request.duration_s
+            return self._grant(vm, request, now, granted_until,
+                               from_reservation=True)
+        granted_until = now + available_s
+        return self._grant(vm, request, now, granted_until)
+
+    def _grant(self, vm: VirtualMachine, request: OverclockRequest,
+               now: float, granted_until: Optional[float],
+               from_reservation: bool = False) -> AdmissionDecision:
+        self._grants[vm.vm_id] = GrantState(
+            vm_id=vm.vm_id, kind=request.kind,
+            target_freq_ghz=request.target_freq_ghz,
+            granted_at=now, granted_until=granted_until,
+            from_reservation=from_reservation)
+        self.loop.engage(vm, request.target_freq_ghz)
+        self.requests_granted += 1
+        self._note_grant(now, request.n_cores)
+        return AdmissionDecision(True, granted_until=granted_until)
+
+    def stop_overclock(self, vm_id: int, now: float) -> None:
+        """WI-triggered scale-down: end the grant and return to turbo."""
+        grant = self._grants.pop(vm_id, None)
+        if grant is None:
+            return
+        vm = self.server.vms.get(vm_id)
+        if vm is not None:
+            if grant.from_reservation and grant.granted_until is not None:
+                unused = max(0.0, grant.granted_until - now)
+                for core in self.server.vm_cores(vm):
+                    self.core_budgets[core.index].release_reservation(
+                        now, unused)
+            self.loop.disengage(vm)
+
+    def is_overclocking(self, vm_id: int) -> bool:
+        return vm_id in self._grants
+
+    @property
+    def active_grants(self) -> int:
+        return len(self._grants)
+
+    # ------------------------------------------------------------------
+    # Control loop (§IV-D)
+    # ------------------------------------------------------------------
+
+    def control_tick(self, now: float, dt: float) -> None:
+        """One control iteration: budgets, expiry, feedback, exploration."""
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0: {dt}")
+        self._consume_lifetime(now, dt)
+        self._expire_grants(now)
+        if self.config.enable_admission_control:
+            budget = self.effective_budget(now)
+        else:
+            # NaiveOClock: no local budget — the rack capping system is
+            # the only brake on overclocked power draw.
+            budget = self.server.power_model.max_server_watts() * 2.0
+        self.loop.tick(budget)
+        if self.config.enable_exploration:
+            # Unsatisfied demand counts as constrained whether the VM is
+            # engaged below target or was rejected outright (§IV-D: the
+            # sOA "can independently explore a higher budget to maximize
+            # overclocking").
+            recently_rejected = (now - self._last_power_rejection_at
+                                 < 2 * self.config.explore_confirm_s)
+            constrained = self.loop.constrained(budget) or recently_rejected
+            at_target = self.loop.all_at_target() and not recently_rejected
+            self.explorer.tick(now, constrained, at_target)
+        self._accrue_wear(now, dt)
+        if self.config.enable_proactive_scaleout:
+            self._predict_exhaustion(now)
+
+    def _consume_lifetime(self, now: float, dt: float) -> None:
+        plan = self.server.plan
+        for vm_id, grant in list(self._grants.items()):
+            vm = self.server.vms.get(vm_id)
+            if vm is None:
+                del self._grants[vm_id]
+                continue
+            if vm.freq_ghz is None or not plan.is_overclocked(vm.freq_ghz):
+                continue  # granted but not ramped up yet: no budget burned
+            cores = self.server.vm_cores(vm)
+            exhausted = []
+            if self.config.lifetime_mode == "online":
+                # Wear accrues through the counters in _accrue_wear; the
+                # grant ends when a core's credits run dry.
+                volts = plan.voltage(vm.freq_ghz)
+                for core in cores:
+                    if not self.online_budgets[core.index].can_overclock(
+                            vm.utilization, volts, dt):
+                        exhausted.append(core)
+            else:
+                for core in cores:
+                    ok = self.core_budgets[core.index].consume(
+                        now, dt, from_reservation=grant.from_reservation)
+                    if not ok:
+                        exhausted.append(core)
+            if exhausted:
+                if not self._reschedule_cores(vm, now):
+                    self._revoke(vm, now, "lifetime budget exhausted")
+
+    def _reschedule_cores(self, vm: VirtualMachine, now: float) -> bool:
+        """Per-core budget exploration: move the VM onto cores that still
+        have budget (§IV-D "Exploring beyond the local budgets")."""
+        needed = vm.n_cores
+        if self.config.lifetime_mode == "online":
+            volts = self.server.plan.voltage(
+                self.server.plan.overclock_max_ghz)
+            def has_budget(core):
+                return self.online_budgets[core.index].available_seconds(
+                    max(0.5, vm.utilization), volts) \
+                    >= self.config.min_grant_s
+        else:
+            def has_budget(core):
+                return self.core_budgets[core.index].available_seconds(
+                    now) >= self.config.min_grant_s
+        candidates = [
+            core for core in self.server.cores
+            if (not core.allocated or core.vm_id == vm.vm_id)
+            and has_budget(core)
+        ]
+        if len(candidates) < needed:
+            return False
+        self.server.reassign_vm_cores(vm, candidates[:needed])
+        return True
+
+    def _expire_grants(self, now: float) -> None:
+        for vm_id, grant in list(self._grants.items()):
+            if grant.granted_until is not None and now >= grant.granted_until:
+                vm = self.server.vms.get(vm_id)
+                if vm is not None:
+                    self._revoke(vm, now, "grant expired")
+                else:
+                    del self._grants[vm_id]
+
+    def _revoke(self, vm: VirtualMachine, now: float, why: str) -> None:
+        self._grants.pop(vm.vm_id, None)
+        self.loop.disengage(vm)
+        self.on_grant_revoked(vm, why, now)
+
+    def _accrue_wear(self, now: float, dt: float) -> None:
+        plan = self.server.plan
+        for vm in self.server.vms.values():
+            volts = plan.voltage(vm.freq_ghz) if vm.freq_ghz else \
+                plan.voltage(plan.turbo_ghz)
+            for core in self.server.vm_cores(vm):
+                self.wear_counters[core.index].accumulate(
+                    dt, vm.utilization, volts)
+
+    # ------------------------------------------------------------------
+    # Rack events
+    # ------------------------------------------------------------------
+
+    def on_warning(self, message: WarningMessage) -> None:
+        if self.config.enable_warnings:
+            self.explorer.on_warning(message.time)
+
+    def on_cap(self, event: CapEvent) -> None:
+        self.explorer.on_cap(event.time)
+
+    # ------------------------------------------------------------------
+    # Exhaustion prediction → proactive scale-out (§IV-D, Fig. 11 right)
+    # ------------------------------------------------------------------
+
+    def _predict_exhaustion(self, now: float) -> None:
+        window = self.config.exhaustion_window_s
+        if window <= 0 or not self._grants:
+            return
+        # Rate-limit signals to one per window.
+        if now - self._last_exhaustion_signal_at < window:
+            return
+        signal = self.predict_power_exhaustion(now)
+        if signal is None:
+            signal = self.predict_lifetime_exhaustion(now)
+        if signal is not None:
+            self._last_exhaustion_signal_at = now
+            self.on_exhaustion(signal)
+
+    def predict_power_exhaustion(self, now: float
+                                 ) -> Optional[ExhaustionSignal]:
+        """Earliest time within the window when predicted power plus the
+        active overclock draw exceeds the budget."""
+        if not self.power_store.has_template:
+            return None
+        active_cores = sum(
+            len(self.server.vm_cores(self.server.vms[g.vm_id]))
+            for g in self._grants.values()
+            if g.vm_id in self.server.vms)
+        extra = self._oc_extra_watts(active_cores)
+        step = self.config.budget_slot_s
+        t = now
+        while t <= now + self.config.exhaustion_window_s:
+            if self.power_store.predict(t) + extra > self.effective_budget(t):
+                return ExhaustionSignal(
+                    server_id=self.server.server_id,
+                    kind=ExhaustionKind.POWER, time=now,
+                    time_to_exhaustion_s=max(0.0, t - now))
+            t += step
+        return None
+
+    def predict_lifetime_exhaustion(self, now: float
+                                    ) -> Optional[ExhaustionSignal]:
+        """Shortest remaining per-core lifetime budget among overclocking
+        VMs, if within the window."""
+        worst: Optional[float] = None
+        for grant in self._grants.values():
+            vm = self.server.vms.get(grant.vm_id)
+            if vm is None:
+                continue
+            remaining = self._lifetime_available_s(vm, now)
+            if grant.from_reservation and grant.granted_until is not None:
+                remaining = max(remaining, grant.granted_until - now)
+            if worst is None or remaining < worst:
+                worst = remaining
+        if worst is not None and worst <= self.config.exhaustion_window_s:
+            return ExhaustionSignal(
+                server_id=self.server.server_id,
+                kind=ExhaustionKind.LIFETIME, time=now,
+                time_to_exhaustion_s=worst)
+        return None
+
+    # ------------------------------------------------------------------
+    # Telemetry & profile reporting (§IV-C)
+    # ------------------------------------------------------------------
+
+    def _slot_of_week(self, t: float) -> int:
+        return int((t % SECONDS_PER_WEEK) // self._slot_s)
+
+    def _note_request(self, now: float, n_cores: int) -> None:
+        slot = self._slot_of_week(now)
+        self._oc_requested[slot] = max(self._oc_requested[slot], n_cores)
+
+    def _note_grant(self, now: float, n_cores: int) -> None:
+        slot = self._slot_of_week(now)
+        self._oc_granted[slot] = max(self._oc_granted[slot], n_cores)
+
+    def telemetry_tick(self, now: float) -> None:
+        """Sample power into the template store (5-minute cadence).
+
+        The sOA separates measured power into regular and overclock parts
+        using its knowledge of currently-overclocked cores (this is phase
+        1 of the gOA's §IV-C computation, done at the edge).
+        """
+        measured = self.server.power_watts()
+        oc_cores = self.server.overclocked_core_count()
+        regular = measured - oc_cores * \
+            self.server.power_model.overclock_core_delta(1.0)
+        regular = max(self.server.power_model.idle_watts, regular)
+        self.power_store.record(now, measured)
+        slot = self._slot_of_week(now)
+        self._regular_power[slot] += regular
+        self._regular_count[slot] += 1
+
+    def recompute_template(self) -> None:
+        self.power_store.recompute()
+
+    def build_profile_report(self) -> ServerProfileReport:
+        """Weekly profile for the gOA: regular power + overclock demand."""
+        counts = np.maximum(self._regular_count, 1)
+        regular = self._regular_power / counts
+        # Slots never observed fall back to the overall mean.
+        seen = self._regular_count > 0
+        if np.any(seen):
+            fallback = float(np.mean(regular[seen]))
+        else:
+            fallback = self.server.power_model.idle_watts
+        regular = np.where(seen, regular, fallback)
+        return ServerProfileReport(
+            server_id=self.server.server_id,
+            slot_s=self._slot_s,
+            regular_power_watts=regular,
+            oc_requested_cores=self._oc_requested.copy(),
+            oc_granted_cores=self._oc_granted.copy())
+
+    def reset_profile_window(self) -> None:
+        """Start a fresh profiling week (called after reporting)."""
+        self._oc_requested[:] = 0
+        self._oc_granted[:] = 0
+        self._regular_power[:] = 0
+        self._regular_count[:] = 0

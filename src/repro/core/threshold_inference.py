@@ -1,0 +1,113 @@
+"""Automatic overclocking-threshold inference (paper §IV-A).
+
+"To ease adoption, SmartOClock can be extended to infer the overclocking
+thresholds.  It can leverage workload historical data to determine
+scale-up values.  The lifetime impact of overclocking can be factored in
+this analysis.  For example, use P90 of historical value if overclocking
+can be performed for 10 % of the time only...  The overclocking impact
+needs to be estimated to determine the scale-down value.  An inaccurate
+estimate can either cause dithering if it is too close to the scale-up
+threshold or waste precious overclocking time if the estimate is too low."
+
+:func:`infer_trigger_policy` implements exactly that recipe:
+
+* **scale-up**: the (1 - budget_fraction) quantile of the historical
+  metric, so the trigger fires for at most the lifetime-budgeted share of
+  time;
+* **scale-down**: the scale-up value divided by the *estimated
+  overclocking impact* (the latency improvement factor), pushed further
+  down by a dithering margin so the post-boost metric does not oscillate
+  around the stop threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload_intelligence import MetricsTriggerPolicy
+from repro.workloads.queueing import frequency_speedup
+
+__all__ = ["InferredThresholds", "estimate_overclock_impact",
+           "infer_trigger_policy"]
+
+
+@dataclass(frozen=True)
+class InferredThresholds:
+    """Raw inferred metric values plus the derived policy."""
+
+    scale_up_value: float
+    scale_down_value: float
+    policy: MetricsTriggerPolicy
+
+
+def estimate_overclock_impact(*, turbo_ghz: float = 3.3,
+                              overclock_ghz: float = 4.0,
+                              freq_sensitivity: float = 0.9) -> float:
+    """Estimated factor by which overclocking reduces the latency metric.
+
+    A first-order performance model: latency scales inversely with the
+    frequency speedup.  (The paper suggests "performance models using
+    low-level architectural counters"; the sensitivity parameter stands
+    in for what those counters would measure.)
+    """
+    return frequency_speedup(overclock_ghz, turbo_ghz, freq_sensitivity)
+
+
+def infer_trigger_policy(metric_history: Sequence[float], slo: float, *,
+                         budget_fraction: float = 0.10,
+                         overclock_impact: float | None = None,
+                         dithering_margin: float = 0.25,
+                         consecutive: int = 2) -> InferredThresholds:
+    """Derive a :class:`MetricsTriggerPolicy` from historical metrics.
+
+    ``metric_history`` — observations of the trigger metric (e.g. P99
+    latency samples); ``slo`` — the workload's SLO in the same unit;
+    ``budget_fraction`` — the lifetime-budgeted share of time that may be
+    overclocked; ``overclock_impact`` — latency-reduction factor of the
+    boost (defaults to the first-order frequency model);
+    ``dithering_margin`` — extra gap below the post-boost level so the
+    stop threshold does not dither against it.
+    """
+    history = np.asarray(metric_history, dtype=float)
+    if history.size == 0:
+        raise ValueError("metric history is empty")
+    if slo <= 0:
+        raise ValueError(f"slo must be > 0: {slo}")
+    if not 0.0 < budget_fraction < 1.0:
+        raise ValueError(
+            f"budget_fraction must be in (0, 1): {budget_fraction}")
+    if not 0.0 <= dithering_margin < 1.0:
+        raise ValueError(
+            f"dithering_margin must be in [0, 1): {dithering_margin}")
+    impact = (estimate_overclock_impact() if overclock_impact is None
+              else overclock_impact)
+    if impact <= 1.0:
+        raise ValueError(
+            f"overclock_impact must exceed 1 (a speedup): {impact}")
+
+    # Scale-up: the metric level exceeded for budget_fraction of the time
+    # (paper: "use P90 ... if overclocking can be performed for 10% of
+    # the time"), never above the SLO itself.
+    scale_up = float(np.quantile(history, 1.0 - budget_fraction))
+    scale_up = min(scale_up, slo)
+    # Scale-down: where the boosted metric is expected to sit, minus the
+    # dithering margin.
+    post_boost = scale_up / impact
+    scale_down = post_boost * (1.0 - dithering_margin)
+
+    start_fraction = scale_up / slo
+    stop_fraction = scale_down / slo
+    # MetricsTriggerPolicy requires 0 < stop < start; degenerate
+    # histories (all zeros) get a floor.
+    stop_fraction = max(1e-6, min(stop_fraction,
+                                  0.95 * start_fraction))
+    start_fraction = max(start_fraction, 2e-6)
+    policy = MetricsTriggerPolicy(start_fraction=start_fraction,
+                                  stop_fraction=stop_fraction,
+                                  consecutive=consecutive)
+    return InferredThresholds(scale_up_value=scale_up,
+                              scale_down_value=scale_down,
+                              policy=policy)

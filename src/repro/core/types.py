@@ -1,0 +1,120 @@
+"""Requests, decisions, and signals exchanged between SmartOClock agents."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "RequestKind",
+    "OverclockRequest",
+    "RejectionReason",
+    "AdmissionDecision",
+    "ExhaustionKind",
+    "ExhaustionSignal",
+    "ServerProfileReport",
+]
+
+
+class RequestKind(str, enum.Enum):
+    """How the overclocking was triggered (§IV-A)."""
+
+    METRICS = "metrics"        # reactive, from latency/utilization triggers
+    SCHEDULED = "scheduled"    # reserved ahead of time for known peaks
+
+
+@dataclass(frozen=True)
+class OverclockRequest:
+    """A local WI agent asking its sOA to overclock one VM."""
+
+    vm_id: int
+    kind: RequestKind
+    target_freq_ghz: float
+    n_cores: int
+    time: float
+    priority: int = 0
+    # Scheduled requests carry the window they want reserved.
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.target_freq_ghz <= 0:
+            raise ValueError(
+                f"target frequency must be > 0: {self.target_freq_ghz}")
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1: {self.n_cores}")
+        if self.kind is RequestKind.SCHEDULED and self.duration_s is None:
+            raise ValueError("scheduled requests must carry duration_s")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0: {self.duration_s}")
+
+
+class RejectionReason(str, enum.Enum):
+    POWER_BUDGET = "power_budget"        # predicted power exceeds budget
+    LIFETIME_BUDGET = "lifetime_budget"  # overclocking time budget exhausted
+    UNKNOWN_VM = "unknown_vm"
+    ALREADY_OVERCLOCKED = "already_overclocked"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The sOA's answer to an :class:`OverclockRequest`."""
+
+    granted: bool
+    reason: Optional[RejectionReason] = None
+    # For granted metrics-based requests: how long the lifetime budget can
+    # sustain this VM's overclocking before corrective action is needed.
+    granted_until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.granted and self.reason is not None:
+            raise ValueError("granted decisions carry no rejection reason")
+        if not self.granted and self.reason is None:
+            raise ValueError("rejections must carry a reason")
+
+
+class ExhaustionKind(str, enum.Enum):
+    POWER = "power"
+    LIFETIME = "lifetime"
+
+
+@dataclass(frozen=True)
+class ExhaustionSignal:
+    """sOA → global WI agent: resources run out soon; act now (§IV-D)."""
+
+    server_id: str
+    kind: ExhaustionKind
+    time: float
+    time_to_exhaustion_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_to_exhaustion_s < 0:
+            raise ValueError("time_to_exhaustion_s must be >= 0: "
+                             f"{self.time_to_exhaustion_s}")
+
+
+@dataclass(frozen=True)
+class ServerProfileReport:
+    """What an sOA periodically sends its gOA (§IV-C).
+
+    Slot-resolution series over one week: predicted regular (non-overclock)
+    power, and the number of cores that requested / were granted
+    overclocking per slot.
+    """
+
+    server_id: str
+    slot_s: float
+    regular_power_watts: np.ndarray
+    oc_requested_cores: np.ndarray
+    oc_granted_cores: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.regular_power_watts)
+        if len(self.oc_requested_cores) != n or len(self.oc_granted_cores) != n:
+            raise ValueError("profile series must be aligned")
+        if n < 1:
+            raise ValueError("profile needs at least one slot")
+        if self.slot_s <= 0:
+            raise ValueError(f"slot_s must be > 0: {self.slot_s}")

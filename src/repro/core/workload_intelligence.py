@@ -1,0 +1,244 @@
+"""Workload Intelligence agents (paper §IV-A).
+
+SmartOClock extends the autoscaling interface with overclocking: a
+workload declares *when* it needs to be overclocked, either through
+metrics thresholds (tail latency, utilization) or through a schedule of
+known peak windows, or both.  Each VM runs a Local WI agent that collects
+metrics and executes start/stop signals; a per-service Global WI agent
+aggregates deployment-level state, makes the decision, and performs
+corrective actions (scale-out) when overclocking is rejected or about to
+run out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.topology import VirtualMachine
+from repro.core.soa import ServerOverclockingAgent
+from repro.core.types import (
+    AdmissionDecision,
+    ExhaustionSignal,
+    OverclockRequest,
+    RequestKind,
+)
+
+__all__ = [
+    "MetricsTriggerPolicy",
+    "OverclockSchedule",
+    "LocalWIAgent",
+    "GlobalWIAgent",
+]
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class MetricsTriggerPolicy:
+    """Threshold trigger on tail latency relative to the SLO.
+
+    Start overclocking when p99 > ``start_fraction``·SLO for
+    ``consecutive`` observations; stop when p99 < ``stop_fraction``·SLO
+    for the same count.  The gap between the fractions is the hysteresis
+    band that prevents dithering (§IV-A "an inaccurate estimate can cause
+    dithering").
+    """
+
+    start_fraction: float = 0.7
+    stop_fraction: float = 0.35
+    consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.stop_fraction < self.start_fraction:
+            raise ValueError(
+                f"need 0 < stop < start, got {self.stop_fraction}"
+                f"/{self.start_fraction}")
+        if self.consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1: {self.consecutive}")
+
+
+@dataclass(frozen=True)
+class OverclockSchedule:
+    """Schedule-based trigger: weekly windows of known peaks.
+
+    ``windows`` — (day_indices, start_hour, end_hour) triples; day index
+    0 = Monday.  E.g. business peak: ``((0,1,2,3,4), 10.0, 12.0)``.
+    """
+
+    windows: Sequence[tuple[Sequence[int], float, float]]
+
+    def __post_init__(self) -> None:
+        for days, start, end in self.windows:
+            if not days:
+                raise ValueError("a window needs at least one day")
+            if not 0 <= start < end <= 24:
+                raise ValueError(
+                    f"need 0 <= start < end <= 24: {start}/{end}")
+            for d in days:
+                if not 0 <= d <= 6:
+                    raise ValueError(f"day index out of range: {d}")
+
+    def active(self, t: float) -> bool:
+        day = int(t // SECONDS_PER_DAY) % 7
+        hour = (t % SECONDS_PER_DAY) / 3600.0
+        return any(day in days and start <= hour < end
+                   for days, start, end in self.windows)
+
+    def next_window_duration_s(self, t: float) -> Optional[float]:
+        """Remaining duration of the active window at ``t``, if any."""
+        day = int(t // SECONDS_PER_DAY) % 7
+        hour = (t % SECONDS_PER_DAY) / 3600.0
+        for days, start, end in self.windows:
+            if day in days and start <= hour < end:
+                return (end - hour) * 3600.0
+        return None
+
+
+class LocalWIAgent:
+    """Per-VM agent: executes overclock start/stop against the local sOA."""
+
+    def __init__(self, vm: VirtualMachine, soa: ServerOverclockingAgent, *,
+                 target_freq_ghz: float = 4.0, priority: int = 0) -> None:
+        self.vm = vm
+        self.soa = soa
+        self.target_freq_ghz = target_freq_ghz
+        self.priority = priority
+        self.last_decision: Optional[AdmissionDecision] = None
+        self.rejections = 0
+        self.grants = 0
+
+    @property
+    def overclocking(self) -> bool:
+        return self.soa.is_overclocking(self.vm.vm_id)
+
+    def start(self, now: float, kind: RequestKind = RequestKind.METRICS,
+              duration_s: Optional[float] = None) -> AdmissionDecision:
+        """Submit an overclocking request to the sOA."""
+        request = OverclockRequest(
+            vm_id=self.vm.vm_id, kind=kind,
+            target_freq_ghz=self.target_freq_ghz,
+            n_cores=self.vm.n_cores, time=now,
+            priority=self.priority, duration_s=duration_s)
+        decision = self.soa.handle_request(request, now)
+        self.last_decision = decision
+        if decision.granted:
+            self.grants += 1
+        else:
+            self.rejections += 1
+        return decision
+
+    def stop(self, now: float) -> None:
+        self.soa.stop_overclock(self.vm.vm_id, now)
+
+
+class GlobalWIAgent:
+    """Per-service agent: deployment-level decisions + corrective actions.
+
+    ``scale_out_handler(now, count)`` is the corrective action (creating
+    new VM instances); the operator policy "create ``scale_out_per`` new
+    VMs for every ``rejections_per_scale_out`` VMs that cannot be
+    overclocked" is applied to both admission rejections and exhaustion
+    signals (§IV-D "Managing resource exhaustion").
+    """
+
+    def __init__(self, service_name: str, *,
+                 metrics_policy: Optional[MetricsTriggerPolicy] = None,
+                 schedule: Optional[OverclockSchedule] = None,
+                 scale_out_handler: Optional[
+                     Callable[[float, int], None]] = None,
+                 rejections_per_scale_out: int = 2,
+                 scale_out_per: int = 1) -> None:
+        if metrics_policy is None and schedule is None:
+            raise ValueError(
+                "need at least one trigger (metrics policy or schedule)")
+        if rejections_per_scale_out < 1:
+            raise ValueError("rejections_per_scale_out must be >= 1: "
+                             f"{rejections_per_scale_out}")
+        self.service_name = service_name
+        self.metrics_policy = metrics_policy
+        self.schedule = schedule
+        self.scale_out_handler = scale_out_handler or (lambda now, n: None)
+        self.rejections_per_scale_out = rejections_per_scale_out
+        self.scale_out_per = scale_out_per
+        self.locals: list[LocalWIAgent] = []
+        self._high_streak = 0
+        self._low_streak = 0
+        self._want_metrics_oc = False
+        self._pending_rejections = 0
+        self.scale_outs_requested = 0
+        self.exhaustion_signals = 0
+
+    def attach(self, local: LocalWIAgent) -> None:
+        self.locals.append(local)
+
+    def detach(self, local: LocalWIAgent) -> None:
+        self.locals.remove(local)
+
+    # ------------------------------------------------------------------
+    # Decision making
+    # ------------------------------------------------------------------
+
+    def wants_overclock(self, now: float) -> bool:
+        scheduled = self.schedule.active(now) if self.schedule else False
+        return scheduled or self._want_metrics_oc
+
+    def observe(self, now: float, p99_ms: float, slo_ms: float) -> bool:
+        """Feed a deployment-level latency observation; apply start/stop.
+
+        Returns whether the service currently wants overclocking.
+        """
+        if self.metrics_policy is not None:
+            policy = self.metrics_policy
+            if p99_ms > policy.start_fraction * slo_ms:
+                self._high_streak += 1
+                self._low_streak = 0
+            elif p99_ms < policy.stop_fraction * slo_ms:
+                self._low_streak += 1
+                self._high_streak = 0
+            else:
+                self._high_streak = 0
+                self._low_streak = 0
+            if self._high_streak >= policy.consecutive:
+                self._want_metrics_oc = True
+            elif self._low_streak >= policy.consecutive:
+                self._want_metrics_oc = False
+        self.apply(now)
+        return self.wants_overclock(now)
+
+    def apply(self, now: float) -> None:
+        """Reconcile every local agent with the current decision."""
+        want = self.wants_overclock(now)
+        scheduled_now = self.schedule.active(now) if self.schedule else False
+        for local in self.locals:
+            if want and not local.overclocking:
+                if scheduled_now and self.schedule is not None:
+                    duration = self.schedule.next_window_duration_s(now)
+                    decision = local.start(now, RequestKind.SCHEDULED,
+                                           duration_s=duration)
+                else:
+                    decision = local.start(now, RequestKind.METRICS)
+                if not decision.granted:
+                    self.on_rejection(now)
+            elif not want and local.overclocking:
+                local.stop(now)
+
+    # ------------------------------------------------------------------
+    # Corrective actions (§IV-D)
+    # ------------------------------------------------------------------
+
+    def on_rejection(self, now: float) -> None:
+        self._pending_rejections += 1
+        if self._pending_rejections >= self.rejections_per_scale_out:
+            self._pending_rejections = 0
+            self._scale_out(now)
+
+    def on_exhaustion(self, signal: ExhaustionSignal) -> None:
+        """Proactive scale-out: overclocking is about to run out — create
+        capacity *before* it does, so the SLO survives the boot delay."""
+        self.exhaustion_signals += 1
+        self._scale_out(signal.time)
+
+    def _scale_out(self, now: float) -> None:
+        self.scale_outs_requested += self.scale_out_per
+        self.scale_out_handler(now, self.scale_out_per)

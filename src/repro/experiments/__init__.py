@@ -1,0 +1,21 @@
+"""Experiment drivers that regenerate every table and figure.
+
+* :mod:`repro.experiments.characterization` — §II–III (Figs. 1–9)
+* :mod:`repro.experiments.cluster` — §V-A cluster study (Figs. 12–14 and
+  the power-/overclocking-constrained experiments)
+* :mod:`repro.experiments.largescale` — §V-B trace-driven simulation
+  (Table I, Fig. 15)
+* :mod:`repro.experiments.production` — §V-C production services
+  (Figs. 16–17)
+
+Each driver returns plain dataclasses/dicts of the numbers the paper
+plots; the ``benchmarks/`` tree prints them in table form and asserts the
+paper's qualitative findings.
+"""
+
+__all__ = [
+    "characterization",
+    "cluster",
+    "largescale",
+    "production",
+]

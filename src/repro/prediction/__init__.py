@@ -1,0 +1,39 @@
+"""Power/utilization prediction via historical templates.
+
+SmartOClock predicts rack and server power by building *templates* from
+the prior week's telemetry (§IV-B): the default is per-day aggregation
+("DailyMed": the template value at 9 AM is the median of the prior week's
+weekday 9 AM samples), with separate weekday/weekend templates.  The other
+strategies of Fig. 15 (FlatMed, FlatMax, Weekly, DailyMax) are implemented
+for comparison.
+"""
+
+from repro.prediction.templates import (
+    DailyMaxTemplate,
+    DailyMedTemplate,
+    FlatMaxTemplate,
+    FlatMedTemplate,
+    PowerTemplate,
+    TemplateKind,
+    WeeklyTemplate,
+    build_template,
+)
+from repro.prediction.predictor import (
+    PredictionEvaluation,
+    TemplateStore,
+    evaluate_template,
+)
+
+__all__ = [
+    "PowerTemplate",
+    "TemplateKind",
+    "FlatMedTemplate",
+    "FlatMaxTemplate",
+    "WeeklyTemplate",
+    "DailyMedTemplate",
+    "DailyMaxTemplate",
+    "build_template",
+    "TemplateStore",
+    "PredictionEvaluation",
+    "evaluate_template",
+]

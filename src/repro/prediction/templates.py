@@ -1,0 +1,203 @@
+"""Template-creation strategies for power prediction.
+
+A template is built from one or more weeks of regularly-sampled history
+and answers ``predict(t)`` for any future time.  Time convention matches
+the traces: seconds since Monday 00:00 of the reference week.
+
+Strategies (paper §V-B, Fig. 15):
+
+* ``FlatMed`` — one number: the median of all history.  Opportunistic;
+  underpredicts peaks.
+* ``FlatMax`` — one number: the max of all history.  Conservative;
+  overpredicts almost always.
+* ``Weekly`` — replay last week's series by time-of-week.  Sensitive to
+  outlier days (a holiday last Tuesday pollutes next Tuesday).
+* ``DailyMed`` — per slot-of-day **median across the week's weekdays**
+  (separate weekend template).  SmartOClock's choice: fine-grained yet
+  robust to outliers.
+* ``DailyMax`` — per slot-of-day max across weekdays; conservative variant.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "TemplateKind",
+    "PowerTemplate",
+    "FlatMedTemplate",
+    "FlatMaxTemplate",
+    "WeeklyTemplate",
+    "DailyMedTemplate",
+    "DailyMaxTemplate",
+    "build_template",
+]
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class TemplateKind(str, enum.Enum):
+    FLAT_MED = "FlatMed"
+    FLAT_MAX = "FlatMax"
+    WEEKLY = "Weekly"
+    DAILY_MED = "DailyMed"
+    DAILY_MAX = "DailyMax"
+
+
+def _validate_history(times: np.ndarray, values: np.ndarray) -> float:
+    if len(times) != len(values):
+        raise ValueError(
+            f"times ({len(times)}) and values ({len(values)}) differ")
+    if len(times) < 2:
+        raise ValueError("need at least 2 history samples")
+    intervals = np.diff(times)
+    interval = float(intervals[0])
+    if interval <= 0 or not np.allclose(intervals, interval):
+        raise ValueError("history must be regularly sampled")
+    return interval
+
+
+class PowerTemplate:
+    """Base class: a built template that predicts by time."""
+
+    kind: TemplateKind
+
+    def predict(self, t: float) -> float:
+        raise NotImplementedError
+
+    def predict_series(self, times: Sequence[float]) -> np.ndarray:
+        return np.array([self.predict(float(t)) for t in times])
+
+
+class FlatMedTemplate(PowerTemplate):
+    kind = TemplateKind.FLAT_MED
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        _validate_history(np.asarray(times), np.asarray(values))
+        self.value = float(np.median(values))
+
+    def predict(self, t: float) -> float:
+        return self.value
+
+
+class FlatMaxTemplate(PowerTemplate):
+    kind = TemplateKind.FLAT_MAX
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        _validate_history(np.asarray(times), np.asarray(values))
+        self.value = float(np.max(values))
+
+    def predict(self, t: float) -> float:
+        return self.value
+
+
+class WeeklyTemplate(PowerTemplate):
+    """Replay the most recent full week by time-of-week."""
+
+    kind = TemplateKind.WEEKLY
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        self.interval = _validate_history(times, values)
+        slots_per_week = int(round(SECONDS_PER_WEEK / self.interval))
+        if len(values) < slots_per_week:
+            raise ValueError(
+                f"Weekly template needs a full week of history "
+                f"({slots_per_week} samples), got {len(values)}")
+        last_week_values = values[-slots_per_week:]
+        last_week_times = times[-slots_per_week:]
+        # Map each sample to its slot-of-week.
+        self._series = np.empty(slots_per_week)
+        slots = (np.round((last_week_times % SECONDS_PER_WEEK)
+                          / self.interval).astype(int)) % slots_per_week
+        self._series[slots] = last_week_values
+        self._slots_per_week = slots_per_week
+
+    def predict(self, t: float) -> float:
+        slot = int(round((t % SECONDS_PER_WEEK) / self.interval))
+        return float(self._series[slot % self._slots_per_week])
+
+
+class _DailyAggregateTemplate(PowerTemplate):
+    """Per-slot-of-day aggregation across weekdays (+ weekend template)."""
+
+    def __init__(self, times: np.ndarray, values: np.ndarray,
+                 aggregate: str) -> None:
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        self.interval = _validate_history(times, values)
+        self._slots_per_day = int(round(SECONDS_PER_DAY / self.interval))
+        if self._slots_per_day < 1:
+            raise ValueError("interval longer than a day")
+        slot = (np.round((times % SECONDS_PER_DAY)
+                         / self.interval).astype(int)) % self._slots_per_day
+        weekday = ((times // SECONDS_PER_DAY).astype(int) % 7) < 5
+        self._weekday = self._aggregate_slots(
+            slot[weekday], values[weekday], aggregate)
+        if np.any(~weekday):
+            self._weekend = self._aggregate_slots(
+                slot[~weekday], values[~weekday], aggregate)
+        else:
+            # No weekend history: fall back to the weekday template.
+            self._weekend = self._weekday
+
+    def _aggregate_slots(self, slots: np.ndarray, values: np.ndarray,
+                         aggregate: str) -> np.ndarray:
+        series = np.empty(self._slots_per_day)
+        overall = float(np.median(values)) if len(values) else 0.0
+        for s in range(self._slots_per_day):
+            mask = slots == s
+            if not np.any(mask):
+                series[s] = overall  # slot unseen in history
+            elif aggregate == "median":
+                series[s] = float(np.median(values[mask]))
+            elif aggregate == "max":
+                series[s] = float(np.max(values[mask]))
+            else:
+                raise ValueError(f"unknown aggregate {aggregate!r}")
+        return series
+
+    def predict(self, t: float) -> float:
+        slot = int(round((t % SECONDS_PER_DAY)
+                         / self.interval)) % self._slots_per_day
+        is_weekday = (int(t // SECONDS_PER_DAY) % 7) < 5
+        series = self._weekday if is_weekday else self._weekend
+        return float(series[slot])
+
+
+class DailyMedTemplate(_DailyAggregateTemplate):
+    """SmartOClock's default (§IV-B): per-slot median across weekdays."""
+
+    kind = TemplateKind.DAILY_MED
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        super().__init__(times, values, aggregate="median")
+
+
+class DailyMaxTemplate(_DailyAggregateTemplate):
+    kind = TemplateKind.DAILY_MAX
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        super().__init__(times, values, aggregate="max")
+
+
+_BUILDERS = {
+    TemplateKind.FLAT_MED: FlatMedTemplate,
+    TemplateKind.FLAT_MAX: FlatMaxTemplate,
+    TemplateKind.WEEKLY: WeeklyTemplate,
+    TemplateKind.DAILY_MED: DailyMedTemplate,
+    TemplateKind.DAILY_MAX: DailyMaxTemplate,
+}
+
+
+def build_template(kind: TemplateKind | str, times: np.ndarray,
+                   values: np.ndarray) -> PowerTemplate:
+    """Build a template of ``kind`` from one-or-more weeks of history."""
+    kind = TemplateKind(kind)
+    return _BUILDERS[kind](times, values)

@@ -1,0 +1,28 @@
+"""Component-lifetime modeling.
+
+Overclocking accelerates wear-out (gate-oxide breakdown, electromigration,
+thermal cycling); the paper reports an exponential relationship between
+voltage/temperature and component lifetime, anchored by a TSMC 7nm
+composite model (§II–III).  :mod:`repro.reliability.aging` implements a
+parametric equivalent calibrated to the paper's published anchors, and
+:mod:`repro.reliability.wearout` implements the per-core wear counters and
+the epoch-based overclocking time budgets that SmartOClock enforces
+(§IV-B).
+"""
+
+from repro.reliability.aging import AgingModel, DEFAULT_AGING_MODEL
+from repro.reliability.online_wear import OnlineWearBudget
+from repro.reliability.wearout import (
+    CoreWearoutCounter,
+    EpochBudget,
+    OverclockBudgetPlanner,
+)
+
+__all__ = [
+    "AgingModel",
+    "DEFAULT_AGING_MODEL",
+    "CoreWearoutCounter",
+    "EpochBudget",
+    "OnlineWearBudget",
+    "OverclockBudgetPlanner",
+]

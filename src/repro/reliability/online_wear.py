@@ -1,0 +1,100 @@
+"""Online per-part wear budgeting (paper §VI "Hardware support").
+
+The shipped SmartOClock uses a conservative *offline* vendor analysis: a
+fixed share of time (e.g. 10 %) may be overclocked, regardless of what the
+part actually experienced.  The paper's stated next step is *wear-out
+counters*: read the accumulated ageing of each core and budget
+overclocking against its real remaining lifetime credits.
+
+:class:`OnlineWearBudget` implements that calculation on top of
+:class:`~repro.reliability.wearout.CoreWearoutCounter`:
+
+* a core that ran cooler/idler than the vendor's reference accumulates
+  *credits* (reference-seconds of unspent lifetime);
+* overclocking burns credits at ``wear_rate - 1`` reference-seconds per
+  second (the wear beyond the reference rate);
+* the budget admits overclocking for as long as the (safety-discounted)
+  credits cover the predicted burn.
+
+Compared to the offline epoch budget this is both more permissive on
+lightly-loaded parts and *stricter* on hot parts — exactly the §VI
+argument for the counters.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.reliability.aging import DEFAULT_AGING_MODEL, AgingModel
+from repro.reliability.wearout import CoreWearoutCounter
+
+__all__ = ["OnlineWearBudget"]
+
+
+class OnlineWearBudget:
+    """Budgets overclocking against a core's live lifetime credits."""
+
+    def __init__(self, counter: CoreWearoutCounter, *,
+                 model: AgingModel = DEFAULT_AGING_MODEL,
+                 safety_margin: float = 0.2,
+                 warmup_seconds: float = 3600.0) -> None:
+        """``safety_margin`` holds back a fraction of the credits (counter
+        noise, model error); ``warmup_seconds`` refuses overclocking until
+        the counter has observed enough history to trust."""
+        if not 0.0 <= safety_margin < 1.0:
+            raise ValueError(
+                f"safety_margin must be in [0, 1): {safety_margin}")
+        if warmup_seconds < 0:
+            raise ValueError(
+                f"warmup_seconds must be >= 0: {warmup_seconds}")
+        self.counter = counter
+        self.model = model
+        self.safety_margin = safety_margin
+        self.warmup_seconds = warmup_seconds
+
+    def usable_credit_seconds(self) -> float:
+        """Credits available for overclocking after the safety discount."""
+        if self.counter.elapsed_seconds < self.warmup_seconds:
+            return 0.0
+        credits = self.counter.lifetime_credit_seconds
+        return max(0.0, credits * (1.0 - self.safety_margin))
+
+    def burn_rate(self, utilization: float, volts: float) -> float:
+        """Credits burned per second of overclocking at this point.
+
+        The part is allowed to age at the reference rate (1 ref-second per
+        second); only the excess consumes credits.
+        """
+        return max(0.0, self.model.wear_rate(utilization, volts) - 1.0)
+
+    def available_seconds(self, utilization: float, volts: float) -> float:
+        """How long overclocking at this point can be sustained now."""
+        rate = self.burn_rate(utilization, volts)
+        if rate <= 0.0:
+            return math.inf  # ages no faster than the reference: free
+        return self.usable_credit_seconds() / rate
+
+    def can_overclock(self, utilization: float, volts: float,
+                      duration_s: float) -> bool:
+        """Would ``duration_s`` of overclocking stay within the credits?"""
+        if duration_s < 0:
+            raise ValueError(f"duration must be >= 0: {duration_s}")
+        return self.available_seconds(utilization, volts) >= duration_s
+
+    def sustainable_fraction(self, utilization: float,
+                             volts: float) -> float:
+        """Steady-state share of time that can be overclocked forever.
+
+        Solves ``x·r_oc + (1-x)·r_base = 1`` with the *observed* baseline
+        wear rate — the online analogue of the offline vendor analysis.
+        Returns 1.0 when overclocking never exceeds the reference rate.
+        """
+        if self.counter.elapsed_seconds <= 0:
+            raise ValueError("no history observed yet")
+        r_base = self.counter.wear_ratio
+        r_oc = self.model.wear_rate(utilization, volts)
+        if r_oc <= 1.0:
+            return 1.0
+        if r_base >= 1.0:
+            return 0.0
+        return min(1.0, (1.0 - r_base) / (r_oc - r_base))

@@ -1,0 +1,81 @@
+"""Periodic tasks and scheduling helpers built on the simulation engine.
+
+The controllers in SmartOClock are all periodic: telemetry collection every
+few seconds, power-budget recomputation weekly, exploration confirmation
+after 30 seconds.  :class:`PeriodicTask` packages that pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.sim.engine import Event, SimulationEngine
+
+__all__ = ["PeriodicTask", "at_times"]
+
+
+class PeriodicTask:
+    """Run a callback every ``interval`` simulated seconds.
+
+    The task re-arms itself after every firing until :meth:`stop` is called
+    or ``max_firings`` is reached.  The first firing happens at
+    ``start + interval`` unless ``fire_immediately`` is set.
+    """
+
+    def __init__(self, engine: SimulationEngine, interval: float,
+                 callback: Callable[[], None], *,
+                 fire_immediately: bool = False,
+                 max_firings: Optional[int] = None,
+                 priority: int = 0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.engine = engine
+        self.interval = float(interval)
+        self.callback = callback
+        self.max_firings = max_firings
+        self.priority = priority
+        self.firings = 0
+        self._stopped = False
+        self._pending: Optional[Event] = None
+        delay = 0.0 if fire_immediately else self.interval
+        self._arm(delay)
+
+    def _arm(self, delay: float) -> None:
+        if self._stopped:
+            return
+        if self.max_firings is not None and self.firings >= self.max_firings:
+            return
+        self._pending = self.engine.schedule_after(
+            delay, self._fire, priority=self.priority)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.firings += 1
+        self.callback()
+        self._arm(self.interval)
+
+    def stop(self) -> None:
+        """Stop the task; any pending firing is cancelled."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+def at_times(engine: SimulationEngine, times: Iterable[float],
+             callback: Callable[[float], None], priority: int = 0) -> list[Event]:
+    """Schedule ``callback(t)`` at each absolute time in ``times``.
+
+    Convenience used by trace replay: the trace timestamps become the event
+    calendar.  Returns the event handles in scheduling order.
+    """
+    events = []
+    for t in times:
+        events.append(engine.schedule(
+            t, (lambda tt=t: callback(tt)), priority=priority))
+    return events

@@ -1,0 +1,49 @@
+"""Synthetic production traces.
+
+The paper's large-scale evaluation replays 6 weeks of power/utilization
+telemetry from 7.1k production racks at 5-minute granularity.  Those traces
+are proprietary, so this package generates synthetic equivalents with the
+statistical properties the paper's analysis depends on (see DESIGN.md):
+diurnal + weekly repeatability, per-server heterogeneity within a rack,
+statistical multiplexing of heterogeneous services, regional noise levels,
+occasional outlier days, and per-workload overclocking-demand windows.
+"""
+
+from repro.traces.schema import RackTrace, ServerTrace, TraceMetadata
+from repro.traces.synthetic import (
+    FleetConfig,
+    RackProfile,
+    SyntheticFleet,
+    generate_fleet,
+    generate_rack,
+    generate_server_trace,
+)
+from repro.traces.io import load_rack_csv, save_rack_csv
+from repro.traces.stats import (
+    UtilizationStats,
+    headroom_fraction,
+    multiplexing_gain,
+    overclock_demand_stats,
+    utilization_stats,
+    week_over_week_rmse,
+)
+
+__all__ = [
+    "ServerTrace",
+    "RackTrace",
+    "TraceMetadata",
+    "FleetConfig",
+    "RackProfile",
+    "SyntheticFleet",
+    "generate_fleet",
+    "generate_rack",
+    "generate_server_trace",
+    "save_rack_csv",
+    "load_rack_csv",
+    "UtilizationStats",
+    "utilization_stats",
+    "week_over_week_rmse",
+    "headroom_fraction",
+    "multiplexing_gain",
+    "overclock_demand_stats",
+]

@@ -1,0 +1,77 @@
+"""Trace persistence.
+
+Traces round-trip through CSV (one file per rack) with a small JSON header
+line carrying rack metadata.  The format is intentionally simple so traces
+can be inspected with standard tools and regenerated traces can be diffed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.schema import RackTrace, ServerTrace
+
+__all__ = ["save_rack_csv", "load_rack_csv"]
+
+_HEADER_PREFIX = "#meta "
+
+
+def save_rack_csv(rack: RackTrace, path: str | Path) -> None:
+    """Write one rack trace to ``path`` (CSV with a ``#meta`` header)."""
+    path = Path(path)
+    meta = {
+        "rack_id": rack.rack_id,
+        "power_limit_watts": rack.power_limit_watts,
+        "region": rack.region,
+        "servers": [s.server_id for s in rack.servers],
+    }
+    with path.open("w", newline="") as fh:
+        fh.write(_HEADER_PREFIX + json.dumps(meta) + "\n")
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "server_id", "power_watts",
+                         "utilization", "oc_cores"])
+        for server in rack.servers:
+            for i in range(server.n_samples):
+                writer.writerow([
+                    f"{server.times[i]:.1f}", server.server_id,
+                    f"{server.power_watts[i]:.3f}",
+                    f"{server.utilization[i]:.5f}",
+                    int(server.oc_cores[i]),
+                ])
+
+
+def load_rack_csv(path: str | Path) -> RackTrace:
+    """Read a rack trace written by :func:`save_rack_csv`."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError(f"{path}: missing {_HEADER_PREFIX!r} header")
+        meta = json.loads(header[len(_HEADER_PREFIX):])
+        reader = csv.DictReader(fh)
+        rows_by_server: dict[str, list[dict[str, str]]] = {
+            sid: [] for sid in meta["servers"]}
+        for row in reader:
+            sid = row["server_id"]
+            if sid not in rows_by_server:
+                raise ValueError(f"{path}: unknown server {sid!r} in body")
+            rows_by_server[sid].append(row)
+    servers = []
+    for sid in meta["servers"]:
+        rows = rows_by_server[sid]
+        if not rows:
+            raise ValueError(f"{path}: no samples for server {sid!r}")
+        servers.append(ServerTrace(
+            server_id=sid,
+            times=np.array([float(r["time_s"]) for r in rows]),
+            power_watts=np.array([float(r["power_watts"]) for r in rows]),
+            utilization=np.array([float(r["utilization"]) for r in rows]),
+            oc_cores=np.array([int(r["oc_cores"]) for r in rows]),
+        ))
+    return RackTrace(rack_id=meta["rack_id"],
+                     power_limit_watts=meta["power_limit_watts"],
+                     servers=servers, region=meta.get("region", "region-0"))

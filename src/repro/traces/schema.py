@@ -1,0 +1,127 @@
+"""Trace data structures.
+
+A trace is a regular time series at ``interval_s`` granularity (the paper's
+telemetry is 5-minute).  Server traces carry baseline (non-overclocked)
+power, average CPU utilization, and the number of cores requesting
+overclocking at each tick; rack traces group server traces under a power
+limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TraceMetadata", "ServerTrace", "RackTrace"]
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Provenance of a synthetic trace."""
+
+    region: str
+    start_time: float
+    interval_s: float
+    weeks: int
+    seed: int
+
+
+@dataclass
+class ServerTrace:
+    """Telemetry of one server over the trace window.
+
+    ``power_watts`` is the *baseline* (never-overclocked) power draw;
+    ``utilization`` the average core utilization in [0, 1]; ``oc_cores``
+    the number of cores whose workload requests overclocking at each tick
+    (0 when no demand).
+    """
+
+    server_id: str
+    times: np.ndarray
+    power_watts: np.ndarray
+    utilization: np.ndarray
+    oc_cores: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.times)
+        for name in ("power_watts", "utilization", "oc_cores"):
+            arr = getattr(self, name)
+            if len(arr) != n:
+                raise ValueError(
+                    f"{name} has {len(arr)} samples, expected {n}")
+        if n < 2:
+            raise ValueError("a trace needs at least 2 samples")
+        if np.any(self.utilization < 0) or np.any(self.utilization > 1):
+            raise ValueError("utilization out of [0, 1]")
+        if np.any(self.power_watts < 0):
+            raise ValueError("negative power in trace")
+        if np.any(self.oc_cores < 0):
+            raise ValueError("negative overclock demand in trace")
+
+    @property
+    def interval_s(self) -> float:
+        return float(self.times[1] - self.times[0])
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.times)
+
+    def window(self, start: float, end: float) -> "ServerTrace":
+        """Sub-trace with start <= t < end."""
+        mask = (self.times >= start) & (self.times < end)
+        if int(mask.sum()) < 2:
+            raise ValueError(f"window [{start}, {end}) selects "
+                             f"{int(mask.sum())} samples; need >= 2")
+        return ServerTrace(self.server_id, self.times[mask],
+                           self.power_watts[mask], self.utilization[mask],
+                           self.oc_cores[mask])
+
+
+@dataclass
+class RackTrace:
+    """A rack: servers plus the rack power limit."""
+
+    rack_id: str
+    power_limit_watts: float
+    servers: list[ServerTrace]
+    region: str = "region-0"
+
+    def __post_init__(self) -> None:
+        if self.power_limit_watts <= 0:
+            raise ValueError(
+                f"power limit must be > 0: {self.power_limit_watts}")
+        if not self.servers:
+            raise ValueError("a rack trace needs at least one server")
+        n = self.servers[0].n_samples
+        for server in self.servers:
+            if server.n_samples != n:
+                raise ValueError("server traces must be aligned")
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.servers[0].times
+
+    @property
+    def n_samples(self) -> int:
+        return self.servers[0].n_samples
+
+    def total_power(self) -> np.ndarray:
+        """Baseline rack power series (sum of servers)."""
+        return np.sum([s.power_watts for s in self.servers], axis=0)
+
+    def utilization_series(self) -> np.ndarray:
+        """Rack power as a fraction of the limit, per tick."""
+        return self.total_power() / self.power_limit_watts
+
+    def total_oc_cores(self) -> np.ndarray:
+        return np.sum([s.oc_cores for s in self.servers], axis=0)
+
+    def window(self, start: float, end: float) -> "RackTrace":
+        return RackTrace(self.rack_id, self.power_limit_watts,
+                         [s.window(start, end) for s in self.servers],
+                         region=self.region)
+
+    def iter_servers(self) -> Iterator[ServerTrace]:
+        return iter(self.servers)

@@ -1,0 +1,127 @@
+"""Trace statistics: the §III characterization metrics as a reusable API.
+
+Everything the paper computes over its production traces — utilization
+percentiles, week-over-week predictability, headroom under a limit, and
+the rack-vs-server multiplexing effect — packaged for arbitrary traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.metrics import rmse
+from repro.traces.schema import RackTrace, ServerTrace
+
+__all__ = [
+    "UtilizationStats",
+    "utilization_stats",
+    "week_over_week_rmse",
+    "headroom_fraction",
+    "multiplexing_gain",
+    "overclock_demand_stats",
+]
+
+SECONDS_PER_WEEK = 7 * 86400.0
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """Average / median / P99 of a power-utilization series."""
+
+    average: float
+    p50: float
+    p99: float
+
+    @classmethod
+    def from_series(cls, series: np.ndarray) -> "UtilizationStats":
+        if series.size == 0:
+            raise ValueError("empty series")
+        return cls(average=float(np.mean(series)),
+                   p50=float(np.percentile(series, 50)),
+                   p99=float(np.percentile(series, 99)))
+
+
+def utilization_stats(rack: RackTrace) -> UtilizationStats:
+    """The Fig. 5 statistics for one rack."""
+    return UtilizationStats.from_series(rack.utilization_series())
+
+
+def _weekly_halves(times: np.ndarray,
+                   values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    if len(times) < 2:
+        raise ValueError("need at least two samples")
+    interval = times[1] - times[0]
+    per_week = int(round(SECONDS_PER_WEEK / interval))
+    if len(values) < 2 * per_week:
+        raise ValueError(
+            "need at least two weeks of trace for week-over-week stats")
+    return values[:per_week], values[per_week:2 * per_week]
+
+
+def week_over_week_rmse(times: np.ndarray, values: np.ndarray) -> float:
+    """RMSE between consecutive weeks — the §III Q3 predictability
+    measure in its rawest form (a perfect weekly repeat scores 0)."""
+    first, second = _weekly_halves(np.asarray(times), np.asarray(values))
+    return rmse(first, second)
+
+
+def headroom_fraction(rack: RackTrace, *,
+                      demand_watts: float = 0.0) -> float:
+    """Fraction of time the rack could absorb ``demand_watts`` of extra
+    (overclocking) power without exceeding its limit — the Fig. 6
+    "no capping for 85 % of the time" statistic."""
+    if demand_watts < 0:
+        raise ValueError(f"demand must be >= 0: {demand_watts}")
+    total = rack.total_power() + demand_watts
+    return float(np.mean(total <= rack.power_limit_watts))
+
+
+def multiplexing_gain(rack: RackTrace) -> float:
+    """How much more predictable the rack is than its servers (§III Q3).
+
+    Ratio of the mean per-server *relative* week-over-week RMSE to the
+    rack-level one; > 1 means statistical multiplexing smooths the rack
+    (the paper's key predictability finding).
+    """
+    rack_rmse = week_over_week_rmse(rack.times, rack.total_power())
+    rack_rel = rack_rmse / float(np.mean(rack.total_power()))
+    server_rels = []
+    for server in rack.servers:
+        server_rmse = week_over_week_rmse(server.times,
+                                          server.power_watts)
+        server_rels.append(server_rmse
+                           / float(np.mean(server.power_watts)))
+    if rack_rel == 0:
+        return float("inf")
+    return float(np.mean(server_rels)) / rack_rel
+
+
+@dataclass(frozen=True)
+class OverclockDemandStats:
+    """How much and how long servers request overclocking."""
+
+    demanding_servers: int
+    peak_cores: int
+    mean_daily_hours: float
+
+
+def overclock_demand_stats(rack: RackTrace) -> OverclockDemandStats:
+    """Summarize the overclocking-demand windows of a rack's servers."""
+    interval = rack.servers[0].interval_s
+    demanding = 0
+    total_demand_seconds = 0.0
+    peak = 0
+    for server in rack.servers:
+        if int(server.oc_cores.max()) > 0:
+            demanding += 1
+            total_demand_seconds += float(
+                np.sum(server.oc_cores > 0)) * interval
+        peak = max(peak, int(server.oc_cores.max()))
+    days = (rack.times[-1] - rack.times[0]) / 86400.0
+    mean_daily_hours = (total_demand_seconds / max(1, demanding)
+                        / max(days, 1e-9) / 3600.0)
+    return OverclockDemandStats(demanding_servers=demanding,
+                                peak_cores=peak,
+                                mean_daily_hours=mean_daily_hours)

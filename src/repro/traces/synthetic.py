@@ -1,0 +1,350 @@
+"""Synthetic fleet-trace generation.
+
+Generates per-server power/utilization/overclock-demand time series with
+the statistical structure the paper's characterization (§III) relies on:
+
+* **diurnal + weekly repeatability** — each server's utilization follows a
+  stable daily shape (long-lived VMs dominate allocation), with weekday vs
+  weekend distinction;
+* **statistical multiplexing** — each server hosts a mix of service shapes,
+  so rack-level power is smoother and more predictable than any one VM;
+* **heterogeneity within a rack** — servers differ in pattern, amplitude
+  and phase; the power-dominant server changes over time (Fig. 9);
+* **outlier days** — occasional holidays/incidents perturb one day, which
+  is what separates per-day-median templates from plain weekly replay
+  (Fig. 15);
+* **regional noise levels** — regions differ in noise magnitude (Fig. 8);
+* **overclock-demand windows** — latency-critical servers request
+  overclocking for a configurable share of cores during their daily peaks
+  (some for minutes per hour, some for contiguous hours — §III Q2).
+
+All randomness flows from one ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
+from repro.traces.schema import RackTrace, ServerTrace
+
+__all__ = [
+    "ServerProfile",
+    "RackProfile",
+    "FleetConfig",
+    "SyntheticFleet",
+    "generate_server_trace",
+    "generate_rack",
+    "generate_fleet",
+]
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Server workload archetypes and their default mixing weights.
+_ARCHETYPES = ("diurnal", "business", "spiky", "ml")
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Sampled shape parameters of one server's utilization series."""
+
+    archetype: str
+    peak_util: float
+    floor_util: float
+    peak_hour: float
+    weekend_scale: float
+    noise_sigma: float
+    oc_cores: int          # cores requesting overclocking during peaks
+    oc_trigger_level: float  # demand exists when level > this threshold
+
+    def __post_init__(self) -> None:
+        if self.archetype not in _ARCHETYPES:
+            raise ValueError(f"unknown archetype {self.archetype!r}")
+        if not 0 <= self.floor_util <= self.peak_util <= 1:
+            raise ValueError("need 0 <= floor <= peak <= 1, got "
+                             f"{self.floor_util}/{self.peak_util}")
+
+
+@dataclass(frozen=True)
+class RackProfile:
+    """Power-limit shaping for one rack.
+
+    ``target_p99_utilization`` sets the rack limit so that the baseline
+    P99 rack power sits at that fraction of the limit — the knob that
+    produces the paper's Fig. 5 distribution and the High/Medium/Low-power
+    cluster classes of Table I.
+    """
+
+    target_p99_utilization: float
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.target_p99_utilization <= 1.2:
+            raise ValueError("target_p99_utilization out of sane range: "
+                             f"{self.target_p99_utilization}")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for fleet generation."""
+
+    n_racks: int = 100
+    servers_per_rack_min: int = 24
+    servers_per_rack_max: int = 32
+    weeks: int = 2
+    interval_s: float = 300.0
+    region: str = "region-0"
+    noise_sigma: float = 0.03
+    outlier_day_prob: float = 0.05      # per server-week
+    # Per-server week-to-week amplitude drift (VM churn): independent
+    # across servers, so it largely cancels at rack level — this is the
+    # paper's "rack power is more predictable than server power" property
+    # (statistical multiplexing, §III Q3) and the reason per-server budget
+    # assignments go stale and exploration pays off (§III Q5).
+    weekly_drift_sigma: float = 0.12
+    # Weekly shift of each server's peak hour (uniform in ±this): demand
+    # windows and power peaks move, so last week's need-weights misplace
+    # budget headroom — the staleness exploration is designed to fix.
+    peak_hour_drift_h: float = 1.0
+    ml_fraction: float = 0.25           # share of 'ml' archetype servers
+    # Distribution of per-rack target P99 utilization (Beta parameters and
+    # affine mapping): defaults reproduce Fig. 5's medians.
+    p99_util_beta: tuple[float, float] = (3.0, 2.0)
+    p99_util_range: tuple[float, float] = (0.40, 0.95)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 1:
+            raise ValueError(f"need at least one rack: {self.n_racks}")
+        if not 1 <= self.servers_per_rack_min <= self.servers_per_rack_max:
+            raise ValueError("bad servers-per-rack range")
+        if self.weeks < 1:
+            raise ValueError(f"need at least one week: {self.weeks}")
+        if self.interval_s <= 0:
+            raise ValueError(f"interval must be > 0: {self.interval_s}")
+        if not 0 <= self.ml_fraction <= 1:
+            raise ValueError(f"ml_fraction in [0,1]: {self.ml_fraction}")
+
+
+# --------------------------------------------------------------------------
+# Vectorized shape functions (times are seconds since Monday 00:00).
+# --------------------------------------------------------------------------
+
+def _hour_of_day(times: np.ndarray) -> np.ndarray:
+    return (times % SECONDS_PER_DAY) / 3600.0
+
+def _day_index(times: np.ndarray) -> np.ndarray:
+    return (times // SECONDS_PER_DAY).astype(np.int64) % 7
+
+def _weekend_mask(times: np.ndarray) -> np.ndarray:
+    return _day_index(times) >= 5
+
+
+def _diurnal_level(times: np.ndarray, peak_hour: float) -> np.ndarray:
+    phase = 2 * np.pi * (_hour_of_day(times) - peak_hour) / 24.0
+    return 0.5 * (1.0 + np.cos(phase))
+
+
+def _business_level(times: np.ndarray, peak_hour: float) -> np.ndarray:
+    """Plateau around ``peak_hour`` (±1h flat, 2h cosine ramps)."""
+    gap = np.abs(_hour_of_day(times) - peak_hour)
+    gap = np.minimum(gap, 24.0 - gap)
+    level = np.where(gap <= 1.0, 1.0, 0.0)
+    ramp_zone = (gap > 1.0) & (gap < 3.0)
+    level = np.where(
+        ramp_zone, 0.5 * (1.0 + np.cos(np.pi * (gap - 1.0) / 2.0)), level)
+    return level
+
+
+def _spiky_level(times: np.ndarray, peak_hour: float) -> np.ndarray:
+    """Top/bottom-of-hour spikes riding a diurnal envelope."""
+    envelope = _diurnal_level(times, peak_hour)
+    minute = (times % 3600.0) / 60.0
+    in_spike = (minute < 5.0) | ((minute >= 30.0) & (minute < 35.0))
+    return np.where(in_spike, envelope, 0.45 * envelope)
+
+
+def _ml_level(times: np.ndarray) -> np.ndarray:
+    """Throughput job: constantly high with mild drift."""
+    slow = 0.05 * np.sin(2 * np.pi * times / (3.3 * SECONDS_PER_DAY))
+    return np.clip(0.95 + slow, 0.0, 1.0)
+
+
+def _archetype_level(archetype: str, times: np.ndarray,
+                     peak_hour: float) -> np.ndarray:
+    if archetype == "diurnal":
+        return _diurnal_level(times, peak_hour)
+    if archetype == "business":
+        return _business_level(times, peak_hour)
+    if archetype == "spiky":
+        return _spiky_level(times, peak_hour)
+    if archetype == "ml":
+        return _ml_level(times)
+    raise ValueError(f"unknown archetype {archetype!r}")
+
+
+# --------------------------------------------------------------------------
+# Server / rack / fleet generation
+# --------------------------------------------------------------------------
+
+def sample_server_profile(rng: np.random.Generator, config: FleetConfig,
+                          force_ml: Optional[bool] = None) -> ServerProfile:
+    """Draw a random server profile under ``config``."""
+    if force_ml is None:
+        is_ml = rng.random() < config.ml_fraction
+    else:
+        is_ml = force_ml
+    if is_ml:
+        archetype = "ml"
+    else:
+        archetype = rng.choice(["diurnal", "business", "spiky"],
+                               p=[0.5, 0.3, 0.2])
+    peak_util = float(rng.uniform(0.40, 0.90))
+    floor_util = float(rng.uniform(0.08, 0.25)) * peak_util
+    peak_hour = float(rng.uniform(8.0, 18.0))
+    weekend_scale = float(rng.uniform(0.3, 0.6))
+    if archetype == "ml":
+        peak_util = float(rng.uniform(0.85, 0.98))
+        floor_util = peak_util
+        weekend_scale = 1.0
+        oc_cores = 0
+        trigger = 2.0  # never triggers: ML servers are not overclocked
+    else:
+        oc_cores = int(rng.integers(8, 33))
+        trigger = float(rng.uniform(0.55, 0.85))
+    return ServerProfile(archetype=archetype, peak_util=peak_util,
+                         floor_util=floor_util, peak_hour=peak_hour,
+                         weekend_scale=weekend_scale,
+                         noise_sigma=config.noise_sigma,
+                         oc_cores=oc_cores, oc_trigger_level=trigger)
+
+
+def generate_server_trace(server_id: str, profile: ServerProfile,
+                          times: np.ndarray, rng: np.random.Generator, *,
+                          power_model: PowerModel = DEFAULT_POWER_MODEL,
+                          outlier_day_prob: float = 0.0,
+                          weekly_drift_sigma: float = 0.0,
+                          peak_hour_drift_h: float = 0.0) -> ServerTrace:
+    """Materialize one server's trace from its profile."""
+    week_of_trace = ((times - times[0])
+                     // SECONDS_PER_WEEK).astype(np.int64)
+    n_weeks = int(week_of_trace.max()) + 1
+    # Weekly peak-hour shift: the daily shape (and with it the overclock
+    # demand window) moves a little every week.
+    if peak_hour_drift_h > 0:
+        shifts = rng.uniform(-peak_hour_drift_h, peak_hour_drift_h,
+                             size=n_weeks)
+        peak_hours = profile.peak_hour + shifts[week_of_trace]
+    else:
+        peak_hours = np.full(times.shape, profile.peak_hour)
+    level = _archetype_level(profile.archetype, times, peak_hours)
+    # Weekend attenuation.
+    weekend = _weekend_mask(times)
+    level = np.where(weekend, profile.weekend_scale * level, level)
+    # Week-to-week amplitude drift (VM churn): independent per server, so
+    # rack totals stay predictable while per-server templates go stale.
+    if weekly_drift_sigma > 0:
+        factors = rng.lognormal(0.0, weekly_drift_sigma, size=n_weeks)
+        level = level * factors[week_of_trace]
+    # Outlier days: pick whole days and scale them (holiday → low load, or
+    # an incident → high load); this is what breaks weekly replay.
+    n_days = int(math.ceil((times[-1] - times[0]) / SECONDS_PER_DAY))
+    day_of_trace = ((times - times[0]) // SECONDS_PER_DAY).astype(np.int64)
+    for day in range(n_days):
+        if rng.random() < outlier_day_prob:
+            scale = float(rng.choice([0.35, 1.6]))
+            level = np.where(day_of_trace == day,
+                             np.clip(level * scale, 0.0, 1.3), level)
+    # Multiplicative noise (regional quality of telemetry / load jitter).
+    if profile.noise_sigma > 0:
+        level = level * rng.lognormal(0.0, profile.noise_sigma,
+                                      size=times.shape)
+    util = np.clip(profile.floor_util
+                   + (profile.peak_util - profile.floor_util)
+                   * np.clip(level, 0.0, 1.0), 0.0, 1.0)
+    turbo = power_model.plan.turbo_ghz
+    per_core_full = power_model.core_dynamic_watts(1.0, turbo)
+    power = power_model.idle_watts + util * power_model.cores * per_core_full
+    # Overclock demand: cores want overclocking while the (clean) daily
+    # shape is above the trigger, on weekdays.
+    clean_level = _archetype_level(profile.archetype, times, peak_hours)
+    demand = ((clean_level > profile.oc_trigger_level) & ~weekend)
+    oc = np.where(demand, profile.oc_cores, 0).astype(np.int64)
+    return ServerTrace(server_id=server_id, times=times.copy(),
+                       power_watts=power, utilization=util, oc_cores=oc)
+
+
+def generate_rack(rack_id: str, config: FleetConfig,
+                  rack_profile: RackProfile, rng: np.random.Generator, *,
+                  power_model: PowerModel = DEFAULT_POWER_MODEL,
+                  n_servers: Optional[int] = None) -> RackTrace:
+    """Generate one rack's servers and derive its power limit."""
+    if n_servers is None:
+        n_servers = int(rng.integers(config.servers_per_rack_min,
+                                     config.servers_per_rack_max + 1))
+    times = np.arange(0.0, config.weeks * SECONDS_PER_WEEK,
+                      config.interval_s)
+    n_ml = int(round(config.ml_fraction * n_servers))
+    servers = []
+    for i in range(n_servers):
+        profile = sample_server_profile(rng, config, force_ml=(i < n_ml))
+        servers.append(generate_server_trace(
+            f"{rack_id}-s{i:02d}", profile, times, rng,
+            power_model=power_model,
+            outlier_day_prob=config.outlier_day_prob,
+            weekly_drift_sigma=config.weekly_drift_sigma,
+            peak_hour_drift_h=config.peak_hour_drift_h))
+    total = np.sum([s.power_watts for s in servers], axis=0)
+    p99 = float(np.percentile(total, 99))
+    limit = p99 / rack_profile.target_p99_utilization
+    return RackTrace(rack_id=rack_id, power_limit_watts=limit,
+                     servers=servers, region=config.region)
+
+
+@dataclass
+class SyntheticFleet:
+    """A generated fleet: racks plus the config that produced them."""
+
+    config: FleetConfig
+    racks: list[RackTrace]
+
+    @property
+    def n_racks(self) -> int:
+        return len(self.racks)
+
+    def rack_utilization_stats(self) -> dict[str, np.ndarray]:
+        """Per-rack average / P50 / P99 power utilization (Fig. 5 data)."""
+        avgs, p50s, p99s = [], [], []
+        for rack in self.racks:
+            series = rack.utilization_series()
+            avgs.append(float(np.mean(series)))
+            p50s.append(float(np.percentile(series, 50)))
+            p99s.append(float(np.percentile(series, 99)))
+        return {"avg": np.array(avgs), "p50": np.array(p50s),
+                "p99": np.array(p99s)}
+
+
+def sample_rack_profile(rng: np.random.Generator,
+                        config: FleetConfig) -> RackProfile:
+    """Draw a rack's target P99 utilization from the configured Beta."""
+    a, b = config.p99_util_beta
+    lo, hi = config.p99_util_range
+    target = lo + (hi - lo) * float(rng.beta(a, b))
+    return RackProfile(target_p99_utilization=target)
+
+
+def generate_fleet(config: FleetConfig, *,
+                   power_model: PowerModel = DEFAULT_POWER_MODEL
+                   ) -> SyntheticFleet:
+    """Generate a whole fleet deterministically from ``config.seed``."""
+    rng = np.random.default_rng(config.seed)
+    racks = []
+    for r in range(config.n_racks):
+        profile = sample_rack_profile(rng, config)
+        racks.append(generate_rack(f"{config.region}-rack{r:04d}", config,
+                                   profile, rng, power_model=power_model))
+    return SyntheticFleet(config=config, racks=racks)

@@ -1,0 +1,291 @@
+"""Load-pattern generators.
+
+Time convention: ``t`` is seconds since Monday 00:00 local time of an
+arbitrary reference week.  Patterns are deterministic functions of time
+except :class:`NoisyPattern`, which takes an explicit RNG.
+
+The three first-party services of the paper's Figure 1 map to:
+
+* *Service A* — a business-hours plateau (peak 10:00–12:00):
+  :class:`BusinessHoursPattern`;
+* *Services B and C* — short spikes at the top and bottom of each hour
+  (meeting-start surges): :class:`TopOfHourPattern`.
+
+These shapes also drive the synthetic trace generator in
+:mod:`repro.traces.synthetic`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_WEEK",
+    "LoadPattern",
+    "ConstantPattern",
+    "DiurnalPattern",
+    "BusinessHoursPattern",
+    "TopOfHourPattern",
+    "SpikePattern",
+    "NoisyPattern",
+    "WeekendScaledPattern",
+    "CompositePattern",
+]
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def hour_of_day(t: float) -> float:
+    """Fractional hour of day in [0, 24) for time ``t``."""
+    return (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+
+def day_of_week(t: float) -> int:
+    """Day index, 0 = Monday ... 6 = Sunday."""
+    return int(t // SECONDS_PER_DAY) % 7
+
+
+def is_weekend(t: float) -> bool:
+    return day_of_week(t) >= 5
+
+
+class LoadPattern:
+    """A deterministic load level as a function of time.
+
+    ``level(t)`` returns the instantaneous load in [0, 1] (normalized to
+    the service's own peak, matching Figure 1's normalization); ``rate(t)``
+    scales it by ``peak_rate`` to get an arrival rate.
+    """
+
+    def __init__(self, peak_rate: float = 1.0) -> None:
+        if peak_rate <= 0:
+            raise ValueError(f"peak_rate must be positive, got {peak_rate}")
+        self.peak_rate = peak_rate
+
+    def level(self, t: float) -> float:
+        raise NotImplementedError
+
+    def rate(self, t: float) -> float:
+        return self.peak_rate * self.level(t)
+
+    def sample_levels(self, start: float, end: float,
+                      step: float) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``level`` on [start, end) every ``step`` seconds."""
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        times = np.arange(start, end, step)
+        levels = np.array([self.level(float(t)) for t in times])
+        return times, levels
+
+
+class ConstantPattern(LoadPattern):
+    """A flat load at ``value`` (in [0, 1])."""
+
+    def __init__(self, value: float, peak_rate: float = 1.0) -> None:
+        super().__init__(peak_rate)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"value must be in [0, 1], got {value}")
+        self.value = value
+
+    def level(self, t: float) -> float:
+        return self.value
+
+
+class DiurnalPattern(LoadPattern):
+    """Smooth day/night cycle: sinusoid peaking at ``peak_hour``.
+
+    Level swings between ``floor`` and 1.0; this is the canonical diurnal
+    shape of cloud services (paper §III Q2, Fig. 7's "midday peaks above
+    50 % and valleys lower than 20 % at night").
+    """
+
+    def __init__(self, peak_hour: float = 13.0, floor: float = 0.15,
+                 peak_rate: float = 1.0) -> None:
+        super().__init__(peak_rate)
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1), got {floor}")
+        if not 0.0 <= peak_hour < 24.0:
+            raise ValueError(f"peak_hour must be in [0, 24), got {peak_hour}")
+        self.peak_hour = peak_hour
+        self.floor = floor
+
+    def level(self, t: float) -> float:
+        phase = 2 * math.pi * (hour_of_day(t) - self.peak_hour) / 24.0
+        # cos(phase) == 1 at the peak hour, -1 twelve hours away.
+        return self.floor + (1.0 - self.floor) * 0.5 * (1.0 + math.cos(phase))
+
+
+class BusinessHoursPattern(LoadPattern):
+    """Service-A shape: plateau between ``start_hour`` and ``end_hour``.
+
+    Smooth (half-cosine) ramps of ``ramp_hours`` on both sides; ``floor``
+    elsewhere.
+    """
+
+    def __init__(self, start_hour: float = 10.0, end_hour: float = 12.0,
+                 floor: float = 0.3, ramp_hours: float = 2.0,
+                 peak_rate: float = 1.0) -> None:
+        super().__init__(peak_rate)
+        if not 0 <= start_hour < end_hour <= 24:
+            raise ValueError(
+                f"need 0 <= start < end <= 24, got {start_hour}/{end_hour}")
+        if ramp_hours <= 0:
+            raise ValueError(f"ramp_hours must be positive, got {ramp_hours}")
+        self.start_hour = start_hour
+        self.end_hour = end_hour
+        self.floor = floor
+        self.ramp_hours = ramp_hours
+
+    def level(self, t: float) -> float:
+        h = hour_of_day(t)
+        if self.start_hour <= h <= self.end_hour:
+            return 1.0
+        if h < self.start_hour:
+            gap = self.start_hour - h
+        else:
+            gap = h - self.end_hour
+        if gap >= self.ramp_hours:
+            return self.floor
+        ramp = 0.5 * (1.0 + math.cos(math.pi * gap / self.ramp_hours))
+        return self.floor + (1.0 - self.floor) * ramp
+
+
+class TopOfHourPattern(LoadPattern):
+    """Service-B/C shape: spikes at the top (and bottom) of each hour.
+
+    Each spike lasts ``spike_minutes``, reaching 1.0; between spikes the
+    level is the underlying ``base`` pattern (default: diurnal scaled to
+    ``base_scale``).  Meetings start on the hour and half-hour, hence the
+    5-minute peaks the paper describes.
+    """
+
+    def __init__(self, spike_minutes: float = 5.0,
+                 include_half_hour: bool = True,
+                 base: Optional[LoadPattern] = None,
+                 base_scale: float = 0.5,
+                 peak_rate: float = 1.0) -> None:
+        super().__init__(peak_rate)
+        if not 0 < spike_minutes < 30:
+            raise ValueError(
+                f"spike_minutes must be in (0, 30), got {spike_minutes}")
+        self.spike_minutes = spike_minutes
+        self.include_half_hour = include_half_hour
+        self.base = base or DiurnalPattern(peak_hour=14.0, floor=0.1)
+        if not 0 <= base_scale <= 1:
+            raise ValueError(f"base_scale must be in [0, 1], got {base_scale}")
+        self.base_scale = base_scale
+
+    def _in_spike(self, t: float) -> bool:
+        minute = (t % SECONDS_PER_HOUR) / 60.0
+        if minute < self.spike_minutes:
+            return True
+        if self.include_half_hour and 30.0 <= minute < 30.0 + self.spike_minutes:
+            return True
+        return False
+
+    def level(self, t: float) -> float:
+        base_level = self.base_scale * self.base.level(t)
+        if self._in_spike(t):
+            # Spike height itself follows the diurnal envelope so that the
+            # biggest top-of-hour surge happens midday, as in Fig. 1.
+            envelope = self.base.level(t)
+            return max(base_level, envelope)
+        return base_level
+
+
+class SpikePattern(LoadPattern):
+    """Explicit spikes: (start_seconds, duration_seconds, height) triples
+    layered over a base pattern.  Used for fault-injection style tests."""
+
+    def __init__(self, spikes: Sequence[tuple[float, float, float]],
+                 base: Optional[LoadPattern] = None,
+                 peak_rate: float = 1.0) -> None:
+        super().__init__(peak_rate)
+        for start, duration, height in spikes:
+            if duration <= 0:
+                raise ValueError(f"spike duration must be positive: {duration}")
+            if not 0 <= height <= 1:
+                raise ValueError(f"spike height must be in [0, 1]: {height}")
+        self.spikes = list(spikes)
+        self.base = base or ConstantPattern(0.2)
+
+    def level(self, t: float) -> float:
+        level = self.base.level(t)
+        for start, duration, height in self.spikes:
+            if start <= t < start + duration:
+                level = max(level, height)
+        return level
+
+
+class WeekendScaledPattern(LoadPattern):
+    """Scale another pattern down on weekends (enterprise traffic drop)."""
+
+    def __init__(self, base: LoadPattern, weekend_scale: float = 0.35) -> None:
+        super().__init__(base.peak_rate)
+        if not 0 <= weekend_scale <= 1:
+            raise ValueError(
+                f"weekend_scale must be in [0, 1], got {weekend_scale}")
+        self.base = base
+        self.weekend_scale = weekend_scale
+
+    def level(self, t: float) -> float:
+        scale = self.weekend_scale if is_weekend(t) else 1.0
+        return scale * self.base.level(t)
+
+
+class NoisyPattern(LoadPattern):
+    """Multiplicative lognormal noise over a base pattern.
+
+    Noise is drawn lazily per quantization bucket (``noise_period``
+    seconds) from the supplied RNG, so repeated queries at the same time
+    are consistent within a run while different seeds give different
+    realizations.
+    """
+
+    def __init__(self, base: LoadPattern, rng: np.random.Generator,
+                 sigma: float = 0.05, noise_period: float = 300.0) -> None:
+        super().__init__(base.peak_rate)
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if noise_period <= 0:
+            raise ValueError(
+                f"noise_period must be positive, got {noise_period}")
+        self.base = base
+        self.rng = rng
+        self.sigma = sigma
+        self.noise_period = noise_period
+        self._noise_cache: dict[int, float] = {}
+
+    def _noise(self, t: float) -> float:
+        bucket = int(t // self.noise_period)
+        if bucket not in self._noise_cache:
+            self._noise_cache[bucket] = float(
+                self.rng.lognormal(mean=0.0, sigma=self.sigma))
+        return self._noise_cache[bucket]
+
+    def level(self, t: float) -> float:
+        return min(1.0, self.base.level(t) * self._noise(t))
+
+
+class CompositePattern(LoadPattern):
+    """Weighted mixture of patterns (a rack hosts many services)."""
+
+    def __init__(self, parts: Sequence[tuple[LoadPattern, float]],
+                 peak_rate: float = 1.0) -> None:
+        super().__init__(peak_rate)
+        if not parts:
+            raise ValueError("composite pattern needs at least one part")
+        total = sum(weight for _, weight in parts)
+        if total <= 0:
+            raise ValueError("composite weights must sum to > 0")
+        self.parts = [(p, w / total) for p, w in parts]
+
+    def level(self, t: float) -> float:
+        return min(1.0, sum(w * p.level(t) for p, w in self.parts))

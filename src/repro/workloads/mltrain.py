@@ -1,0 +1,58 @@
+"""Throughput-optimized ML-training workload (FunctionBench MLTrain).
+
+In the paper's cluster experiment, 14 of the 28 rack servers run MLTrain:
+constantly high CPU utilization, power-hungry, *not* overclocked (they are
+the bystanders whose throughput suffers when a capping event throttles the
+rack).  The model therefore only needs throughput-vs-frequency and a high
+steady utilization.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.queueing import frequency_speedup
+
+__all__ = ["MLTrainJob"]
+
+
+class MLTrainJob:
+    """A long-running training job: samples/second proportional to freq.
+
+    ``base_throughput`` is samples/s with all its cores at max turbo;
+    ``freq_sensitivity`` is high (training math is core-bound).
+    """
+
+    def __init__(self, base_throughput: float = 1000.0, *,
+                 turbo_ghz: float = 3.3,
+                 freq_sensitivity: float = 0.9,
+                 utilization: float = 0.95) -> None:
+        if base_throughput <= 0:
+            raise ValueError(
+                f"base_throughput must be > 0: {base_throughput}")
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1]: {utilization}")
+        self.base_throughput = base_throughput
+        self.turbo_ghz = turbo_ghz
+        self.freq_sensitivity = freq_sensitivity
+        self.utilization = utilization
+        self.samples_processed = 0.0
+        self.elapsed = 0.0
+
+    def throughput(self, freq_ghz: float) -> float:
+        """Samples/second at ``freq_ghz``."""
+        return self.base_throughput * frequency_speedup(
+            freq_ghz, self.turbo_ghz, self.freq_sensitivity)
+
+    def advance(self, dt: float, freq_ghz: float) -> float:
+        """Run for ``dt`` seconds at ``freq_ghz``; returns samples done."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0: {dt}")
+        done = self.throughput(freq_ghz) * dt
+        self.samples_processed += done
+        self.elapsed += dt
+        return done
+
+    def average_throughput(self) -> float:
+        """Samples/second averaged over the job's lifetime so far."""
+        if self.elapsed == 0:
+            raise ValueError("job has not run yet")
+        return self.samples_processed / self.elapsed

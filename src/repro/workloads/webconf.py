@@ -1,0 +1,87 @@
+"""WebConf: a conferencing application with deployment-level goals.
+
+Reproduces the paper's Figure 4 scenario (§III Q1): a deployment keeps the
+*average deployment-level* CPU utilization below a target (50 %) so it can
+absorb the load of a failed availability zone.  Individual VMs can run hot
+while the deployment as a whole is fine — so overclocking a hot VM is
+wasted when the deployment-level goal is already met.  This is the
+motivating case for deployment-level (global WI) decisions.
+
+Overclocking a VM reduces its utilization because the same work completes
+faster: ``util(f) = util_turbo / speedup(f)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.queueing import frequency_speedup
+
+__all__ = ["WebConfVM", "WebConfDeployment"]
+
+TURBO_GHZ = 3.3
+
+
+class WebConfVM:
+    """One WebConf VM hosting conference calls."""
+
+    def __init__(self, name: str, base_utilization: float, *,
+                 freq_sensitivity: float = 0.85,
+                 freq_ghz: float = TURBO_GHZ) -> None:
+        if not 0.0 <= base_utilization <= 1.0:
+            raise ValueError(
+                f"base_utilization must be in [0, 1]: {base_utilization}")
+        self.name = name
+        self.base_utilization = base_utilization
+        self.freq_sensitivity = freq_sensitivity
+        self.freq_ghz = freq_ghz
+
+    def set_frequency(self, freq_ghz: float) -> None:
+        if freq_ghz <= 0:
+            raise ValueError(f"frequency must be > 0: {freq_ghz}")
+        self.freq_ghz = freq_ghz
+
+    def set_base_utilization(self, utilization: float) -> None:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1]: {utilization}")
+        self.base_utilization = utilization
+
+    @property
+    def utilization(self) -> float:
+        """Utilization at the current frequency (work conserving)."""
+        speedup = frequency_speedup(self.freq_ghz, TURBO_GHZ,
+                                    self.freq_sensitivity)
+        return min(1.0, self.base_utilization / speedup)
+
+
+class WebConfDeployment:
+    """A set of WebConf VMs with a deployment-level utilization target."""
+
+    def __init__(self, vms: list[WebConfVM],
+                 target_utilization: float = 0.5) -> None:
+        if not vms:
+            raise ValueError("deployment needs at least one VM")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError(
+                f"target must be in (0, 1]: {target_utilization}")
+        self.vms = list(vms)
+        self.target_utilization = target_utilization
+
+    def deployment_utilization(self) -> float:
+        """Average utilization across VMs — the provisioning metric."""
+        return float(np.mean([vm.utilization for vm in self.vms]))
+
+    def meets_target(self) -> bool:
+        return self.deployment_utilization() <= self.target_utilization
+
+    def hot_vms(self, threshold: float = 0.7) -> list[WebConfVM]:
+        """VMs an instance-level policy would flag for overclocking."""
+        return [vm for vm in self.vms if vm.utilization > threshold]
+
+    def overclock_is_needed(self) -> bool:
+        """Deployment-level decision: overclock only if the deployment
+        target is violated (paper: overclocking a hot VM while the
+        deployment average is below target is wasted lifetime)."""
+        return not self.meets_target()

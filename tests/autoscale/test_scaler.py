@@ -1,0 +1,143 @@
+"""Tests for the horizontal and vertical scalers."""
+
+import pytest
+
+from repro.autoscale.scaler import (
+    HorizontalAutoscaler,
+    ScalerConfig,
+    VerticalScaler,
+)
+
+SLO = 10.0
+
+
+def make_scaler(**kwargs):
+    defaults = dict(high_fraction=0.8, low_fraction=0.4,
+                    consecutive_ticks=2, scale_in_ticks=2,
+                    boot_delay_s=100.0, cooldown_s=0.0, max_instances=5)
+    defaults.update(kwargs)
+    return HorizontalAutoscaler(ScalerConfig(**defaults), slo_ms=SLO)
+
+
+class TestScalerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalerConfig(high_fraction=0.3, low_fraction=0.5)
+        with pytest.raises(ValueError):
+            ScalerConfig(consecutive_ticks=0)
+        with pytest.raises(ValueError):
+            ScalerConfig(scale_in_ticks=0)
+        with pytest.raises(ValueError):
+            ScalerConfig(min_instances=5, max_instances=2)
+        with pytest.raises(ValueError):
+            ScalerConfig(boot_delay_s=-1.0)
+
+
+class TestHorizontalScaler:
+    def test_scale_out_after_consecutive_highs(self):
+        scaler = make_scaler()
+        assert scaler.observe(0.0, 9.0) == 1    # one high tick: no action
+        assert scaler.observe(1.0, 9.0) == 2    # second: scale out
+
+    def test_single_spike_ignored(self):
+        scaler = make_scaler()
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 5.0)  # back in band resets the streak
+        assert scaler.observe(2.0, 9.0) == 1
+
+    def test_boot_delay(self):
+        scaler = make_scaler(boot_delay_s=100.0)
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 9.0)  # desired becomes 2 at t=1
+        assert scaler.active_instances(50.0) == 1   # still booting
+        assert scaler.active_instances(101.0) == 2  # booted
+
+    def test_scale_in_requires_longer_streak(self):
+        scaler = make_scaler(consecutive_ticks=2, scale_in_ticks=4)
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 9.0)   # scale to 2
+        for t in range(2, 5):
+            scaler.observe(float(t), 1.0)
+        assert scaler.desired == 2  # only 3 low ticks so far
+        scaler.observe(5.0, 1.0)
+        assert scaler.desired == 1
+
+    def test_scale_in_removes_booting_instance_first(self):
+        scaler = make_scaler(boot_delay_s=1000.0, scale_in_ticks=2)
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 9.0)   # desired 2, booting
+        scaler.observe(2.0, 1.0)
+        scaler.observe(3.0, 1.0)   # scale in: cancels the booting one
+        assert scaler.desired == 1
+        assert scaler.active_instances(2000.0) == 1
+
+    def test_max_instances_respected(self):
+        scaler = make_scaler(max_instances=2)
+        for t in range(20):
+            scaler.observe(float(t), 9.0)
+        assert scaler.desired == 2
+
+    def test_min_instances_respected(self):
+        scaler = make_scaler()
+        for t in range(20):
+            scaler.observe(float(t), 0.1)
+        assert scaler.desired == 1
+
+    def test_cooldown_throttles_actions(self):
+        scaler = make_scaler(cooldown_s=100.0)
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 9.0)   # scale out at t=1
+        scaler.observe(2.0, 9.0)
+        scaler.observe(3.0, 9.0)   # in cooldown: no second scale-out
+        assert scaler.desired == 2
+        scaler.observe(102.0, 9.0)
+        scaler.observe(103.0, 9.0)
+        assert scaler.desired == 3
+
+    def test_explicit_request_scale_out(self):
+        scaler = make_scaler()
+        added = scaler.request_scale_out(0.0, count=3)
+        assert added == 3
+        assert scaler.desired == 4
+
+    def test_request_scale_out_clipped_at_max(self):
+        scaler = make_scaler(max_instances=3)
+        assert scaler.request_scale_out(0.0, count=10) == 2
+
+    def test_scale_out_counter(self):
+        scaler = make_scaler()
+        scaler.request_scale_out(0.0, 2)
+        assert scaler.scale_out_count == 2
+
+    def test_invalid_initial_instances(self):
+        with pytest.raises(ValueError):
+            HorizontalAutoscaler(ScalerConfig(max_instances=2), SLO,
+                                 initial_instances=5)
+
+    def test_invalid_slo(self):
+        with pytest.raises(ValueError):
+            HorizontalAutoscaler(ScalerConfig(), slo_ms=0.0)
+
+
+class TestVerticalScaler:
+    def test_boost_after_consecutive_highs(self):
+        scaler = VerticalScaler(ScalerConfig(consecutive_ticks=2), SLO)
+        scaler.observe(0.0, 9.0)
+        assert scaler.observe(1.0, 9.0) == 4.0
+
+    def test_returns_to_turbo_when_low(self):
+        scaler = VerticalScaler(ScalerConfig(consecutive_ticks=2), SLO)
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 9.0)
+        scaler.observe(2.0, 1.0)
+        assert scaler.observe(3.0, 1.0) == 3.3
+
+    def test_boost_ticks_counted(self):
+        scaler = VerticalScaler(ScalerConfig(consecutive_ticks=1), SLO)
+        scaler.observe(0.0, 9.0)
+        scaler.observe(1.0, 9.0)
+        assert scaler.boost_ticks == 2
+
+    def test_invalid_frequencies(self):
+        with pytest.raises(ValueError):
+            VerticalScaler(ScalerConfig(), SLO, turbo_ghz=4.0, max_ghz=3.3)

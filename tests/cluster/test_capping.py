@@ -1,0 +1,196 @@
+"""Tests for the rack power-capping subsystem."""
+
+import pytest
+
+from repro.cluster.capping import (
+    FairShareThrottler,
+    PrioritizedThrottler,
+    RackPowerManager,
+)
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Rack, Server, VirtualMachine
+
+
+def build_rack(limit, n_servers=2, cores=8, util=1.0, priorities=None):
+    """Rack of busy servers, one VM each."""
+    rack = Rack("r", limit)
+    vms = []
+    for i in range(n_servers):
+        server = Server(f"s{i}", DEFAULT_POWER_MODEL)
+        prio = priorities[i] if priorities else 0
+        vm = VirtualMachine(cores, utilization=util, priority=prio,
+                            name=f"vm{i}")
+        server.place_vm(vm)
+        rack.add_server(server)
+        vms.append(vm)
+    return rack, vms
+
+
+class TestWarnings:
+    def test_warning_at_threshold(self):
+        rack, _ = build_rack(limit=400.0, n_servers=2, cores=8)
+        # Two servers at ~182W each => ~364W >= 0.9*400.
+        manager = RackPowerManager(rack, warning_fraction=0.9)
+        received = []
+        manager.on_warning(received.append)
+        manager.sample(now=1.0)
+        assert len(received) == 1
+        assert received[0].rack_id == "r"
+        assert received[0].power_watts >= 0.9 * 400.0
+
+    def test_no_warning_below_threshold(self):
+        rack, _ = build_rack(limit=2000.0)
+        manager = RackPowerManager(rack)
+        received = []
+        manager.on_warning(received.append)
+        manager.sample(now=1.0)
+        assert received == []
+
+    def test_invalid_warning_fraction(self):
+        rack, _ = build_rack(limit=1000.0)
+        with pytest.raises(ValueError):
+            RackPowerManager(rack, warning_fraction=0.0)
+        with pytest.raises(ValueError):
+            RackPowerManager(rack, warning_fraction=1.5)
+
+    def test_invalid_restore_fraction(self):
+        rack, _ = build_rack(limit=1000.0)
+        with pytest.raises(ValueError):
+            RackPowerManager(rack, warning_fraction=0.9,
+                             restore_fraction=0.95)
+
+
+class TestCapping:
+    def test_cap_event_fires_and_throttles(self):
+        rack, vms = build_rack(limit=350.0, n_servers=2, cores=8)
+        manager = RackPowerManager(rack)
+        event = manager.sample(now=5.0)
+        assert event is not None
+        assert event.power_watts > 350.0
+        assert rack.power_watts() <= 350.0
+        assert event.throttled_vms > 0
+
+    def test_cap_subscribers_notified(self):
+        rack, _ = build_rack(limit=350.0)
+        manager = RackPowerManager(rack)
+        received = []
+        manager.on_cap(received.append)
+        manager.sample(now=1.0)
+        assert len(received) == 1
+
+    def test_no_cap_when_under_limit(self):
+        rack, _ = build_rack(limit=5000.0)
+        manager = RackPowerManager(rack)
+        assert manager.sample(now=1.0) is None
+        assert manager.cap_events == []
+
+    def test_overclocked_vms_reverted_first(self):
+        rack, vms = build_rack(limit=420.0, n_servers=2, cores=8)
+        server = rack.servers[0]
+        server.set_vm_frequency(vms[0], 4.0)
+        assert rack.power_watts() > 420.0
+        PrioritizedThrottler().throttle(rack)
+        # The boost is revoked...
+        assert vms[0].freq_ghz <= server.plan.turbo_ghz + 1e-9
+
+    def test_low_priority_throttled_before_high(self):
+        rack, vms = build_rack(limit=330.0, n_servers=2, cores=8,
+                               priorities=[1, 10])
+        PrioritizedThrottler().throttle(rack, target_watts=330.0)
+        # vm0 (low priority) must be hit at least as hard as vm1.
+        assert vms[0].freq_ghz <= vms[1].freq_ghz + 1e-9
+
+    def test_throttle_on_empty_rack(self):
+        rack = Rack("empty", 100.0)
+        rack.add_server(Server("s", DEFAULT_POWER_MODEL))
+        count, penalty = PrioritizedThrottler().throttle(rack)
+        assert count == 0 and penalty == 0.0
+
+    def test_throttle_reaches_target_or_floor(self):
+        rack, _ = build_rack(limit=310.0, n_servers=2, cores=8)
+        PrioritizedThrottler().throttle(rack, target_watts=310.0)
+        plan = rack.servers[0].plan
+        at_floor = all(vm.freq_ghz <= plan.base_ghz + 1e-9
+                       for s in rack.servers for vm in s.vms.values())
+        assert rack.power_watts() <= 310.0 or at_floor
+
+
+class TestFairShareThrottler:
+    def test_clamps_to_even_share(self):
+        # Server 0 hosts a big busy VM, server 1 a small one.
+        rack = Rack("r", 400.0)
+        s0, s1 = (Server(f"s{i}", DEFAULT_POWER_MODEL) for i in range(2))
+        hungry = VirtualMachine(24, utilization=1.0, name="hungry")
+        modest = VirtualMachine(2, utilization=0.2, name="modest")
+        s0.place_vm(hungry)
+        s1.place_vm(modest)
+        rack.add_server(s0)
+        rack.add_server(s1)
+        before_modest = modest.freq_ghz
+        FairShareThrottler().throttle(rack, target_watts=360.0)
+        # The power-hungry server is throttled...
+        assert hungry.freq_ghz < s0.plan.turbo_ghz
+        # ...while the modest one (under its share) is untouched.
+        assert modest.freq_ghz == before_modest
+
+    def test_fair_share_penalizes_more_than_prioritized(self):
+        """§III Q4: even splits disproportionately hurt hungry servers."""
+
+        def setup():
+            rack = Rack("r", 500.0)
+            s0, s1 = (Server(f"s{i}", DEFAULT_POWER_MODEL)
+                      for i in range(2))
+            # The hungry VM is high-priority but non-overclocked.
+            hungry = VirtualMachine(24, utilization=1.0, priority=10)
+            boosted = VirtualMachine(8, utilization=1.0, priority=0)
+            s0.place_vm(hungry)
+            s1.place_vm(boosted)
+            s1.set_vm_frequency(boosted, 4.0)
+            rack.add_server(s0)
+            rack.add_server(s1)
+            return rack, hungry
+
+        rack, hungry = setup()
+        PrioritizedThrottler().throttle(rack, target_watts=470.0)
+        prioritized_freq = hungry.freq_ghz
+
+        rack, hungry = setup()
+        FairShareThrottler().throttle(rack, target_watts=470.0)
+        fair_freq = hungry.freq_ghz
+
+        assert fair_freq < prioritized_freq
+
+
+class TestRestore:
+    def test_graceful_restore_steps_back_up(self):
+        rack, vms = build_rack(limit=350.0, n_servers=2, cores=8)
+        manager = RackPowerManager(rack, restore_fraction=0.9)
+        manager.sample(now=1.0)  # caps + throttles
+        throttled = vms[0].freq_ghz
+        assert throttled < rack.servers[0].plan.turbo_ghz
+        # Load drops: utilization collapses, power recedes, restore kicks in.
+        for vm in vms:
+            vm.set_utilization(0.05)
+        manager.sample(now=2.0)
+        assert vms[0].freq_ghz > throttled
+
+    def test_non_graceful_restore_snaps_to_turbo(self):
+        rack, vms = build_rack(limit=350.0, n_servers=2, cores=8)
+        manager = RackPowerManager(rack, graceful_restore=False)
+        manager.sample(now=1.0)
+        for vm in vms:
+            vm.set_utilization(0.05)
+        manager.sample(now=2.0)
+        plan = rack.servers[0].plan
+        assert all(vm.freq_ghz == pytest.approx(plan.turbo_ghz)
+                   for vm in vms)
+
+    def test_restore_respects_threshold(self):
+        rack, vms = build_rack(limit=350.0, n_servers=2, cores=8)
+        manager = RackPowerManager(rack, restore_fraction=0.9)
+        manager.sample(now=1.0)
+        # Power still high: no restore happens.
+        frozen = [vm.freq_ghz for vm in vms]
+        manager.sample(now=2.0)
+        assert rack.power_watts() <= 350.0
+        assert [vm.freq_ghz for vm in vms] <= frozen

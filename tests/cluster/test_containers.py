@@ -1,0 +1,120 @@
+"""Tests for container-granularity overclocking (§VI extension)."""
+
+import pytest
+
+from repro.cluster.containers import Container, ContainerHost
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Server, VirtualMachine
+
+TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
+MAX = DEFAULT_POWER_MODEL.plan.overclock_max_ghz
+
+
+def deploy(vm_cores=16):
+    server = Server("s", DEFAULT_POWER_MODEL)
+    vm = VirtualMachine(vm_cores, utilization=0.0, name="guest")
+    server.place_vm(vm)
+    return server, vm, ContainerHost(vm, server)
+
+
+class TestDeployment:
+    def test_containers_pin_to_disjoint_cores(self):
+        _, _, host = deploy()
+        host.add_container(Container("a", 4, utilization=0.5))
+        host.add_container(Container("b", 4, utilization=0.9))
+        cores_a = {c.index for c in host.container_cores("a")}
+        cores_b = {c.index for c in host.container_cores("b")}
+        assert not cores_a & cores_b
+
+    def test_over_capacity_rejected(self):
+        _, _, host = deploy(vm_cores=4)
+        host.add_container(Container("a", 3))
+        with pytest.raises(ValueError, match="unpinned"):
+            host.add_container(Container("b", 2))
+
+    def test_duplicate_name_rejected(self):
+        _, _, host = deploy()
+        host.add_container(Container("a", 2))
+        with pytest.raises(ValueError, match="already"):
+            host.add_container(Container("a", 2))
+
+    def test_unplaced_vm_rejected(self):
+        server = Server("s", DEFAULT_POWER_MODEL)
+        vm = VirtualMachine(4)
+        with pytest.raises(ValueError, match="not placed"):
+            ContainerHost(vm, server)
+
+    def test_vm_utilization_is_core_average(self):
+        _, vm, host = deploy(vm_cores=8)
+        host.add_container(Container("hot", 4, utilization=1.0))
+        # 4 busy cores of 8 -> 0.5 average.
+        assert vm.utilization == pytest.approx(0.5)
+
+    def test_remove_container_resets_cores(self):
+        server, _, host = deploy()
+        host.add_container(Container("a", 4, utilization=0.8))
+        host.boost_container("a", MAX)
+        host.remove_container("a")
+        with pytest.raises(KeyError):
+            host.container_cores("a")
+        assert server.overclocked_core_count() == 0
+
+
+class TestBoosting:
+    def test_boost_touches_only_container_cores(self):
+        server, _, host = deploy()
+        host.add_container(Container("hot", 4, utilization=1.0))
+        host.add_container(Container("cold", 4, utilization=0.2))
+        host.boost_container("hot", MAX)
+        assert all(c.freq_ghz == pytest.approx(MAX)
+                   for c in host.container_cores("hot"))
+        assert all(c.freq_ghz == pytest.approx(TURBO)
+                   for c in host.container_cores("cold"))
+        assert host.overclocked_containers() == ["hot"]
+
+    def test_unboost(self):
+        _, _, host = deploy()
+        host.add_container(Container("hot", 4, utilization=1.0))
+        host.boost_container("hot", MAX)
+        host.unboost_container("hot")
+        assert host.overclocked_containers() == []
+
+    def test_unknown_container(self):
+        _, _, host = deploy()
+        with pytest.raises(KeyError):
+            host.boost_container("nope", MAX)
+
+
+class TestEfficiencyClaim:
+    """§VI: VM-granular overclocking 'is inefficient because of the
+    higher power and reliability impact' — quantify it."""
+
+    def test_container_boost_costs_less_power(self):
+        # Whole 16-core VM boosted:
+        server_vm, vm, host_vm = deploy(16)
+        host_vm.add_container(Container("hot", 4, utilization=1.0))
+        host_vm.add_container(Container("rest", 12, utilization=0.5))
+        baseline = server_vm.power_watts()
+        server_vm.set_vm_frequency(vm, MAX)
+        vm_granular_delta = server_vm.power_watts() - baseline
+
+        # Only the hot container boosted:
+        server_ct, _, host_ct = deploy(16)
+        host_ct.add_container(Container("hot", 4, utilization=1.0))
+        host_ct.add_container(Container("rest", 12, utilization=0.5))
+        baseline_ct = server_ct.power_watts()
+        host_ct.boost_container("hot", MAX)
+        container_delta = server_ct.power_watts() - baseline_ct
+
+        assert baseline == pytest.approx(baseline_ct)
+        assert container_delta < 0.5 * vm_granular_delta
+
+    def test_container_boost_burns_less_wear_budget(self):
+        server, vm, host = deploy(16)
+        host.add_container(Container("hot", 4, utilization=1.0))
+        host.add_container(Container("rest", 12, utilization=0.5))
+        host.boost_container("hot", MAX)
+        server.advance(100.0)
+        oc_seconds = sum(c.overclock_seconds for c in server.cores)
+        # Only the 4 container cores accumulate overclocked time, not 16.
+        assert oc_seconds == pytest.approx(4 * 100.0)

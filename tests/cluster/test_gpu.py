@@ -1,0 +1,59 @@
+"""Tests for the GPU component profile (§VI generality claim)."""
+
+import pytest
+
+from repro.cluster.gpu import GPU_FREQUENCY_PLAN, GPU_POWER_MODEL
+from repro.cluster.topology import Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.soa import ServerOverclockingAgent
+from repro.core.types import OverclockRequest, RequestKind
+
+
+class TestGpuProfile:
+    def test_operating_points(self):
+        plan = GPU_FREQUENCY_PLAN
+        assert plan.base_ghz < plan.turbo_ghz < plan.overclock_max_ghz
+        assert plan.is_overclocked(1.5)
+        assert not plan.is_overclocked(1.41)
+
+    def test_power_calibration(self):
+        model = GPU_POWER_MODEL
+        full_boost = model.turbo_server_watts()
+        assert 300.0 <= full_boost <= 450.0
+        assert model.idle_watts == pytest.approx(80.0)
+
+    def test_overclocking_costs_superlinear_power(self):
+        model = GPU_POWER_MODEL
+        boost = model.turbo_server_watts()
+        overclocked = model.uniform_server_watts(
+            1.0, GPU_FREQUENCY_PLAN.overclock_max_ghz)
+        # +13 % clock costs far more than +13 % power.
+        assert (overclocked - model.idle_watts) > \
+            1.3 * (boost - model.idle_watts)
+
+
+class TestSoaOnGpus:
+    def test_identical_machinery_manages_gpu_boost(self):
+        """The sOA needs no changes to manage a 'server' of GPUs: a
+        device enclosure with per-SM accounting."""
+        rack = Rack("gpu-rack", 3000.0)
+        device = Server("gpu-0", GPU_POWER_MODEL)
+        rack.add_server(device)
+        job = VirtualMachine(54, utilization=0.9, name="training-job")
+        device.place_vm(job)
+        soa = ServerOverclockingAgent(device, SmartOClockConfig())
+        request = OverclockRequest(
+            vm_id=job.vm_id, kind=RequestKind.METRICS,
+            target_freq_ghz=GPU_FREQUENCY_PLAN.overclock_max_ghz,
+            n_cores=job.n_cores, time=0.0)
+        decision = soa.handle_request(request, now=0.0)
+        assert decision.granted
+        soa.control_tick(10.0, dt=10.0)
+        assert job.freq_ghz == pytest.approx(
+            GPU_FREQUENCY_PLAN.overclock_max_ghz)
+        # Lifetime accounting ticks on SMs exactly like CPU cores.
+        soa.control_tick(20.0, dt=10.0)
+        device.advance(10.0)
+        sm = device.vm_cores(job)[0]
+        assert sm.overclock_seconds > 0
+        assert soa.wear_counters[sm.index].wear_seconds > 0

@@ -1,0 +1,94 @@
+"""Tests for VM placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.placement import (
+    PlacementError,
+    PowerAwarePlacer,
+    ResourceCentricPlacer,
+)
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Server, VirtualMachine
+
+
+def servers(n=4):
+    return [Server(f"s{i}", DEFAULT_POWER_MODEL) for i in range(n)]
+
+
+class TestResourceCentric:
+    def test_first_fit(self):
+        pool = servers(3)
+        placer = ResourceCentricPlacer()
+        target = placer.place(VirtualMachine(8), pool)
+        assert target is pool[0]
+
+    def test_skips_full_servers(self):
+        pool = servers(2)
+        pool[0].place_vm(VirtualMachine(60))
+        placer = ResourceCentricPlacer()
+        target = placer.place(VirtualMachine(8), pool)
+        assert target is pool[1]
+
+    def test_no_capacity_raises(self):
+        pool = servers(1)
+        pool[0].place_vm(VirtualMachine(60))
+        with pytest.raises(PlacementError):
+            ResourceCentricPlacer().place(VirtualMachine(8), pool)
+
+
+class TestPowerAware:
+    def test_prefers_coolest_server(self):
+        pool = servers(3)
+        pool[0].place_vm(VirtualMachine(32, utilization=1.0))
+        pool[1].place_vm(VirtualMachine(16, utilization=1.0))
+        target = PowerAwarePlacer().place(VirtualMachine(8), pool)
+        assert target is pool[2]
+
+    def test_balances_sequence_of_placements(self):
+        """Placing many identical VMs spreads them evenly."""
+        pool = servers(4)
+        placer = PowerAwarePlacer()
+        for _ in range(8):
+            vm = VirtualMachine(8, utilization=0.8)
+            placer.place(vm, pool)
+        counts = [len(s.vms) for s in pool]
+        assert counts == [2, 2, 2, 2]
+
+    def test_reduces_imbalance_vs_first_fit(self):
+        """The future-work claim: power-aware placement flattens the
+        per-server power distribution (more uniform overclock headroom)."""
+        rng = np.random.default_rng(5)
+        sizes = rng.integers(4, 17, size=12)
+        utils = rng.uniform(0.3, 1.0, size=12)
+
+        def run(placer):
+            pool = servers(4)
+            for cores, util in zip(sizes, utils):
+                placer.place(VirtualMachine(int(cores),
+                                            utilization=float(util)), pool)
+            return PowerAwarePlacer().imbalance(pool)
+
+        first_fit = run(ResourceCentricPlacer())
+        power_aware = run(PowerAwarePlacer())
+        assert power_aware < first_fit
+
+    def test_custom_predictor(self):
+        pool = servers(2)
+        # A predictor that claims s0 is already at its peak.
+        placer = PowerAwarePlacer(
+            predictor=lambda s: 400.0 if s.server_id == "s0" else 150.0)
+        target = placer.place(VirtualMachine(4), pool)
+        assert target is pool[1]
+
+    def test_no_capacity_raises(self):
+        pool = servers(1)
+        pool[0].place_vm(VirtualMachine(60))
+        with pytest.raises(PlacementError):
+            PowerAwarePlacer().place(VirtualMachine(8), pool)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerAwarePlacer(peak_utilization=0.0)
+        with pytest.raises(ValueError):
+            PowerAwarePlacer().imbalance([])

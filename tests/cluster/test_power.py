@@ -1,0 +1,117 @@
+"""Tests for the server power model, including the paper's anchors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.frequency import FrequencyPlan
+from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
+
+
+class TestCalibrationAnchors:
+    """The §V-B 'we validate the model' step, as unit tests."""
+
+    def test_idle_power(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.server_watts([]) == pytest.approx(model.idle_watts)
+        assert 100 <= model.idle_watts <= 200
+
+    def test_full_turbo_power_in_server_range(self):
+        """A 64-core cloud server under full load draws ~350-450 W."""
+        watts = DEFAULT_POWER_MODEL.turbo_server_watts()
+        assert 350 <= watts <= 450
+
+    def test_overclock_delta_near_ten_watts_per_core(self):
+        """§IV-C worked example: 5 cores → extra 50 W (≈10 W/core)."""
+        delta = DEFAULT_POWER_MODEL.overclock_core_delta(1.0)
+        assert 8.0 <= delta <= 12.0
+
+
+class TestPowerModel:
+    def test_power_monotone_in_utilization(self):
+        model = DEFAULT_POWER_MODEL
+        lo = model.uniform_server_watts(0.2, 3.3)
+        hi = model.uniform_server_watts(0.8, 3.3)
+        assert hi > lo
+
+    def test_power_monotone_in_frequency(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.uniform_server_watts(0.5, 4.0) > \
+            model.uniform_server_watts(0.5, 3.3)
+
+    def test_idle_cores_add_nothing(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.core_dynamic_watts(0.0, 3.3) == 0.0
+
+    def test_server_watts_counts_each_core(self):
+        model = DEFAULT_POWER_MODEL
+        one = model.server_watts([(0.5, 3.3)])
+        two = model.server_watts([(0.5, 3.3), (0.5, 3.3)])
+        assert two - one == pytest.approx(one - model.idle_watts)
+
+    def test_too_many_cores_rejected(self):
+        model = PowerModel(cores=2)
+        with pytest.raises(ValueError, match="core loads"):
+            model.server_watts([(0.5, 3.3)] * 3)
+
+    def test_utilization_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_POWER_MODEL.core_dynamic_watts(1.5, 3.3)
+        with pytest.raises(ValueError):
+            DEFAULT_POWER_MODEL.core_dynamic_watts(-0.1, 3.3)
+
+    def test_active_cores_bounds(self):
+        model = DEFAULT_POWER_MODEL
+        with pytest.raises(ValueError):
+            model.uniform_server_watts(0.5, 3.3, active_cores=65)
+        with pytest.raises(ValueError):
+            model.uniform_server_watts(0.5, 3.3, active_cores=-1)
+
+    def test_overclock_delta_below_turbo_rejected(self):
+        with pytest.raises(ValueError, match="below turbo"):
+            DEFAULT_POWER_MODEL.overclock_core_delta(1.0, 3.0)
+
+    def test_overclock_delta_scales_with_utilization(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.overclock_core_delta(0.5) == pytest.approx(
+            0.5 * model.overclock_core_delta(1.0))
+
+    def test_max_server_watts_is_upper_bound(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.max_server_watts() >= model.turbo_server_watts()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(dynamic_coefficient=0.0)
+        with pytest.raises(ValueError):
+            PowerModel(cores=0)
+
+    def test_invert_utilization_roundtrip(self):
+        model = DEFAULT_POWER_MODEL
+        for util in (0.0, 0.3, 0.75, 1.0):
+            watts = model.uniform_server_watts(util, 3.3)
+            assert model.invert_utilization(watts, 3.3) == pytest.approx(
+                util, abs=1e-9)
+
+    def test_invert_utilization_clamps(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.invert_utilization(0.0, 3.3) == 0.0
+        assert model.invert_utilization(1e6, 3.3) == 1.0
+
+    @given(st.floats(0.0, 1.0), st.floats(2.45, 4.0))
+    def test_power_bounded(self, util, freq):
+        model = DEFAULT_POWER_MODEL
+        watts = model.uniform_server_watts(util, freq)
+        assert model.idle_watts <= watts <= model.max_server_watts() + 1e-9
+
+    @given(st.lists(st.tuples(st.floats(0.0, 1.0), st.floats(2.45, 4.0)),
+                    max_size=64))
+    def test_superposition(self, loads):
+        """Total dynamic power is the sum of per-core dynamic power."""
+        model = DEFAULT_POWER_MODEL
+        total = model.server_watts(loads)
+        expected = model.idle_watts + sum(
+            model.core_dynamic_watts(u, f) for u, f in loads)
+        assert total == pytest.approx(expected)

@@ -1,0 +1,228 @@
+"""Tests for the datacenter topology (servers, VMs, racks)."""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import (
+    Datacenter,
+    Rack,
+    Server,
+    VirtualMachine,
+)
+
+
+def make_server(sid="s0"):
+    return Server(sid, DEFAULT_POWER_MODEL)
+
+
+class TestVirtualMachine:
+    def test_requires_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(0)
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(2, utilization=1.5)
+        vm = VirtualMachine(2)
+        with pytest.raises(ValueError):
+            vm.set_utilization(-0.1)
+
+    def test_default_name_unique(self):
+        a, b = VirtualMachine(1), VirtualMachine(1)
+        assert a.name != b.name
+
+    def test_unplaced_initially(self):
+        vm = VirtualMachine(2)
+        assert not vm.placed
+        assert vm.freq_ghz is None
+
+
+class TestPlacement:
+    def test_place_assigns_cores_at_turbo(self):
+        server = make_server()
+        vm = VirtualMachine(8, utilization=0.5)
+        server.place_vm(vm)
+        assert vm.placed
+        assert vm.freq_ghz == server.plan.turbo_ghz
+        assert len(server.vm_cores(vm)) == 8
+        assert server.free_cores == 64 - 8
+
+    def test_double_placement_rejected(self):
+        server = make_server()
+        vm = VirtualMachine(4)
+        server.place_vm(vm)
+        with pytest.raises(ValueError, match="already placed"):
+            make_server("other").place_vm(vm)
+
+    def test_insufficient_cores_rejected(self):
+        server = make_server()
+        server.place_vm(VirtualMachine(60))
+        with pytest.raises(ValueError, match="free"):
+            server.place_vm(VirtualMachine(8))
+
+    def test_remove_frees_cores(self):
+        server = make_server()
+        vm = VirtualMachine(16)
+        server.place_vm(vm)
+        server.remove_vm(vm)
+        assert server.free_cores == 64
+        assert not vm.placed
+
+    def test_remove_unknown_vm_rejected(self):
+        server = make_server()
+        with pytest.raises(KeyError):
+            server.remove_vm(VirtualMachine(2))
+
+    def test_cores_are_exclusive(self):
+        server = make_server()
+        a, b = VirtualMachine(10), VirtualMachine(10)
+        server.place_vm(a)
+        server.place_vm(b)
+        cores_a = {c.index for c in server.vm_cores(a)}
+        cores_b = {c.index for c in server.vm_cores(b)}
+        assert not cores_a & cores_b
+
+
+class TestFrequencyControl:
+    def test_set_vm_frequency_applies_to_cores(self):
+        server = make_server()
+        vm = VirtualMachine(4)
+        server.place_vm(vm)
+        applied = server.set_vm_frequency(vm, 3.8)
+        assert applied == pytest.approx(3.8)
+        assert all(c.freq_ghz == pytest.approx(3.8)
+                   for c in server.vm_cores(vm))
+
+    def test_frequency_clamped_to_plan(self):
+        server = make_server()
+        vm = VirtualMachine(4)
+        server.place_vm(vm)
+        assert server.set_vm_frequency(vm, 10.0) == \
+            server.plan.overclock_max_ghz
+
+    def test_set_frequency_unknown_vm(self):
+        server = make_server()
+        with pytest.raises(KeyError):
+            server.set_vm_frequency(VirtualMachine(2), 3.5)
+
+    def test_overclocked_vms_listing(self):
+        server = make_server()
+        a, b = VirtualMachine(4), VirtualMachine(4)
+        server.place_vm(a)
+        server.place_vm(b)
+        server.set_vm_frequency(a, 4.0)
+        assert server.overclocked_vms() == [a]
+        assert server.overclocked_core_count() == 4
+
+
+class TestCoreReassignment:
+    def test_reassign_moves_vm(self):
+        server = make_server()
+        vm = VirtualMachine(4)
+        server.place_vm(vm)
+        server.set_vm_frequency(vm, 3.9)
+        new_cores = [c for c in server.cores if not c.allocated][:4]
+        server.reassign_vm_cores(vm, new_cores)
+        assert server.vm_cores(vm) == new_cores
+        # Frequency preserved on the new cores.
+        assert all(c.freq_ghz == pytest.approx(3.9) for c in new_cores)
+
+    def test_reassign_wrong_count_rejected(self):
+        server = make_server()
+        vm = VirtualMachine(4)
+        server.place_vm(vm)
+        with pytest.raises(ValueError, match="exactly"):
+            server.reassign_vm_cores(vm, server.cores[:3])
+
+    def test_reassign_onto_taken_cores_rejected(self):
+        server = make_server()
+        a, b = VirtualMachine(4), VirtualMachine(4)
+        server.place_vm(a)
+        server.place_vm(b)
+        with pytest.raises(ValueError, match="allocated"):
+            server.reassign_vm_cores(a, server.vm_cores(b))
+
+
+class TestAccounting:
+    def test_power_reflects_vm_state(self):
+        server = make_server()
+        vm = VirtualMachine(8, utilization=1.0)
+        server.place_vm(vm)
+        turbo_power = server.power_watts()
+        server.set_vm_frequency(vm, 4.0)
+        assert server.power_watts() > turbo_power
+
+    def test_advance_accrues_busy_and_overclock_time(self):
+        server = make_server()
+        vm = VirtualMachine(2, utilization=0.5)
+        server.place_vm(vm)
+        server.set_vm_frequency(vm, 4.0)
+        server.advance(10.0)
+        core = server.vm_cores(vm)[0]
+        assert core.busy_seconds == pytest.approx(5.0)
+        assert core.overclock_seconds == pytest.approx(10.0)
+
+    def test_advance_no_overclock_time_at_turbo(self):
+        server = make_server()
+        vm = VirtualMachine(2, utilization=0.5)
+        server.place_vm(vm)
+        server.advance(10.0)
+        assert server.vm_cores(vm)[0].overclock_seconds == 0.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_server().advance(-1.0)
+
+
+class TestRackAndDatacenter:
+    def test_rack_power_sums_servers(self):
+        rack = Rack("r", 5000.0)
+        s1, s2 = make_server("a"), make_server("b")
+        rack.add_server(s1)
+        rack.add_server(s2)
+        assert rack.power_watts() == pytest.approx(
+            s1.power_watts() + s2.power_watts())
+
+    def test_server_belongs_to_one_rack(self):
+        rack1, rack2 = Rack("r1", 1000.0), Rack("r2", 1000.0)
+        server = make_server()
+        rack1.add_server(server)
+        with pytest.raises(ValueError, match="already belongs"):
+            rack2.add_server(server)
+
+    def test_fair_share(self):
+        rack = Rack("r", 1000.0)
+        for i in range(4):
+            rack.add_server(make_server(f"s{i}"))
+        assert rack.fair_share_watts() == 250.0
+
+    def test_fair_share_empty_rack_rejected(self):
+        with pytest.raises(ValueError):
+            Rack("r", 1000.0).fair_share_watts()
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Rack("r", 0.0)
+
+    def test_datacenter_lookup(self):
+        dc = Datacenter()
+        rack = Rack("r", 1000.0)
+        server = make_server("findme")
+        rack.add_server(server)
+        dc.add_rack(rack)
+        assert dc.find_server("findme") is server
+        with pytest.raises(KeyError):
+            dc.find_server("nope")
+
+    def test_duplicate_rack_rejected(self):
+        dc = Datacenter()
+        dc.add_rack(Rack("r", 1.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            dc.add_rack(Rack("r", 1.0))
+
+    def test_total_power(self):
+        dc = Datacenter()
+        rack = Rack("r", 1000.0)
+        rack.add_server(make_server())
+        dc.add_rack(rack)
+        assert dc.total_power_watts() == pytest.approx(rack.power_watts())

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.frequency import FrequencyPlan
+from repro.cluster.power import PowerModel
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+
+
+@pytest.fixture
+def plan() -> FrequencyPlan:
+    return FrequencyPlan()
+
+
+@pytest.fixture
+def power_model(plan: FrequencyPlan) -> PowerModel:
+    return PowerModel(plan=plan)
+
+
+@pytest.fixture
+def server(power_model: PowerModel) -> Server:
+    return Server("test-server", power_model)
+
+
+@pytest.fixture
+def rack(power_model: PowerModel) -> Rack:
+    """A 4-server rack with a limit that allows moderate overclocking."""
+    rack = Rack("test-rack", power_limit_watts=1400.0)
+    for i in range(4):
+        rack.add_server(Server(f"srv-{i}", power_model))
+    return rack
+
+
+@pytest.fixture
+def datacenter(rack: Rack) -> Datacenter:
+    dc = Datacenter("test-dc")
+    dc.add_rack(rack)
+    return dc
+
+
+@pytest.fixture
+def config() -> SmartOClockConfig:
+    return SmartOClockConfig()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_vm(n_cores: int = 4, utilization: float = 0.5,
+            priority: int = 0, name: str = "") -> VirtualMachine:
+    return VirtualMachine(n_cores, utilization=utilization,
+                          priority=priority, name=name)
+
+
+@pytest.fixture
+def vm() -> VirtualMachine:
+    return make_vm()

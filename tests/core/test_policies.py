@@ -1,0 +1,156 @@
+"""Tests for the trace-driven policy kernels (§V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    POLICY_NAMES,
+    CentralOracle,
+    NaiveOClock,
+    NoFeedback,
+    SmartOClockPolicy,
+    TickContext,
+    make_policy,
+)
+
+WEEK = 7 * 86400.0
+
+
+def make_ctx(n=4, *, baseline=250.0, limit=1400.0, demand=8, util=0.6,
+             index=2016, time=WEEK):
+    power = np.full(n, baseline)
+    return TickContext(
+        index=index, time=time, limit_watts=limit,
+        warning_watts=0.95 * limit,
+        observed_power=power, observed_util=np.full(n, util),
+        oracle_power=power.copy(), oracle_util=np.full(n, util),
+        demand_cores=np.full(n, demand, dtype=np.int64),
+        delta_full_watts=9.5)
+
+
+def history(n=4, baseline=250.0, demand=8):
+    times = np.arange(0.0, WEEK, 300.0)
+    power = np.full((n, len(times)), baseline)
+    demand_arr = np.zeros((n, len(times)), dtype=np.int64)
+    demand_arr[:, ::12] = demand  # demand every hour
+    return times, power, demand_arr
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name, 4).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_policy("Bogus", 4)
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            make_policy("Central", 0)
+
+
+class TestNaive:
+    def test_grants_everything(self):
+        policy = NaiveOClock(4)
+        ctx = make_ctx()
+        assert np.array_equal(policy.decide(ctx), ctx.demand_cores)
+
+    def test_fair_capping_mode(self):
+        assert NaiveOClock(4).capping_mode == "fair"
+
+
+class TestCentral:
+    def test_grants_up_to_headroom(self):
+        policy = CentralOracle(4)
+        # headroom = 1400 - 1000 = 400; expected delta 9.5*0.6 = 5.7/core
+        ctx = make_ctx(baseline=250.0, limit=1400.0, demand=20)
+        granted = policy.decide(ctx)
+        extra = granted.sum() * 9.5 * 0.6
+        assert extra <= 400.0
+        assert extra > 400.0 - 4 * 9.5  # packs nearly full
+
+    def test_grants_nothing_when_no_headroom(self):
+        policy = CentralOracle(4)
+        ctx = make_ctx(baseline=360.0, limit=1400.0)
+        assert policy.decide(ctx).sum() == 0
+
+    def test_round_robin_fairness(self):
+        policy = CentralOracle(4)
+        ctx = make_ctx(baseline=250.0, limit=1250.0, demand=20)
+        granted = policy.decide(ctx)
+        # Headroom for ~43 cores, spread across the 4 servers.
+        assert granted.min() >= granted.max() - 1
+
+
+class TestNoFeedback:
+    def test_respects_budgets_after_begin_week(self):
+        policy = NoFeedback(4)
+        times, power, demand = history()
+        policy.begin_week(times, power, demand, limit_watts=1400.0)
+        ctx = make_ctx(demand=50)
+        granted = policy.decide(ctx)
+        budgets = policy.budget_at(ctx)
+        assert budgets is not None
+        assert budgets.sum() == pytest.approx(1400.0)
+        # Grants must fit under the per-server budget.
+        predicted = policy._predicted_power(ctx)
+        expected_delta = 9.5 * 0.6
+        assert np.all(predicted + granted * expected_delta
+                      <= budgets + expected_delta)
+
+    def test_decide_before_begin_week_raises(self):
+        policy = NoFeedback(4)
+        with pytest.raises(RuntimeError, match="begin_week"):
+            policy.decide(make_ctx())
+
+    def test_enforcement_budget_exposed(self):
+        policy = NoFeedback(4)
+        times, power, demand = history()
+        policy.begin_week(times, power, demand, 1400.0)
+        ctx = make_ctx()
+        assert policy.enforcement_budget_at(ctx) is not None
+
+
+class TestSmartOClockKernel:
+    def test_exploration_raises_effective_budget(self):
+        policy = SmartOClockPolicy(4)
+        times, power, demand = history(baseline=330.0)
+        policy.begin_week(times, power, demand, limit_watts=1400.0)
+        # Rack nearly full: budgets tight, demand unmet → extra grows.
+        ctx = make_ctx(baseline=330.0, limit=1400.0, demand=30)
+        policy.decide(ctx)
+        assert policy.extra.sum() > 0
+
+    def test_ramp_respects_warning_band(self):
+        policy = SmartOClockPolicy(4)
+        times, power, demand = history(baseline=330.0)
+        policy.begin_week(times, power, demand, limit_watts=1400.0)
+        ctx = make_ctx(baseline=330.0, limit=1400.0, demand=30)
+        for i in range(20):
+            ctx2 = make_ctx(baseline=330.0, limit=1400.0, demand=30,
+                            index=ctx.index + i)
+            policy.decide(ctx2)
+        # Total overlay never pushes planned power past the warning line.
+        assert 4 * 330.0 + policy.extra.sum() <= 0.95 * 1400.0 + 1e-6
+
+    def test_cap_resets_overlay(self):
+        policy = SmartOClockPolicy(4)
+        times, power, demand = history(baseline=300.0)
+        policy.begin_week(times, power, demand, 1400.0)
+        ctx = make_ctx(baseline=300.0, demand=30)
+        policy.decide(ctx)
+        policy.extra[:] = 40.0
+        policy.on_cap(ctx)
+        assert policy.extra.sum() == 0.0
+
+    def test_warning_ignored_while_exploiting(self):
+        policy = SmartOClockPolicy(4, exploit_ticks=10)
+        times, power, demand = history(baseline=300.0)
+        policy.begin_week(times, power, demand, 1400.0)
+        ctx = make_ctx(baseline=300.0, demand=30)
+        policy.decide(ctx)
+        policy.on_warning(ctx)      # exploring → steps back + exploit
+        level = policy.extra.copy()
+        policy.on_warning(ctx)      # exploiting → ignored
+        assert np.array_equal(policy.extra, level)

@@ -1,0 +1,244 @@
+"""Tests for the Server Overclocking Agent."""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.soa import ServerOverclockingAgent
+from repro.core.types import (
+    ExhaustionKind,
+    OverclockRequest,
+    RejectionReason,
+    RequestKind,
+)
+
+TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
+MAX = DEFAULT_POWER_MODEL.plan.overclock_max_ghz
+WEEK = 7 * 86400.0
+
+
+def build(rack_limit=2000.0, config=None, vm_cores=8, vm_util=0.8,
+          n_servers=1):
+    rack = Rack("r", rack_limit)
+    servers = [Server(f"s{i}", DEFAULT_POWER_MODEL)
+               for i in range(n_servers)]
+    for s in servers:
+        rack.add_server(s)
+    server = servers[0]
+    vm = VirtualMachine(vm_cores, utilization=vm_util)
+    server.place_vm(vm)
+    soa = ServerOverclockingAgent(server, config or SmartOClockConfig())
+    return soa, server, vm
+
+
+def request_for(vm, kind=RequestKind.METRICS, duration=None, now=0.0):
+    return OverclockRequest(vm_id=vm.vm_id, kind=kind,
+                            target_freq_ghz=MAX, n_cores=vm.n_cores,
+                            time=now, duration_s=duration)
+
+
+class TestAdmission:
+    def test_grant_under_generous_budget(self):
+        soa, server, vm = build(rack_limit=5000.0)
+        decision = soa.handle_request(request_for(vm), now=0.0)
+        assert decision.granted
+        assert soa.is_overclocking(vm.vm_id)
+        assert decision.granted_until is not None
+
+    def test_reject_unknown_vm(self):
+        soa, server, vm = build()
+        stranger = VirtualMachine(4)
+        decision = soa.handle_request(request_for(stranger), now=0.0)
+        assert not decision.granted
+        assert decision.reason is RejectionReason.UNKNOWN_VM
+
+    def test_reject_double_grant(self):
+        soa, _, vm = build(rack_limit=5000.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        decision = soa.handle_request(request_for(vm), now=1.0)
+        assert decision.reason is RejectionReason.ALREADY_OVERCLOCKED
+
+    def test_reject_on_power_budget(self):
+        # Fair share of a tight rack is below the server's current draw.
+        soa, server, vm = build(rack_limit=185.0, vm_util=1.0)
+        decision = soa.handle_request(request_for(vm), now=0.0)
+        assert not decision.granted
+        assert decision.reason is RejectionReason.POWER_BUDGET
+        assert soa.requests_rejected_power == 1
+
+    def test_reject_on_lifetime_budget(self):
+        config = SmartOClockConfig(oc_budget_fraction=0.0)
+        soa, _, vm = build(rack_limit=5000.0, config=config)
+        decision = soa.handle_request(request_for(vm), now=0.0)
+        assert not decision.granted
+        assert decision.reason is RejectionReason.LIFETIME_BUDGET
+
+    def test_naive_config_grants_everything(self):
+        config = SmartOClockConfig(oc_budget_fraction=0.0).as_naive()
+        soa, _, vm = build(rack_limit=185.0, config=config)
+        assert soa.handle_request(request_for(vm), now=0.0).granted
+
+    def test_scheduled_request_reserves_budget(self):
+        soa, _, vm = build(rack_limit=5000.0)
+        duration = 3600.0
+        decision = soa.handle_request(
+            request_for(vm, RequestKind.SCHEDULED, duration), now=0.0)
+        assert decision.granted
+        assert decision.granted_until == pytest.approx(duration)
+        core = soa.server.vm_cores(vm)[0]
+        assert soa.core_budgets[core.index].reserved_seconds == \
+            pytest.approx(duration)
+
+    def test_scheduled_request_rejected_when_window_too_long(self):
+        soa, _, vm = build(rack_limit=5000.0)
+        too_long = 0.2 * WEEK  # exceeds the 10% weekly budget
+        decision = soa.handle_request(
+            request_for(vm, RequestKind.SCHEDULED, too_long), now=0.0)
+        assert decision.reason is RejectionReason.LIFETIME_BUDGET
+
+
+class TestControlLoop:
+    def test_granted_vm_ramps_to_target(self):
+        soa, server, vm = build(rack_limit=5000.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        soa.control_tick(10.0, dt=10.0)
+        assert vm.freq_ghz == pytest.approx(MAX)
+
+    def test_lifetime_budget_consumed_while_overclocked(self):
+        soa, server, vm = build(rack_limit=5000.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        soa.control_tick(10.0, dt=10.0)   # ramps up
+        core = server.vm_cores(vm)[0]
+        before = soa.core_budgets[core.index].available_seconds(20.0)
+        soa.control_tick(20.0, dt=10.0)   # now overclocked: consumes
+        after = soa.core_budgets[core.index].available_seconds(30.0)
+        assert after < before
+
+    def test_grant_expires(self):
+        soa, server, vm = build(rack_limit=5000.0)
+        revoked = []
+        soa.on_grant_revoked = lambda v, why, now: revoked.append(why)
+        decision = soa.handle_request(
+            request_for(vm, RequestKind.SCHEDULED, duration=15.0), now=0.0)
+        soa.control_tick(10.0, dt=10.0)
+        assert soa.is_overclocking(vm.vm_id)
+        soa.control_tick(20.0, dt=10.0)
+        assert not soa.is_overclocking(vm.vm_id)
+        assert vm.freq_ghz == pytest.approx(TURBO)
+        assert any("expired" in why for why in revoked)
+
+    def test_budget_exhaustion_reschedules_cores(self):
+        """§IV-D: when a VM's cores run dry, the sOA moves it to cores
+        with remaining budget instead of revoking."""
+        config = SmartOClockConfig(oc_budget_fraction=0.0001)
+        soa, server, vm = build(rack_limit=5000.0, config=config,
+                                vm_cores=4)
+        soa.handle_request(request_for(vm), now=0.0)
+        original_cores = {c.index for c in server.vm_cores(vm)}
+        soa.control_tick(10.0, dt=10.0)
+        # Burn through the tiny budget (0.0001 * week ≈ 60s).
+        for t in range(2, 10):
+            soa.control_tick(t * 10.0, dt=10.0)
+        if soa.is_overclocking(vm.vm_id):
+            new_cores = {c.index for c in server.vm_cores(vm)}
+            assert new_cores != original_cores
+
+    def test_stop_overclock_returns_to_turbo(self):
+        soa, server, vm = build(rack_limit=5000.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        soa.control_tick(10.0, dt=10.0)
+        soa.stop_overclock(vm.vm_id, now=20.0)
+        assert vm.freq_ghz == pytest.approx(TURBO)
+        assert not soa.is_overclocking(vm.vm_id)
+
+    def test_stop_releases_scheduled_reservation(self):
+        soa, server, vm = build(rack_limit=5000.0)
+        soa.handle_request(
+            request_for(vm, RequestKind.SCHEDULED, duration=3600.0),
+            now=0.0)
+        soa.stop_overclock(vm.vm_id, now=0.0)
+        core = server.vm_cores(vm)[0]
+        assert soa.core_budgets[core.index].reserved_seconds == \
+            pytest.approx(0.0)
+
+    def test_invalid_dt(self):
+        soa, _, _ = build()
+        with pytest.raises(ValueError):
+            soa.control_tick(0.0, dt=0.0)
+
+
+class TestBudgets:
+    def test_fair_share_before_assignment(self):
+        soa, _, _ = build(rack_limit=1000.0, n_servers=4)
+        assert soa.assigned_budget(0.0) == pytest.approx(250.0)
+
+    def test_exploration_extends_effective_budget(self):
+        soa, _, _ = build()
+        soa.explorer.extra_watts = 40.0
+        assert soa.effective_budget(0.0) == pytest.approx(
+            soa.assigned_budget(0.0) + 40.0)
+
+    def test_rejection_drives_exploration(self):
+        """A power-rejected request counts as constrained demand."""
+        soa, server, vm = build(rack_limit=370.0, vm_util=1.0,
+                                n_servers=2)
+        decision = soa.handle_request(request_for(vm), now=0.0)
+        assert decision.reason is RejectionReason.POWER_BUDGET
+        soa.control_tick(1.0, dt=1.0)
+        assert soa.explorer.extra_watts > 0
+
+
+class TestTelemetryAndProfiles:
+    def test_profile_report_shape(self):
+        config = SmartOClockConfig()
+        soa, server, vm = build(rack_limit=5000.0, config=config)
+        soa.telemetry_tick(0.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        report = soa.build_profile_report()
+        n_slots = int(WEEK / config.budget_slot_s)
+        assert len(report.regular_power_watts) == n_slots
+        assert report.oc_requested_cores.max() == vm.n_cores
+
+    def test_regular_power_excludes_overclock_delta(self):
+        soa, server, vm = build(rack_limit=5000.0, vm_util=1.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        soa.control_tick(10.0, dt=10.0)  # now at 4.0 GHz
+        soa.telemetry_tick(10.0)
+        report = soa.build_profile_report()
+        slot = int(10.0 // soa.config.budget_slot_s)
+        measured = server.power_watts()
+        assert report.regular_power_watts[slot] < measured
+
+    def test_reset_profile_window(self):
+        soa, _, vm = build(rack_limit=5000.0)
+        soa.handle_request(request_for(vm), now=0.0)
+        soa.reset_profile_window()
+        report = soa.build_profile_report()
+        assert report.oc_requested_cores.max() == 0
+
+
+class TestExhaustionPrediction:
+    def test_lifetime_exhaustion_signal(self):
+        config = SmartOClockConfig(oc_budget_fraction=0.0005,
+                                   exhaustion_window_s=900.0)
+        soa, server, vm = build(rack_limit=5000.0, config=config)
+        signals = []
+        soa.on_exhaustion = signals.append
+        # budget ≈ 0.0005 * week ≈ 302s < 900s window → signal at grant.
+        soa.handle_request(request_for(vm), now=0.0)
+        soa.control_tick(10.0, dt=10.0)
+        assert signals
+        assert signals[0].kind is ExhaustionKind.LIFETIME
+        assert signals[0].time_to_exhaustion_s <= 900.0
+
+    def test_no_signal_without_grants(self):
+        soa, _, _ = build(rack_limit=5000.0)
+        signals = []
+        soa.on_exhaustion = signals.append
+        soa.control_tick(10.0, dt=10.0)
+        assert signals == []
+
+    def test_power_exhaustion_needs_template(self):
+        soa, _, vm = build(rack_limit=5000.0)
+        assert soa.predict_power_exhaustion(0.0) is None

@@ -1,0 +1,98 @@
+"""Tests for automatic threshold inference (§IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.threshold_inference import (
+    estimate_overclock_impact,
+    infer_trigger_policy,
+)
+
+
+def diurnal_history(n=1000, peak=9.0, base=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 4 * np.pi, n)
+    latency = base + (peak - base) * np.clip(np.sin(t), 0, 1)
+    return latency + rng.normal(0, 0.1, n)
+
+
+class TestImpactEstimate:
+    def test_core_bound_impact(self):
+        assert estimate_overclock_impact(freq_sensitivity=1.0) == \
+            pytest.approx(4.0 / 3.3)
+
+    def test_memory_bound_impact_small(self):
+        assert estimate_overclock_impact(freq_sensitivity=0.2) < 1.05
+
+
+class TestInference:
+    def test_scale_up_at_budgeted_quantile(self):
+        """Paper: 'use P90 of historical value if overclocking can be
+        performed for 10% of the time only'."""
+        history = diurnal_history()
+        inferred = infer_trigger_policy(history, slo=12.0,
+                                        budget_fraction=0.10)
+        assert inferred.scale_up_value == pytest.approx(
+            float(np.quantile(history, 0.90)), rel=1e-9)
+
+    def test_scale_up_never_exceeds_slo(self):
+        history = diurnal_history(peak=30.0)
+        inferred = infer_trigger_policy(history, slo=12.0,
+                                        budget_fraction=0.5)
+        assert inferred.scale_up_value <= 12.0
+
+    def test_stop_below_post_boost_level(self):
+        """The dithering rule: the stop threshold sits below where the
+        boosted metric is expected to settle."""
+        history = diurnal_history()
+        inferred = infer_trigger_policy(history, slo=12.0,
+                                        overclock_impact=1.2,
+                                        dithering_margin=0.25)
+        post_boost = inferred.scale_up_value / 1.2
+        assert inferred.scale_down_value < post_boost
+
+    def test_smaller_budget_raises_threshold(self):
+        history = diurnal_history()
+        tight = infer_trigger_policy(history, slo=12.0,
+                                     budget_fraction=0.05)
+        loose = infer_trigger_policy(history, slo=12.0,
+                                     budget_fraction=0.30)
+        assert tight.scale_up_value >= loose.scale_up_value
+
+    def test_policy_is_valid(self):
+        inferred = infer_trigger_policy(diurnal_history(), slo=12.0)
+        policy = inferred.policy
+        assert 0 < policy.stop_fraction < policy.start_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            infer_trigger_policy([], slo=10.0)
+        with pytest.raises(ValueError):
+            infer_trigger_policy([1.0], slo=0.0)
+        with pytest.raises(ValueError):
+            infer_trigger_policy([1.0], slo=10.0, budget_fraction=1.0)
+        with pytest.raises(ValueError):
+            infer_trigger_policy([1.0], slo=10.0, overclock_impact=0.9)
+        with pytest.raises(ValueError):
+            infer_trigger_policy([1.0], slo=10.0, dithering_margin=1.0)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=5, max_size=200),
+           st.floats(0.02, 0.5))
+    @settings(max_examples=60)
+    def test_always_produces_valid_policy(self, history, budget):
+        inferred = infer_trigger_policy(history, slo=50.0,
+                                        budget_fraction=budget)
+        assert 0 < inferred.policy.stop_fraction \
+            < inferred.policy.start_fraction
+
+    def test_trigger_fires_for_budgeted_share(self):
+        """End-to-end: the inferred policy triggers for roughly the
+        lifetime-budgeted share of the history that produced it."""
+        history = diurnal_history(n=5000)
+        slo = 12.0
+        inferred = infer_trigger_policy(history, slo,
+                                        budget_fraction=0.10)
+        fired = np.mean(history > inferred.policy.start_fraction * slo)
+        assert 0.03 <= fired <= 0.2

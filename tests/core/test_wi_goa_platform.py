@@ -1,0 +1,250 @@
+"""Tests for Workload Intelligence agents, the gOA, and the platform."""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.platform import SmartOClockPlatform
+from repro.core.soa import ServerOverclockingAgent
+from repro.core.types import ExhaustionKind, ExhaustionSignal
+from repro.core.workload_intelligence import (
+    GlobalWIAgent,
+    LocalWIAgent,
+    MetricsTriggerPolicy,
+    OverclockSchedule,
+)
+
+TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
+MAX = DEFAULT_POWER_MODEL.plan.overclock_max_ghz
+DAY = 86400.0
+
+
+def build_platform(rack_limit=8000.0, n_servers=2,
+                   config=None) -> tuple[SmartOClockPlatform, list]:
+    rack = Rack("r0", rack_limit)
+    servers = [Server(f"s{i}", DEFAULT_POWER_MODEL)
+               for i in range(n_servers)]
+    for s in servers:
+        rack.add_server(s)
+    dc = Datacenter()
+    dc.add_rack(rack)
+    return SmartOClockPlatform(dc, config), servers
+
+
+class TestMetricsTriggerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricsTriggerPolicy(start_fraction=0.4, stop_fraction=0.5)
+        with pytest.raises(ValueError):
+            MetricsTriggerPolicy(consecutive=0)
+
+
+class TestOverclockSchedule:
+    def test_active_within_window(self):
+        schedule = OverclockSchedule([((0, 1, 2, 3, 4), 10.0, 12.0)])
+        monday_11am = 11 * 3600.0
+        assert schedule.active(monday_11am)
+        assert not schedule.active(9 * 3600.0)
+
+    def test_weekend_excluded(self):
+        schedule = OverclockSchedule([((0, 1, 2, 3, 4), 10.0, 12.0)])
+        saturday_11am = 5 * DAY + 11 * 3600.0
+        assert not schedule.active(saturday_11am)
+
+    def test_remaining_duration(self):
+        schedule = OverclockSchedule([((0,), 10.0, 12.0)])
+        assert schedule.next_window_duration_s(11 * 3600.0) == \
+            pytest.approx(3600.0)
+        assert schedule.next_window_duration_s(13 * 3600.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverclockSchedule([((), 10.0, 12.0)])
+        with pytest.raises(ValueError):
+            OverclockSchedule([((0,), 12.0, 10.0)])
+        with pytest.raises(ValueError):
+            OverclockSchedule([((9,), 10.0, 12.0)])
+
+
+class TestGlobalWIAgent:
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            GlobalWIAgent("svc")
+
+    def test_metrics_hysteresis(self):
+        agent = GlobalWIAgent("svc", metrics_policy=MetricsTriggerPolicy(
+            start_fraction=0.7, stop_fraction=0.3, consecutive=2))
+        slo = 10.0
+        assert not agent.observe(0.0, 8.0, slo)   # first high tick
+        assert agent.observe(1.0, 8.0, slo)       # second: triggers
+        assert agent.observe(2.0, 5.0, slo)       # in band: stays on
+        agent.observe(3.0, 2.0, slo)
+        assert not agent.observe(4.0, 2.0, slo)   # two lows: off
+
+    def test_schedule_based_wants_overclock(self):
+        agent = GlobalWIAgent("svc", schedule=OverclockSchedule(
+            [((0,), 0.0, 24.0)]))
+        assert agent.wants_overclock(3600.0)
+        assert not agent.wants_overclock(DAY + 3600.0)
+
+    def test_rejections_trigger_scale_out(self):
+        calls = []
+        agent = GlobalWIAgent(
+            "svc", metrics_policy=MetricsTriggerPolicy(),
+            scale_out_handler=lambda now, n: calls.append((now, n)),
+            rejections_per_scale_out=2)
+        agent.on_rejection(1.0)
+        assert calls == []
+        agent.on_rejection(2.0)
+        assert calls == [(2.0, 1)]
+
+    def test_exhaustion_triggers_immediate_scale_out(self):
+        calls = []
+        agent = GlobalWIAgent(
+            "svc", metrics_policy=MetricsTriggerPolicy(),
+            scale_out_handler=lambda now, n: calls.append(now))
+        agent.on_exhaustion(ExhaustionSignal(
+            "s0", ExhaustionKind.POWER, time=5.0,
+            time_to_exhaustion_s=600.0))
+        assert calls == [5.0]
+        assert agent.exhaustion_signals == 1
+
+
+class TestLocalWIAgentIntegration:
+    def test_start_stop_via_soa(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy())
+        local = platform.attach_vm("svc", vm, target_freq_ghz=MAX)
+        decision = local.start(0.0)
+        assert decision.granted
+        assert local.overclocking
+        local.stop(1.0)
+        assert not local.overclocking
+
+    def test_grant_and_rejection_counters(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        platform.register_service("svc",
+                                  metrics_policy=MetricsTriggerPolicy())
+        local = platform.attach_vm("svc", vm)
+        local.start(0.0)
+        local.start(1.0)  # already overclocked → rejected
+        assert local.grants == 1
+        assert local.rejections == 1
+
+
+class TestPlatform:
+    def test_observe_drives_overclocking(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(8, utilization=0.9)
+        servers[0].place_vm(vm)
+        service = platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        platform.attach_vm("svc", vm)
+        service.observe(0.0, p99_ms=9.5, slo_ms=10.0)
+        platform.tick(0.0, dt=10.0)
+        assert vm.freq_ghz > TURBO
+
+    def test_observe_low_latency_stops(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(8, utilization=0.9)
+        servers[0].place_vm(vm)
+        service = platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        platform.attach_vm("svc", vm)
+        service.observe(0.0, 9.5, 10.0)
+        platform.tick(0.0, dt=10.0)
+        service.observe(10.0, 1.0, 10.0)
+        platform.tick(10.0, dt=10.0)
+        assert vm.freq_ghz == pytest.approx(TURBO)
+
+    def test_duplicate_service_rejected(self):
+        platform, _ = build_platform()
+        platform.register_service("svc",
+                                  metrics_policy=MetricsTriggerPolicy())
+        with pytest.raises(ValueError, match="already"):
+            platform.register_service("svc",
+                                      metrics_policy=MetricsTriggerPolicy())
+
+    def test_attach_unplaced_vm_rejected(self):
+        platform, _ = build_platform()
+        platform.register_service("svc",
+                                  metrics_policy=MetricsTriggerPolicy())
+        with pytest.raises(ValueError, match="placed"):
+            platform.attach_vm("svc", VirtualMachine(4))
+
+    def test_attach_to_unknown_service(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(4)
+        servers[0].place_vm(vm)
+        with pytest.raises(KeyError):
+            platform.attach_vm("nope", vm)
+
+    def test_grant_statistics(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        platform.register_service("svc",
+                                  metrics_policy=MetricsTriggerPolicy())
+        local = platform.attach_vm("svc", vm)
+        local.start(0.0)
+        stats = platform.grant_statistics()
+        assert stats["received"] == 1
+        assert stats["granted"] == 1
+
+    def test_capping_wired_to_soas(self):
+        """A rack cap event must reach every sOA's explorer."""
+        platform, servers = build_platform(rack_limit=340.0)
+        vm = VirtualMachine(16, utilization=1.0)
+        servers[0].place_vm(vm)
+        platform.tick(0.0, dt=10.0)
+        assert platform.total_cap_events() >= 1
+        soa = platform.soas["s0"]
+        assert soa.explorer.caps_seen >= 1
+
+    def test_goa_budget_update_cycle(self):
+        platform, servers = build_platform()
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        platform.register_service("svc",
+                                  metrics_policy=MetricsTriggerPolicy())
+        platform.attach_vm("svc", vm)
+        for i in range(4):
+            platform.tick(i * 300.0, dt=300.0)
+        platform.force_budget_update(1200.0)
+        goa = platform.goas["r0"]
+        assert goa.budget_updates == 1
+        assignment = goa.assignment
+        assert assignment is not None
+        total = assignment.total_at(0.0)
+        assert total == pytest.approx(8000.0)
+
+    def test_budgets_pushed_to_soas(self):
+        platform, servers = build_platform()
+        for i in range(4):
+            platform.tick(i * 300.0, dt=300.0)
+        platform.force_budget_update(1200.0)
+        soa = platform.soas["s0"]
+        assert soa._assignment is not None
+
+
+class TestGoaValidation:
+    def test_goa_requires_soas(self):
+        from repro.core.goa import GlobalOverclockingAgent
+        rack = Rack("r", 1000.0)
+        with pytest.raises(ValueError):
+            GlobalOverclockingAgent(rack, SmartOClockConfig(), [])
+
+    def test_goa_rejects_foreign_soa(self):
+        from repro.core.goa import GlobalOverclockingAgent
+        rack1, rack2 = Rack("r1", 1000.0), Rack("r2", 1000.0)
+        server = Server("s", DEFAULT_POWER_MODEL)
+        rack2.add_server(server)
+        soa = ServerOverclockingAgent(server, SmartOClockConfig())
+        with pytest.raises(ValueError, match="not in rack"):
+            GlobalOverclockingAgent(rack1, SmartOClockConfig(), [soa])

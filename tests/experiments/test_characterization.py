@@ -1,0 +1,205 @@
+"""Tests for the §II-III characterization drivers (Figs. 1-9)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.characterization import (
+    fig1_load_patterns,
+    fig2_fig3_microservice_sweep,
+    fig4_webconf,
+    fig5_rack_power_cdf,
+    fig6_rack_week,
+    fig7_aging_policies,
+    fig8_prediction_rmse_by_region,
+    fig9_server_heterogeneity,
+    dominant_server_changes,
+)
+
+
+class TestFig1:
+    def test_three_services(self):
+        patterns = fig1_load_patterns()
+        assert set(patterns) == {"Service A", "Service B", "Service C"}
+
+    def test_service_a_peaks_in_business_window(self):
+        hours, levels = fig1_load_patterns()["Service A"]
+        peak_hours = hours[levels > 0.99]
+        assert peak_hours.min() >= 9.0 and peak_hours.max() <= 13.0
+
+    def test_services_bc_have_top_of_hour_spikes(self):
+        hours, levels = fig1_load_patterns(step_s=60.0)["Service B"]
+        minute = (hours * 60.0) % 60.0
+        spike = levels[minute < 5.0]
+        rest = levels[(minute > 10.0) & (minute < 25.0)]
+        assert spike.mean() > 1.5 * rest.mean()
+
+
+class TestFig2Fig3:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return fig2_fig3_microservice_sweep()
+
+    def test_full_grid(self, sweep):
+        assert len(sweep) == 8 * 3 * 3
+
+    def test_overclock_beats_baseline(self, sweep):
+        """Overclocking reduces tail latency everywhere."""
+        by_key = {(p.service, p.load, p.environment): p for p in sweep}
+        for service in {p.service for p in sweep}:
+            for load in ("low", "medium", "high"):
+                base = by_key[(service, load, "Baseline")]
+                oc = by_key[(service, load, "Overclock")]
+                assert oc.p99_ms < base.p99_ms
+
+    def test_scaleout_has_best_latency_at_high_load(self, sweep):
+        by_key = {(p.service, p.load, p.environment): p for p in sweep}
+        for service in {p.service for p in sweep}:
+            so = by_key[(service, "high", "ScaleOut")]
+            base = by_key[(service, "high", "Baseline")]
+            assert so.p99_ms < base.p99_ms
+
+    def test_usr_tolerates_higher_utilization(self, sweep):
+        """§III Q1: Usr stays within SLO at loads (and utilizations)
+        where UrlShort has long since failed."""
+        by_key = {(p.service, p.load, p.environment): p for p in sweep}
+        usr = by_key[("Usr", "medium", "Baseline")]
+        assert usr.meets_slo
+        assert usr.utilization > by_key[
+            ("UrlShort", "low", "Baseline")].utilization
+
+    def test_urlshort_violates_at_low_utilization(self, sweep):
+        """...while UrlShort misses its SLO even at low utilization."""
+        by_key = {(p.service, p.load, p.environment): p for p in sweep}
+        urlshort = by_key[("UrlShort", "low", "Baseline")]
+        assert not urlshort.meets_slo
+        # And its utilization really is lower than Usr's at high load:
+        assert urlshort.utilization < by_key[
+            ("Usr", "high", "Baseline")].utilization
+
+    def test_utilization_ordering(self, sweep):
+        """Overclock lowers utilization; ScaleOut halves it."""
+        by_key = {(p.service, p.load, p.environment): p for p in sweep}
+        point = by_key[("ComposePost", "medium", "Baseline")]
+        assert by_key[("ComposePost", "medium", "Overclock")].utilization \
+            < point.utilization
+        assert by_key[("ComposePost", "medium", "ScaleOut")].utilization \
+            == pytest.approx(point.utilization / 2, rel=1e-6)
+
+
+class TestFig4:
+    def test_deployment_goal_met_without_overclocking(self):
+        results = fig4_webconf()
+        assert results["Baseline"]["meets_target"]
+        assert not results["Baseline"]["overclock_needed"]
+
+    def test_overclocking_lowers_vm2_utilization(self):
+        results = fig4_webconf()
+        assert results["Overclock"]["vm2_util"] < \
+            results["Baseline"]["vm2_util"]
+
+    def test_vm1_untouched(self):
+        results = fig4_webconf()
+        assert results["Overclock"]["vm1_util"] == pytest.approx(
+            results["Baseline"]["vm1_util"])
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def cdfs(self):
+        return fig5_rack_power_cdf(n_racks=40, seed=11)
+
+    def test_has_three_series(self, cdfs):
+        assert set(cdfs) == {"avg", "p50", "p99"}
+
+    def test_median_average_utilization_near_paper(self, cdfs):
+        """Paper: half the racks average below 66 %."""
+        median_avg = cdfs["avg"].value_at(0.5)
+        assert 0.45 <= median_avg <= 0.75
+
+    def test_median_p99_utilization_near_paper(self, cdfs):
+        """Paper: 50 % of racks have P99 below 73 %."""
+        median_p99 = cdfs["p99"].value_at(0.5)
+        assert 0.6 <= median_p99 <= 0.85
+
+    def test_ordering_avg_p50_p99(self, cdfs):
+        assert cdfs["avg"].value_at(0.5) <= cdfs["p99"].value_at(0.5)
+
+
+class TestFig6:
+    def test_baseline_under_limit_overclock_over(self):
+        """Fig. 6: baseline stays below the limit; naive overclocking
+        exceeds it part of the time."""
+        series = fig6_rack_week()
+        assert series.baseline_cap_fraction < 0.02
+        assert series.overclocked_cap_fraction > 0.0
+
+    def test_majority_of_time_has_headroom(self):
+        """Paper: no capping for ~85 % of the time even when naive."""
+        series = fig6_rack_week()
+        assert series.no_cap_fraction > 0.6
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def aging(self):
+        return fig7_aging_policies(days=5)
+
+    def test_four_policies(self, aging):
+        assert set(aging) == {"Expected ageing", "Non-overclocked",
+                              "Always overclock", "Overclock-aware"}
+
+    def test_expected_is_identity(self, aging):
+        assert aging["Expected ageing"][-1] == pytest.approx(5.0, rel=0.01)
+
+    def test_non_overclocked_under_two_days(self, aging):
+        """Paper: 'actual ageing is less than 2 days' over 5 days."""
+        assert aging["Non-overclocked"][-1] < 2.0
+
+    def test_always_overclock_over_ten_days(self, aging):
+        """Paper: 'Always overclock ages the CPU over 10 days'."""
+        assert aging["Always overclock"][-1] > 10.0
+
+    def test_overclock_aware_within_expected(self, aging):
+        """Paper: the aware policy consumes credits without exceeding the
+        expected ageing."""
+        assert aging["Overclock-aware"][-1] <= 5.0 * 1.05
+        assert aging["Overclock-aware"][-1] > aging["Non-overclocked"][-1]
+
+    def test_cumulative_series_monotone(self, aging):
+        for series in aging.values():
+            assert np.all(np.diff(series) >= -1e-12)
+
+
+class TestFig8:
+    def test_regional_ordering(self):
+        cdfs = fig8_prediction_rmse_by_region(n_racks=8, seed=31)
+        assert len(cdfs) == 4
+        medians = [cdf.value_at(0.5) for cdf in cdfs.values()]
+        # Noisier regions have larger median RMSE.
+        assert medians[0] < medians[-1]
+
+    def test_rmse_small_relative_to_server_power(self):
+        """Paper: RMSE low even at high percentiles (watts-level)."""
+        cdfs = fig8_prediction_rmse_by_region(n_racks=8, seed=31)
+        for cdf in cdfs.values():
+            assert cdf.value_at(0.9) < 30.0  # W per server
+
+
+class TestFig9:
+    def test_six_servers_normalized(self):
+        series = fig9_server_heterogeneity()
+        assert len(series) == 6
+        for values in series.values():
+            assert values.max() <= 1.0 + 1e-9
+
+    def test_servers_spread_by_thirty_percent(self):
+        """Paper: 'some servers may use even 30 % less power'."""
+        series = fig9_server_heterogeneity()
+        matrix = np.stack(list(series.values()))
+        spread = matrix.max(axis=0) - matrix.min(axis=0)
+        assert spread.max() >= 0.3
+
+    def test_dominant_server_changes(self):
+        """Paper: the power-dominant server changes over time."""
+        series = fig9_server_heterogeneity()
+        assert dominant_server_changes(series) >= 2

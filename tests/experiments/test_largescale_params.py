@@ -1,0 +1,53 @@
+"""Parameter-sensitivity tests for the trace-driven simulator."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.experiments.largescale import simulate_rack
+from repro.traces.synthetic import FleetConfig, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def rack():
+    fleet = generate_fleet(FleetConfig(
+        n_racks=1, weeks=2, seed=17, servers_per_rack_min=10,
+        servers_per_rack_max=10, p99_util_beta=(2.0, 2.0),
+        p99_util_range=(0.86, 0.94)))
+    return fleet.racks[0]
+
+
+class TestWarningFraction:
+    def test_lower_threshold_means_more_warnings(self, rack):
+        low = simulate_rack(rack, make_policy("NoFeedback",
+                                              len(rack.servers)),
+                            warning_fraction=0.85)
+        high = simulate_rack(rack, make_policy("NoFeedback",
+                                               len(rack.servers)),
+                             warning_fraction=0.99)
+        assert low.warnings >= high.warnings
+
+
+class TestTargetFrequency:
+    def test_lower_target_reduces_performance_ceiling(self, rack):
+        full = simulate_rack(rack, make_policy("Central",
+                                               len(rack.servers)),
+                             target_freq_ghz=4.0)
+        mild = simulate_rack(rack, make_policy("Central",
+                                               len(rack.servers)),
+                             target_freq_ghz=3.6)
+        assert mild.normalized_performance <= \
+            full.normalized_performance + 1e-9
+        # But a milder boost fits more grants under the same headroom.
+        assert mild.success_rate >= full.success_rate - 1e-9
+
+
+class TestAccountingIdentities:
+    @pytest.mark.parametrize("name", ["Central", "NaiveOClock",
+                                      "NoFeedback", "NoWarning",
+                                      "SmartOClock"])
+    def test_rates_in_bounds_for_every_policy(self, rack, name):
+        result = simulate_rack(rack, make_policy(name, len(rack.servers)))
+        assert 0.0 <= result.success_rate <= 1.0
+        assert 1.0 - 0.5 <= result.normalized_performance <= 4.0 / 3.3
+        assert result.granted_core_ticks <= result.demanded_core_ticks
+        assert result.warnings >= result.cap_events

@@ -1,0 +1,54 @@
+"""Tests for result formatting/reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.largescale import PolicyScore, format_table1
+from repro.experiments.cluster import ClassMetrics, EnvironmentResult
+
+
+def score(name, caps=10, norm=2.0, success=0.9, penalty=0.1, perf=1.15):
+    return PolicyScore(policy=name, cap_events=caps, normalized_caps=norm,
+                       success_rate=success, cap_penalty=penalty,
+                       normalized_performance=perf)
+
+
+class TestTable1Formatting:
+    def test_row_contains_all_columns(self):
+        row = score("SmartOClock").row()
+        assert "SmartOClock" in row
+        assert "90.0%" in row
+        assert "1.150" in row
+
+    def test_format_groups_by_cluster(self):
+        results = {
+            "High-Power": {"Central": score("Central"),
+                           "SmartOClock": score("SmartOClock")},
+            "Low-Power": {"Central": score("Central")},
+        }
+        text = format_table1(results)
+        assert "--- High-Power ---" in text
+        assert "--- Low-Power ---" in text
+        assert text.index("High-Power") < text.index("Low-Power")
+
+    def test_unknown_policies_skipped(self):
+        results = {"X": {"Mystery": score("Mystery")}}
+        text = format_table1(results)
+        assert "Mystery" not in text
+
+
+class TestEnvironmentResult:
+    def test_avg_instances_overall(self):
+        metrics = {
+            name: ClassMetrics(p99_ms=1.0, mean_ms=1.0,
+                               missed_slo_fraction=0.0,
+                               avg_instances=n,
+                               home_server_energy_j=1.0)
+            for name, n in (("low", 1.0), ("medium", 2.0), ("high", 3.0))
+        }
+        result = EnvironmentResult(
+            environment="x", per_class=metrics, total_energy_j=1.0,
+            ml_throughput=1.0, cap_events=0, overclock_grants=0,
+            overclock_rejections=0, scale_outs=0,
+            missed_slo_ticks_fraction=0.0)
+        assert result.avg_instances_overall() == pytest.approx(2.0)

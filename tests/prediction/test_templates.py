@@ -1,0 +1,218 @@
+"""Tests for power-template strategies (§IV-B, Fig. 15)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.predictor import (
+    TemplateStore,
+    evaluate_template,
+)
+from repro.prediction.templates import (
+    DailyMaxTemplate,
+    DailyMedTemplate,
+    FlatMaxTemplate,
+    FlatMedTemplate,
+    TemplateKind,
+    WeeklyTemplate,
+    build_template,
+)
+
+DAY = 86400.0
+WEEK = 7 * DAY
+STEP = 300.0
+
+
+def weekday_series(weeks=1, base=200.0, amplitude=100.0, noise=0.0,
+                   seed=0):
+    """Sinusoidal daily pattern over full weeks."""
+    times = np.arange(0.0, weeks * WEEK, STEP)
+    hours = (times % DAY) / 3600.0
+    values = base + amplitude * 0.5 * (1 + np.cos(
+        2 * np.pi * (hours - 13.0) / 24.0))
+    if noise:
+        values = values + np.random.default_rng(seed).normal(
+            0, noise, size=values.shape)
+    return times, values
+
+
+class TestFlatTemplates:
+    def test_flat_med_is_median(self):
+        times = np.arange(5) * STEP
+        values = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        template = FlatMedTemplate(times, values)
+        assert template.predict(999.0) == 3.0
+
+    def test_flat_max_is_max(self):
+        times = np.arange(5) * STEP
+        values = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert FlatMaxTemplate(times, values).predict(0.0) == 100.0
+
+    def test_flat_max_never_underpredicts_history(self):
+        times, values = weekday_series()
+        template = FlatMaxTemplate(times, values)
+        assert all(template.predict(float(t)) >= v
+                   for t, v in zip(times, values))
+
+
+class TestWeeklyTemplate:
+    def test_replays_last_week(self):
+        times, values = weekday_series(weeks=2)
+        template = WeeklyTemplate(times, values)
+        # Predicting week 3 returns week 2's value at the same offset.
+        t = 2 * WEEK + 10 * 3600.0
+        expected = values[int((WEEK + 10 * 3600.0) / STEP)]
+        assert template.predict(t) == pytest.approx(expected)
+
+    def test_needs_full_week(self):
+        times = np.arange(10) * STEP
+        with pytest.raises(ValueError, match="full week"):
+            WeeklyTemplate(times, np.ones(10))
+
+    def test_outlier_day_pollutes_weekly(self):
+        """An anomalous Tuesday last week replays into next Tuesday —
+        the robustness failure DailyMed avoids (§IV-B)."""
+        times, values = weekday_series(weeks=1)
+        day_slice = slice(int(DAY / STEP), int(2 * DAY / STEP))
+        polluted = values.copy()
+        polluted[day_slice] *= 3.0
+        weekly = WeeklyTemplate(times, polluted)
+        daily = DailyMedTemplate(times, polluted)
+        t = WEEK + 1.5 * DAY  # next week's Tuesday
+        clean_value = values[int(1.5 * DAY / STEP)]
+        assert abs(weekly.predict(t) - clean_value) > \
+            abs(daily.predict(t) - clean_value)
+
+
+class TestDailyTemplates:
+    def test_daily_med_is_per_slot_median(self):
+        times, values = weekday_series(weeks=1)
+        template = DailyMedTemplate(times, values)
+        # 9 AM next Monday should equal the 9 AM median of weekdays.
+        t = WEEK + 9 * 3600.0
+        slot_values = [values[int((d * DAY + 9 * 3600.0) / STEP)]
+                       for d in range(5)]
+        assert template.predict(t) == pytest.approx(
+            float(np.median(slot_values)))
+
+    def test_daily_max_at_least_daily_med(self):
+        times, values = weekday_series(weeks=1, noise=5.0)
+        med = DailyMedTemplate(times, values)
+        mx = DailyMaxTemplate(times, values)
+        probes = WEEK + np.arange(0, DAY, 3600.0)
+        assert all(mx.predict(float(t)) >= med.predict(float(t)) - 1e-9
+                   for t in probes)
+
+    def test_weekend_template_separate(self):
+        times = np.arange(0.0, WEEK, STEP)
+        weekday = ((times // DAY).astype(int) % 7) < 5
+        values = np.where(weekday, 300.0, 100.0)
+        template = DailyMedTemplate(times, values)
+        assert template.predict(WEEK + 3600.0) == pytest.approx(300.0)
+        saturday = WEEK + 5 * DAY + 3600.0
+        assert template.predict(saturday) == pytest.approx(100.0)
+
+    def test_weekday_only_history_falls_back(self):
+        times = np.arange(0.0, 2 * DAY, STEP)  # Mon-Tue only
+        values = np.full(times.shape, 250.0)
+        template = DailyMedTemplate(times, values)
+        assert template.predict(5 * DAY + 3600.0) == pytest.approx(250.0)
+
+
+class TestBuildTemplate:
+    def test_builds_each_kind(self):
+        times, values = weekday_series(weeks=1)
+        for kind in TemplateKind:
+            template = build_template(kind, times, values)
+            assert template.kind is kind
+
+    def test_accepts_string_kind(self):
+        times, values = weekday_series(weeks=1)
+        assert build_template("DailyMed", times, values).kind is \
+            TemplateKind.DAILY_MED
+
+    def test_unknown_kind_rejected(self):
+        times, values = weekday_series(weeks=1)
+        with pytest.raises(ValueError):
+            build_template("Bogus", times, values)
+
+    def test_irregular_sampling_rejected(self):
+        times = np.array([0.0, 300.0, 900.0])
+        with pytest.raises(ValueError, match="regular"):
+            build_template("FlatMed", times, np.ones(3))
+
+
+class TestAccuracyOrdering:
+    def test_daily_med_wins_on_realistic_traces(self):
+        """Fig. 15's headline: DailyMed has the best accuracy."""
+        from repro.traces.synthetic import FleetConfig, generate_fleet
+        fleet = generate_fleet(FleetConfig(
+            n_racks=4, weeks=2, seed=5, servers_per_rack_min=8,
+            servers_per_rack_max=8))
+        rmses = {kind: [] for kind in TemplateKind}
+        for rack in fleet.racks:
+            power = rack.total_power()
+            t = rack.times
+            hist = t < WEEK
+            for kind in TemplateKind:
+                ev = evaluate_template(kind, t[hist], power[hist],
+                                       t[~hist], power[~hist])
+                rmses[kind].append(ev.rmse)
+        mean_rmse = {k: float(np.mean(v)) for k, v in rmses.items()}
+        assert mean_rmse[TemplateKind.DAILY_MED] == min(mean_rmse.values())
+        # Flat templates are far worse than time-aware ones.
+        assert mean_rmse[TemplateKind.FLAT_MED] > \
+            2 * mean_rmse[TemplateKind.DAILY_MED]
+
+    def test_flat_max_overpredicts_flat_med_underpredicts(self):
+        times, values = weekday_series(weeks=2, noise=2.0)
+        hist = times < WEEK
+        ev_max = evaluate_template("FlatMax", times[hist], values[hist],
+                                   times[~hist], values[~hist])
+        ev_med = evaluate_template("FlatMed", times[hist], values[hist],
+                                   times[~hist], values[~hist])
+        assert ev_max.mean_error > 0          # conservative
+        assert ev_med.max_underprediction > 0  # opportunistic
+
+
+class TestTemplateStore:
+    def test_record_and_predict(self):
+        store = TemplateStore("DailyMed")
+        times, values = weekday_series(weeks=1)
+        store.record_series(times, values)
+        store.recompute()
+        t = WEEK + 13 * 3600.0  # next Monday 13:00 (the daily peak)
+        assert store.predict(t) == pytest.approx(300.0, rel=0.05)
+
+    def test_predict_before_recompute_raises(self):
+        store = TemplateStore()
+        store.record(0.0, 1.0)
+        with pytest.raises(RuntimeError, match="recompute"):
+            store.predict(10.0)
+
+    def test_predict_or_default(self):
+        store = TemplateStore()
+        assert store.predict_or(0.0, 42.0) == 42.0
+
+    def test_backwards_time_rejected(self):
+        store = TemplateStore()
+        store.record(100.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            store.record(50.0, 1.0)
+
+    def test_history_trimmed(self):
+        store = TemplateStore(history_weeks=1)
+        times = np.arange(0.0, 3 * WEEK, 3600.0)
+        store.record_series(times, np.ones(times.shape))
+        assert store.samples <= int(WEEK / 3600.0) + 1
+
+    def test_recompute_without_history_raises(self):
+        with pytest.raises(ValueError):
+            TemplateStore().recompute()
+
+    def test_evaluation_summary_format(self):
+        times, values = weekday_series(weeks=2)
+        hist = times < WEEK
+        ev = evaluate_template("DailyMed", times[hist], values[hist],
+                               times[~hist], values[~hist])
+        assert "DailyMed" in ev.summary()
+        assert "RMSE" in ev.summary()

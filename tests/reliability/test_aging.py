@@ -1,0 +1,138 @@
+"""Tests for the gate-oxide ageing model, pinned to the paper's anchors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.frequency import DEFAULT_FREQUENCY_PLAN
+from repro.reliability.aging import DEFAULT_AGING_MODEL, AgingModel
+
+V_REF = DEFAULT_AGING_MODEL.reference_volts
+V_OC = DEFAULT_FREQUENCY_PLAN.voltage(4.0)
+
+
+class TestPaperAnchors:
+    def test_conservative_fleet_ages_half_rate(self):
+        """§III Q2: 'a CPU ages by 2.5 years over a 5-year period for a
+        conservative fleet usage' — i.e. ~50 % utilization at rated
+        voltage ages at half the reference rate."""
+        rate = DEFAULT_AGING_MODEL.wear_rate(0.5, V_REF)
+        assert rate == pytest.approx(0.5)
+        assert DEFAULT_AGING_MODEL.aging(5.0, 0.5, V_REF) == \
+            pytest.approx(2.5)
+
+    def test_naive_overclocking_burns_five_years_within_one(self):
+        """§III Q2: 'naively overclocking for 50 % of the time ages the
+        CPU by 5 years in less than a year'."""
+        model = DEFAULT_AGING_MODEL
+        yearly_wear = (0.5 * model.wear_rate(0.5, V_REF)
+                       + 0.5 * model.wear_rate(0.5, V_OC))
+        assert yearly_wear > 5.0
+
+    def test_reference_point_is_unity(self):
+        assert DEFAULT_AGING_MODEL.wear_rate(1.0, V_REF) == \
+            pytest.approx(1.0)
+
+    def test_underutilization_accumulates_credits(self):
+        """§III Q2: under-utilization accumulates lifetime credits."""
+        model = DEFAULT_AGING_MODEL
+        assert model.aging(1.0, 0.3, V_REF) < 1.0
+
+
+class TestVoltageAcceleration:
+    def test_exponential_in_voltage(self):
+        model = DEFAULT_AGING_MODEL
+        a1 = model.voltage_acceleration(V_REF + 0.1)
+        a2 = model.voltage_acceleration(V_REF + 0.2)
+        assert a2 == pytest.approx(a1 * a1, rel=1e-9)
+
+    def test_unity_at_reference(self):
+        assert DEFAULT_AGING_MODEL.voltage_acceleration(V_REF) == \
+            pytest.approx(1.0)
+
+    def test_below_reference_decelerates(self):
+        assert DEFAULT_AGING_MODEL.voltage_acceleration(V_REF - 0.1) < 1.0
+
+    def test_invalid_voltage(self):
+        with pytest.raises(ValueError):
+            DEFAULT_AGING_MODEL.voltage_acceleration(0.0)
+
+    @given(st.floats(0.7, 2.0))
+    def test_monotone(self, volts):
+        model = DEFAULT_AGING_MODEL
+        assert model.voltage_acceleration(volts + 0.05) > \
+            model.voltage_acceleration(volts)
+
+
+class TestTemperatureAcceleration:
+    def test_unity_at_reference_temp(self):
+        assert DEFAULT_AGING_MODEL.temperature_acceleration(
+            DEFAULT_AGING_MODEL.reference_temp_k) == pytest.approx(1.0)
+
+    def test_cooling_reduces_wear(self):
+        """§III: advanced cooling reduces ageing, enlarging the budget."""
+        model = DEFAULT_AGING_MODEL
+        cooler = model.reference_temp_k - 20.0
+        assert model.temperature_acceleration(cooler) < 1.0
+
+    def test_heating_accelerates(self):
+        model = DEFAULT_AGING_MODEL
+        assert model.temperature_acceleration(
+            model.reference_temp_k + 20.0) > 1.0
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            DEFAULT_AGING_MODEL.temperature_acceleration(0.0)
+
+
+class TestWearRate:
+    def test_idle_silicon_does_not_wear(self):
+        assert DEFAULT_AGING_MODEL.wear_rate(0.0, V_OC) == 0.0
+
+    def test_wear_scales_linearly_with_utilization(self):
+        model = DEFAULT_AGING_MODEL
+        assert model.wear_rate(0.8, V_OC) == pytest.approx(
+            2 * model.wear_rate(0.4, V_OC))
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            DEFAULT_AGING_MODEL.wear_rate(1.5, V_REF)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_AGING_MODEL.aging(-1.0, 0.5, V_REF)
+
+
+class TestBudgetDerivation:
+    def test_lifetime_neutral_fraction(self):
+        """overclock_time_fraction x satisfies
+        (1-x)·r_base + x·r_oc = 1 exactly."""
+        model = DEFAULT_AGING_MODEL
+        x = model.overclock_time_fraction(0.5, 0.5, V_OC)
+        r_base = model.wear_rate(0.5, V_REF)
+        r_oc = model.wear_rate(0.5, V_OC)
+        assert (1 - x) * r_base + x * r_oc == pytest.approx(1.0)
+
+    def test_lower_utilization_allows_more_overclocking(self):
+        model = DEFAULT_AGING_MODEL
+        assert model.overclock_time_fraction(0.3, 0.3, V_OC) > \
+            model.overclock_time_fraction(0.7, 0.7, V_OC)
+
+    def test_cooling_extends_budget(self):
+        model = DEFAULT_AGING_MODEL
+        cold = model.overclock_time_fraction(
+            0.5, 0.5, V_OC, temp_k=model.reference_temp_k - 25)
+        warm = model.overclock_time_fraction(0.5, 0.5, V_OC)
+        assert cold > warm
+
+    def test_no_acceleration_means_unbounded(self):
+        model = AgingModel(beta_per_volt=0.0)
+        assert model.overclock_time_fraction(0.5, 0.5, V_OC) == 1.0
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel(reference_volts=0.0)
+        with pytest.raises(ValueError):
+            AgingModel(beta_per_volt=-1.0)
+        with pytest.raises(ValueError):
+            AgingModel(reference_temp_k=-5.0)

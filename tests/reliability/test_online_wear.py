@@ -1,0 +1,169 @@
+"""Tests for online wear-counter budgeting (§VI extension)."""
+
+import math
+
+import pytest
+
+from repro.cluster.frequency import DEFAULT_FREQUENCY_PLAN
+from repro.reliability.aging import DEFAULT_AGING_MODEL
+from repro.reliability.online_wear import OnlineWearBudget
+from repro.reliability.wearout import CoreWearoutCounter
+
+V_REF = DEFAULT_AGING_MODEL.reference_volts
+V_OC = DEFAULT_FREQUENCY_PLAN.voltage(4.0)
+HOUR = 3600.0
+
+
+def warmed_counter(hours=10.0, utilization=0.3, volts=V_REF):
+    counter = CoreWearoutCounter()
+    counter.accumulate(hours * HOUR, utilization, volts)
+    return counter
+
+
+class TestCredits:
+    def test_no_overclocking_during_warmup(self):
+        budget = OnlineWearBudget(CoreWearoutCounter(),
+                                  warmup_seconds=HOUR)
+        assert budget.usable_credit_seconds() == 0.0
+        assert not budget.can_overclock(0.5, V_OC, 1.0)
+
+    def test_underutilized_core_accumulates_credits(self):
+        budget = OnlineWearBudget(warmed_counter(utilization=0.3),
+                                  safety_margin=0.0)
+        # 10h at 30% util → 7h of credits.
+        assert budget.usable_credit_seconds() == pytest.approx(7 * HOUR)
+
+    def test_safety_margin_discounts(self):
+        counter = warmed_counter(utilization=0.3)
+        full = OnlineWearBudget(counter, safety_margin=0.0)
+        held = OnlineWearBudget(counter, safety_margin=0.5)
+        assert held.usable_credit_seconds() == pytest.approx(
+            0.5 * full.usable_credit_seconds())
+
+    def test_worn_core_has_no_credits(self):
+        counter = CoreWearoutCounter()
+        counter.accumulate(5 * HOUR, 0.9, V_OC)  # heavy overclocked use
+        budget = OnlineWearBudget(counter, warmup_seconds=0.0)
+        assert budget.usable_credit_seconds() == 0.0
+
+
+class TestAvailability:
+    def test_available_seconds_match_burn_rate(self):
+        budget = OnlineWearBudget(warmed_counter(), safety_margin=0.0)
+        util = 0.5
+        burn = DEFAULT_AGING_MODEL.wear_rate(util, V_OC) - 1.0
+        expected = budget.usable_credit_seconds() / burn
+        assert budget.available_seconds(util, V_OC) == pytest.approx(
+            expected)
+
+    def test_reference_point_overclocking_is_free(self):
+        """Running at the rated point never burns credits."""
+        budget = OnlineWearBudget(warmed_counter())
+        assert budget.available_seconds(0.3, V_REF) == math.inf
+
+    def test_lower_utilization_extends_availability(self):
+        budget = OnlineWearBudget(warmed_counter())
+        assert budget.available_seconds(0.2, V_OC) > \
+            budget.available_seconds(0.8, V_OC)
+
+    def test_can_overclock_duration_check(self):
+        budget = OnlineWearBudget(warmed_counter(), safety_margin=0.0)
+        available = budget.available_seconds(0.5, V_OC)
+        assert budget.can_overclock(0.5, V_OC, available * 0.9)
+        assert not budget.can_overclock(0.5, V_OC, available * 1.1)
+        with pytest.raises(ValueError):
+            budget.can_overclock(0.5, V_OC, -1.0)
+
+
+class TestSustainableFraction:
+    def test_more_permissive_than_offline_on_idle_parts(self):
+        """§VI: the offline analysis assumes conservative fleet usage;
+        counters unlock more overclocking on lightly-loaded parts."""
+        budget = OnlineWearBudget(warmed_counter(utilization=0.2))
+        online = budget.sustainable_fraction(0.2, V_OC)
+        assert online > 0.10  # the paper's offline 10 % figure
+
+    def test_stricter_than_offline_on_hot_parts(self):
+        budget = OnlineWearBudget(warmed_counter(utilization=0.9))
+        online = budget.sustainable_fraction(0.9, V_OC)
+        assert online < 0.10
+
+    def test_bounds(self):
+        budget = OnlineWearBudget(warmed_counter())
+        assert budget.sustainable_fraction(0.0, V_OC) == 1.0
+        hot = OnlineWearBudget(warmed_counter(utilization=1.0, volts=V_OC))
+        assert hot.sustainable_fraction(1.0, V_OC) == 0.0
+
+    def test_no_history_raises(self):
+        budget = OnlineWearBudget(CoreWearoutCounter(), warmup_seconds=0.0)
+        with pytest.raises(ValueError):
+            budget.sustainable_fraction(0.5, V_OC)
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnlineWearBudget(CoreWearoutCounter(), safety_margin=1.0)
+        with pytest.raises(ValueError):
+            OnlineWearBudget(CoreWearoutCounter(), warmup_seconds=-1.0)
+
+
+class TestSoaIntegration:
+    def test_online_mode_grants_and_revokes_on_credits(self):
+        from repro.cluster.power import DEFAULT_POWER_MODEL
+        from repro.cluster.topology import Rack, Server, VirtualMachine
+        from repro.core.config import SmartOClockConfig
+        from repro.core.soa import ServerOverclockingAgent
+        from repro.core.types import OverclockRequest, RequestKind
+
+        config = SmartOClockConfig(lifetime_mode="online",
+                                   online_wear_warmup_s=0.0)
+        rack = Rack("r", 5000.0)
+        server = Server("s", DEFAULT_POWER_MODEL)
+        rack.add_server(server)
+        vm = VirtualMachine(4, utilization=0.3)
+        server.place_vm(vm)
+        soa = ServerOverclockingAgent(server, config)
+        # Build up credits: run at low utilization for a while.
+        for i in range(360):
+            soa.control_tick(i * 10.0, dt=10.0)
+        request = OverclockRequest(vm_id=vm.vm_id,
+                                   kind=RequestKind.METRICS,
+                                   target_freq_ghz=4.0, n_cores=4,
+                                   time=3600.0)
+        decision = soa.handle_request(request, now=3600.0)
+        assert decision.granted
+        # granted_until reflects the credits, not a fixed epoch share.
+        assert decision.granted_until is not None
+
+    def test_online_mode_rejects_worn_parts(self):
+        from repro.cluster.power import DEFAULT_POWER_MODEL
+        from repro.cluster.topology import Rack, Server, VirtualMachine
+        from repro.core.config import SmartOClockConfig
+        from repro.core.soa import ServerOverclockingAgent
+        from repro.core.types import (
+            OverclockRequest,
+            RejectionReason,
+            RequestKind,
+        )
+
+        config = SmartOClockConfig(lifetime_mode="online",
+                                   online_wear_warmup_s=0.0)
+        rack = Rack("r", 5000.0)
+        server = Server("s", DEFAULT_POWER_MODEL)
+        rack.add_server(server)
+        vm = VirtualMachine(4, utilization=1.0)
+        server.place_vm(vm)
+        soa = ServerOverclockingAgent(server, config)
+        # Burn all lifetime: run the cores hot and overclocked.
+        server.set_vm_frequency(vm, 4.0)
+        for i in range(60):
+            soa._accrue_wear(i * 60.0, dt=60.0)
+        server.set_vm_frequency(vm, 3.3)
+        request = OverclockRequest(vm_id=vm.vm_id,
+                                   kind=RequestKind.METRICS,
+                                   target_freq_ghz=4.0, n_cores=4,
+                                   time=3600.0)
+        decision = soa.handle_request(request, now=3600.0)
+        assert not decision.granted
+        assert decision.reason is RejectionReason.LIFETIME_BUDGET

@@ -1,0 +1,208 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Event, Process, SimulationEngine
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimulationEngine(start_time=100.0).now == 100.0
+
+    def test_single_event_fires_at_time(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_ordered_by_priority(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("low"), priority=5)
+        engine.schedule(1.0, lambda: order.append("high"), priority=0)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_same_time_same_priority_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(ValueError, match="before now"):
+            engine.schedule(5.0, lambda: None)
+
+    def test_schedule_after(self):
+        engine = SimulationEngine(start_time=10.0)
+        seen = []
+        engine.schedule_after(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [12.5]
+
+    def test_schedule_after_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError, match="non-negative"):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def first():
+            engine.schedule_after(1.0, lambda: seen.append(engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        seen = []
+        event = engine.schedule(1.0, lambda: seen.append(1))
+        event.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_events == 1
+        assert not keep.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(10.0, lambda: seen.append(10))
+        engine.run(until=5.0)
+        assert seen == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_run_until_includes_events_at_bound(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(5))
+        engine.run(until=5.0)
+        assert seen == [5]
+
+    def test_run_for(self):
+        engine = SimulationEngine(start_time=100.0)
+        seen = []
+        engine.schedule(150.0, lambda: seen.append(1))
+        engine.schedule(300.0, lambda: seen.append(2))
+        engine.run_for(100.0)
+        assert seen == [1]
+        assert engine.now == 200.0
+
+    def test_run_for_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().run_for(-1.0)
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        seen = []
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda i=i: seen.append(i))
+        engine.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_stop_from_callback(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: (seen.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: seen.append(2))
+        engine.run()
+        assert seen == [1]
+
+    def test_reentrant_run_rejected(self):
+        engine = SimulationEngine()
+
+        def reenter():
+            with pytest.raises(RuntimeError, match="re-entrant"):
+                engine.run()
+
+        engine.schedule(1.0, reenter)
+        engine.run()
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for i in range(7):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.events_processed == 7
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_run_is_resumable(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(10.0, lambda: seen.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert seen == [1, 10]
+
+
+class TestProcess:
+    def test_process_owns_and_cancels_events(self):
+        engine = SimulationEngine()
+        process = Process(engine)
+        seen = []
+        process.schedule(1.0, lambda: seen.append(1))
+        process.schedule_after(2.0, lambda: seen.append(2))
+        process.cancel_all()
+        engine.run()
+        assert seen == []
+
+    def test_process_events_fire_normally(self):
+        engine = SimulationEngine()
+        process = Process(engine)
+        seen = []
+        process.schedule(1.0, lambda: seen.append(1))
+        engine.run()
+        assert seen == [1]
+
+    def test_process_prunes_old_handles(self):
+        engine = SimulationEngine()
+        process = Process(engine)
+
+        def chain(i):
+            if i < 600:
+                process.schedule_after(1.0, lambda: chain(i + 1))
+
+        chain(0)
+        engine.run()
+        # Pruning during rescheduling keeps the handle list bounded.
+        assert len(process._owned_events) < 300

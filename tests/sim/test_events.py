@@ -1,0 +1,84 @@
+"""Tests for periodic tasks and scheduling helpers."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import PeriodicTask, at_times
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        engine = SimulationEngine()
+        times = []
+        PeriodicTask(engine, 10.0, lambda: times.append(engine.now))
+        engine.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_fire_immediately(self):
+        engine = SimulationEngine()
+        times = []
+        PeriodicTask(engine, 10.0, lambda: times.append(engine.now),
+                     fire_immediately=True)
+        engine.run(until=25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_max_firings(self):
+        engine = SimulationEngine()
+        times = []
+        task = PeriodicTask(engine, 1.0, lambda: times.append(engine.now),
+                            max_firings=3)
+        engine.run(until=100.0)
+        assert times == [1.0, 2.0, 3.0]
+        assert task.firings == 3
+
+    def test_stop_cancels_pending(self):
+        engine = SimulationEngine()
+        times = []
+        task = PeriodicTask(engine, 10.0, lambda: times.append(engine.now))
+        engine.run(until=15.0)
+        task.stop()
+        engine.run(until=100.0)
+        assert times == [10.0]
+        assert task.stopped
+
+    def test_stop_from_within_callback(self):
+        engine = SimulationEngine()
+        count = [0]
+
+        def callback():
+            count[0] += 1
+            if count[0] == 2:
+                task.stop()
+
+        task = PeriodicTask(engine, 1.0, callback)
+        engine.run(until=50.0)
+        assert count[0] == 2
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PeriodicTask(SimulationEngine(), 0.0, lambda: None)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PeriodicTask(SimulationEngine(), -5.0, lambda: None)
+
+
+class TestAtTimes:
+    def test_callback_receives_each_time(self):
+        engine = SimulationEngine()
+        seen = []
+        at_times(engine, [1.0, 3.0, 7.0], seen.append)
+        engine.run()
+        assert seen == [1.0, 3.0, 7.0]
+
+    def test_returns_cancellable_handles(self):
+        engine = SimulationEngine()
+        seen = []
+        events = at_times(engine, [1.0, 2.0, 3.0], seen.append)
+        events[1].cancel()
+        engine.run()
+        assert seen == [1.0, 3.0]
+
+    def test_empty_times(self):
+        engine = SimulationEngine()
+        assert at_times(engine, [], lambda t: None) == []

@@ -1,0 +1,221 @@
+"""Tests for metric collectors (percentiles, CDFs, RMSE, integrals)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    Cdf,
+    Histogram,
+    RunningStats,
+    TimeWeightedValue,
+    mean_absolute_error,
+    percentile,
+    rmse,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_min_and_max(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_pct_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_matches_numpy(self, values):
+        assert percentile(values, 99) == pytest.approx(
+            float(np.percentile(values, 99)))
+
+
+class TestRmse:
+    def test_zero_for_identical(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # errors 3 and 4 -> sqrt((9+16)/2)
+        assert rmse([3.0, 4.0], [0.0, 0.0]) == pytest.approx(
+            math.sqrt(12.5))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30))
+    def test_rmse_at_least_mae(self, values):
+        zeros = [0.0] * len(values)
+        assert rmse(values, zeros) >= mean_absolute_error(
+            values, zeros) - 1e-9
+
+
+class TestRunningStats:
+    def test_mean_and_count(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+
+    def test_variance_population(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.stddev == pytest.approx(2.0)
+
+    def test_min_max(self):
+        stats = RunningStats()
+        stats.extend([3.0, -1.0, 7.0])
+        assert stats.minimum == -1.0
+        assert stats.maximum == 7.0
+
+    def test_empty_raises(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError):
+            _ = stats.mean
+        with pytest.raises(ValueError):
+            _ = stats.variance
+        with pytest.raises(ValueError):
+            _ = stats.minimum
+
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_matches_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)),
+                                           rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(float(np.var(values)),
+                                               rel=1e-6, abs=1e-6)
+
+
+class TestTimeWeightedValue:
+    def test_integral_of_constant(self):
+        tw = TimeWeightedValue(0.0, initial_value=5.0)
+        tw.finish(10.0)
+        assert tw.integral == pytest.approx(50.0)
+        assert tw.average == pytest.approx(5.0)
+
+    def test_piecewise_signal(self):
+        tw = TimeWeightedValue(0.0, initial_value=1.0)
+        tw.update(2.0, 3.0)   # 1.0 for 2s
+        tw.update(5.0, 0.0)   # 3.0 for 3s
+        tw.finish(10.0)       # 0.0 for 5s
+        assert tw.integral == pytest.approx(2.0 + 9.0 + 0.0)
+        assert tw.average == pytest.approx(11.0 / 10.0)
+
+    def test_time_going_backwards_raises(self):
+        tw = TimeWeightedValue(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            tw.update(4.0, 1.0)
+
+    def test_average_over_zero_time_raises(self):
+        tw = TimeWeightedValue(0.0)
+        with pytest.raises(ValueError):
+            _ = tw.average
+
+    def test_current_tracks_last_value(self):
+        tw = TimeWeightedValue(0.0, initial_value=2.0)
+        tw.update(1.0, 7.0)
+        assert tw.current == 7.0
+
+    def test_energy_semantics(self):
+        """Power in watts over seconds integrates to joules."""
+        tw = TimeWeightedValue(0.0, initial_value=250.0)
+        tw.update(3600.0, 300.0)
+        tw.finish(7200.0)
+        assert tw.integral == pytest.approx(250.0 * 3600 + 300.0 * 3600)
+
+
+class TestHistogram:
+    def test_quantile_of_uniform_fill(self):
+        hist = Histogram(0.0, 100.0, bins=100)
+        hist.extend(np.linspace(0.5, 99.5, 100))
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=2.0)
+        assert hist.quantile(0.99) == pytest.approx(99.0, abs=2.0)
+
+    def test_out_of_range_clamped(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(-5.0)
+        hist.add(25.0)
+        assert hist.total == 2
+        assert 0.0 <= hist.quantile(0.5) <= 10.0
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0).quantile(0.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+
+    def test_invalid_quantile(self):
+        hist = Histogram(0.0, 1.0)
+        hist.add(0.5)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_extend_matches_add(self):
+        h1 = Histogram(0.0, 10.0, bins=20)
+        h2 = Histogram(0.0, 10.0, bins=20)
+        values = [1.0, 2.5, 7.7, 9.9]
+        h1.extend(values)
+        for v in values:
+            h2.add(v)
+        assert np.array_equal(h1.counts, h2.counts)
+
+
+class TestCdf:
+    def test_value_at_fraction(self):
+        cdf = Cdf(list(range(101)))
+        assert cdf.value_at(0.5) == pytest.approx(50.0)
+        assert cdf.value_at(0.0) == 0.0
+        assert cdf.value_at(1.0) == 100.0
+
+    def test_fraction_below(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(0.0) == 0.0
+        assert cdf.fraction_below(10.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_series_is_monotone(self):
+        cdf = Cdf(np.random.default_rng(0).normal(size=500))
+        xs, fs = cdf.series(points=50)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(fs) >= 0)
+        assert fs[0] == 0.0 and fs[-1] == 1.0
+
+    def test_series_needs_two_points(self):
+        cdf = Cdf([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.series(points=1)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_fraction_below_consistent_with_value_at(self, values):
+        cdf = Cdf(values)
+        v = cdf.value_at(0.5)
+        assert cdf.fraction_below(v) >= 0.5 - 1e-9

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.racks == 30
+        assert args.seed == 1
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "cluster" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "Service A" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--racks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "P99" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--days", "2"]) == 0
+        assert "days of wear" in capsys.readouterr().out
+
+    def test_fig16_fig17(self, capsys):
+        assert main(["fig16"]) == 0
+        assert main(["fig17"]) == 0
+        out = capsys.readouterr().out
+        assert "%" in out
+
+    def test_fig15_small(self, capsys):
+        assert main(["fig15", "--racks", "2"]) == 0
+        assert "DailyMed" in capsys.readouterr().out

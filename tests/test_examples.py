@@ -1,0 +1,39 @@
+"""Smoke tests keeping the examples runnable.
+
+The three fast examples run end to end in a subprocess; the two long ones
+(minutes of simulation) are compile-checked so they cannot rot silently.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "lifetime_budgeting.py", "extensions_tour.py"]
+SLOW = ["trace_driven_fleet.py", "microservice_autoscaling.py"]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("script", FAST + SLOW)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+
+def test_quickstart_shows_an_overclock_cycle():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "overclocked" in result.stdout
+    assert "turbo" in result.stdout

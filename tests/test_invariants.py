@@ -1,0 +1,156 @@
+"""Property-based invariants on the safety-critical control paths.
+
+These are the properties that must hold for *any* workload the system
+encounters, not just the scenarios the experiments exercise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.capping import (
+    FairShareThrottler,
+    PrioritizedThrottler,
+    RackPowerManager,
+)
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Rack, Server, VirtualMachine
+from repro.core.enforcement import FeedbackLoop
+from repro.reliability.wearout import EpochBudget
+
+PLAN = DEFAULT_POWER_MODEL.plan
+
+vm_strategy = st.tuples(
+    st.integers(1, 16),                 # cores
+    st.floats(0.0, 1.0),                # utilization
+    st.integers(0, 10),                 # priority
+    st.sampled_from([PLAN.turbo_ghz, 3.6, 4.0]),  # initial frequency
+)
+
+
+def build_rack(vm_specs, limit):
+    rack = Rack("r", limit)
+    server = Server("s", DEFAULT_POWER_MODEL)
+    rack.add_server(server)
+    for cores, util, prio, freq in vm_specs:
+        vm = VirtualMachine(cores, utilization=util, priority=prio)
+        server.place_vm(vm)
+        server.set_vm_frequency(vm, freq)
+    return rack, server
+
+
+class TestThrottlerInvariants:
+    @given(st.lists(vm_strategy, min_size=1, max_size=4),
+           st.floats(200.0, 600.0))
+    @settings(max_examples=60, deadline=None)
+    def test_prioritized_throttle_reaches_target_or_floor(self, specs,
+                                                          limit):
+        rack, server = build_rack(specs, limit)
+        PrioritizedThrottler().throttle(rack, target_watts=limit)
+        at_floor = all(vm.freq_ghz <= PLAN.base_ghz + 1e-9
+                       for vm in server.vms.values())
+        assert rack.power_watts() <= limit + 1e-6 or at_floor
+
+    @given(st.lists(vm_strategy, min_size=1, max_size=4),
+           st.floats(200.0, 600.0))
+    @settings(max_examples=60, deadline=None)
+    def test_throttle_never_raises_frequencies(self, specs, limit):
+        rack, server = build_rack(specs, limit)
+        before = {vm.vm_id: vm.freq_ghz for vm in server.vms.values()}
+        PrioritizedThrottler().throttle(rack, target_watts=limit)
+        for vm in server.vms.values():
+            assert vm.freq_ghz <= before[vm.vm_id] + 1e-9
+
+    @given(st.lists(vm_strategy, min_size=1, max_size=4),
+           st.floats(200.0, 600.0))
+    @settings(max_examples=40, deadline=None)
+    def test_fair_share_same_safety_guarantee(self, specs, limit):
+        rack, server = build_rack(specs, limit)
+        FairShareThrottler().throttle(rack, target_watts=limit)
+        at_floor = all(vm.freq_ghz <= PLAN.base_ghz + 1e-9
+                       for vm in server.vms.values())
+        assert rack.power_watts() <= limit + 1e-6 or at_floor
+
+    @given(st.lists(vm_strategy, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_manager_sample_enforces_limit(self, specs):
+        rack, server = build_rack(specs, limit=300.0)
+        manager = RackPowerManager(rack)
+        manager.sample(0.0)
+        at_floor = all(vm.freq_ghz <= PLAN.base_ghz + 1e-9
+                       for vm in server.vms.values())
+        assert rack.power_watts() <= 300.0 + 1e-6 or at_floor
+
+
+class TestFeedbackLoopInvariants:
+    @given(st.lists(vm_strategy, min_size=1, max_size=4),
+           st.floats(250.0, 800.0))
+    @settings(max_examples=60, deadline=None)
+    def test_converged_loop_respects_limit(self, specs, limit):
+        """After enough ticks the loop never leaves the server above the
+        limit unless even all-turbo exceeds it (the loop floor)."""
+        rack, server = build_rack(specs, 10 * limit)
+        loop = FeedbackLoop(server, buffer_watts=10.0)
+        for vm in list(server.vms.values()):
+            loop.engage(vm, PLAN.overclock_max_ghz)
+        for _ in range(5):
+            loop.tick(limit)
+        all_turbo_power = None
+        if server.power_watts() > limit + 1e-6:
+            # Only legal when the turbo floor itself exceeds the limit.
+            for vm in server.vms.values():
+                assert vm.freq_ghz <= PLAN.turbo_ghz + 1e-9
+
+    @given(st.lists(vm_strategy, min_size=1, max_size=4),
+           st.floats(250.0, 800.0))
+    @settings(max_examples=40, deadline=None)
+    def test_frequencies_stay_in_plan_range(self, specs, limit):
+        rack, server = build_rack(specs, 10 * limit)
+        loop = FeedbackLoop(server)
+        for vm in list(server.vms.values()):
+            loop.engage(vm, PLAN.overclock_max_ghz)
+        for _ in range(3):
+            loop.tick(limit)
+        for vm in server.vms.values():
+            assert PLAN.base_ghz - 1e-9 <= vm.freq_ghz \
+                <= PLAN.overclock_max_ghz + 1e-9
+
+
+class TestEpochBudgetInvariants:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["consume", "reserve", "release",
+                                   "consume_reserved"]),
+                  st.floats(0.0, 30000.0),
+                  st.floats(0.0, 6.0)),   # time offset in days
+        min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_accounting_never_goes_negative(self, operations):
+        budget = EpochBudget(budget_fraction=0.05)
+        operations = sorted(operations, key=lambda op: op[2])
+        for op, amount, day in operations:
+            now = day * 86400.0
+            if op == "consume":
+                budget.consume(now, amount)
+            elif op == "reserve":
+                budget.reserve(now, amount)
+            elif op == "release":
+                budget.release_reservation(now, amount)
+            else:
+                budget.consume(now, amount, from_reservation=True)
+            assert budget.available_seconds(now) >= 0.0
+            assert budget.reserved_seconds >= 0.0
+            assert budget.consumed_seconds >= 0.0
+
+
+class TestPowerMonotonicity:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+           st.floats(2.45, 4.0), st.floats(2.45, 4.0))
+    @settings(max_examples=80)
+    def test_power_monotone_in_both_axes(self, u1, u2, f1, f2):
+        model = DEFAULT_POWER_MODEL
+        lo_u, hi_u = sorted((u1, u2))
+        lo_f, hi_f = sorted((f1, f2))
+        assert model.core_dynamic_watts(lo_u, lo_f) <= \
+            model.core_dynamic_watts(hi_u, hi_f) + 1e-12

@@ -1,0 +1,112 @@
+"""Tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.schema import RackTrace, ServerTrace
+from repro.traces.stats import (
+    UtilizationStats,
+    headroom_fraction,
+    multiplexing_gain,
+    overclock_demand_stats,
+    utilization_stats,
+    week_over_week_rmse,
+)
+from repro.traces.synthetic import FleetConfig, generate_fleet
+
+WEEK = 7 * 86400.0
+
+
+def two_week_trace(values_fn, sid="s"):
+    times = np.arange(0.0, 2 * WEEK, 300.0)
+    power = values_fn(times)
+    return ServerTrace(sid, times, power,
+                       np.clip(power / power.max(), 0, 1),
+                       np.zeros(len(times), dtype=int))
+
+
+class TestUtilizationStats:
+    def test_from_series(self):
+        stats = UtilizationStats.from_series(np.array([0.2, 0.5, 0.9]))
+        assert stats.average == pytest.approx(np.mean([0.2, 0.5, 0.9]))
+        assert stats.p50 == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationStats.from_series(np.array([]))
+
+    def test_rack_stats_ordering(self):
+        fleet = generate_fleet(FleetConfig(
+            n_racks=1, weeks=1, seed=2, servers_per_rack_min=6,
+            servers_per_rack_max=6))
+        stats = utilization_stats(fleet.racks[0])
+        assert stats.average <= stats.p99
+        assert stats.p50 <= stats.p99
+
+
+class TestWeekOverWeek:
+    def test_perfect_repeat_scores_zero(self):
+        trace = two_week_trace(
+            lambda t: 200 + 50 * np.sin(2 * np.pi * t / 86400.0))
+        assert week_over_week_rmse(trace.times, trace.power_watts) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_drift_scores_positive(self):
+        def values(t):
+            base = 200 + 50 * np.sin(2 * np.pi * t / 86400.0)
+            return np.where(t < WEEK, base, base * 1.2)
+        trace = two_week_trace(values)
+        assert week_over_week_rmse(trace.times, trace.power_watts) > 10.0
+
+    def test_needs_two_weeks(self):
+        times = np.arange(0.0, WEEK / 2, 300.0)
+        with pytest.raises(ValueError, match="two weeks"):
+            week_over_week_rmse(times, np.ones(len(times)))
+
+
+class TestHeadroom:
+    def test_no_demand_is_baseline_fraction(self):
+        fleet = generate_fleet(FleetConfig(
+            n_racks=1, weeks=1, seed=3, servers_per_rack_min=4,
+            servers_per_rack_max=4))
+        rack = fleet.racks[0]
+        assert headroom_fraction(rack) > 0.9
+
+    def test_more_demand_less_headroom(self):
+        fleet = generate_fleet(FleetConfig(
+            n_racks=1, weeks=1, seed=3, servers_per_rack_min=4,
+            servers_per_rack_max=4))
+        rack = fleet.racks[0]
+        assert headroom_fraction(rack, demand_watts=500.0) <= \
+            headroom_fraction(rack, demand_watts=50.0)
+
+    def test_negative_demand_rejected(self):
+        fleet = generate_fleet(FleetConfig(
+            n_racks=1, weeks=1, seed=3, servers_per_rack_min=4,
+            servers_per_rack_max=4))
+        with pytest.raises(ValueError):
+            headroom_fraction(fleet.racks[0], demand_watts=-1.0)
+
+
+class TestMultiplexing:
+    def test_rack_more_predictable_than_servers(self):
+        """§III Q3 on generated traces: independent per-server drift
+        cancels at rack level."""
+        fleet = generate_fleet(FleetConfig(
+            n_racks=1, weeks=2, seed=8, servers_per_rack_min=16,
+            servers_per_rack_max=16, noise_sigma=0.0,
+            outlier_day_prob=0.0, peak_hour_drift_h=0.0,
+            weekly_drift_sigma=0.15, ml_fraction=0.0))
+        assert multiplexing_gain(fleet.racks[0]) > 1.0
+
+
+class TestDemandStats:
+    def test_counts_demanding_servers(self):
+        fleet = generate_fleet(FleetConfig(
+            n_racks=1, weeks=1, seed=5, servers_per_rack_min=8,
+            servers_per_rack_max=8, ml_fraction=0.5))
+        stats = overclock_demand_stats(fleet.racks[0])
+        n = len(fleet.racks[0].servers)
+        assert 0 < stats.demanding_servers < n
+        assert stats.peak_cores >= 8
+        assert stats.mean_daily_hours > 0

@@ -1,0 +1,201 @@
+"""Tests for load-pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.loadgen import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    BusinessHoursPattern,
+    CompositePattern,
+    ConstantPattern,
+    DiurnalPattern,
+    NoisyPattern,
+    SpikePattern,
+    TopOfHourPattern,
+    WeekendScaledPattern,
+)
+
+ALL_PATTERNS = [
+    ConstantPattern(0.5),
+    DiurnalPattern(),
+    BusinessHoursPattern(),
+    TopOfHourPattern(),
+    SpikePattern([(100.0, 50.0, 0.9)]),
+    WeekendScaledPattern(DiurnalPattern()),
+    CompositePattern([(DiurnalPattern(), 1.0), (ConstantPattern(0.3), 2.0)]),
+]
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS,
+                         ids=lambda p: type(p).__name__)
+def test_levels_always_in_unit_interval(pattern):
+    times = np.linspace(0, 7 * SECONDS_PER_DAY, 2000)
+    for t in times:
+        level = pattern.level(float(t))
+        assert 0.0 <= level <= 1.0, f"level {level} at t={t}"
+
+
+class TestConstant:
+    def test_level(self):
+        assert ConstantPattern(0.42).level(12345.0) == 0.42
+
+    def test_rate_scaling(self):
+        assert ConstantPattern(0.5, peak_rate=100.0).rate(0.0) == 50.0
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            ConstantPattern(1.5)
+
+    def test_invalid_peak_rate(self):
+        with pytest.raises(ValueError):
+            ConstantPattern(0.5, peak_rate=0.0)
+
+
+class TestDiurnal:
+    def test_peaks_at_peak_hour(self):
+        pattern = DiurnalPattern(peak_hour=13.0, floor=0.2)
+        assert pattern.level(13 * SECONDS_PER_HOUR) == pytest.approx(1.0)
+
+    def test_trough_twelve_hours_later(self):
+        pattern = DiurnalPattern(peak_hour=13.0, floor=0.2)
+        assert pattern.level(1 * SECONDS_PER_HOUR) == pytest.approx(0.2)
+
+    def test_daily_periodicity(self):
+        pattern = DiurnalPattern()
+        assert pattern.level(3600.0) == pytest.approx(
+            pattern.level(3600.0 + SECONDS_PER_DAY))
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(floor=1.0)
+
+
+class TestBusinessHours:
+    def test_plateau_between_start_and_end(self):
+        """Fig. 1 Service A: peak 10am-noon."""
+        pattern = BusinessHoursPattern(start_hour=10, end_hour=12)
+        assert pattern.level(11 * SECONDS_PER_HOUR) == 1.0
+        assert pattern.level(10 * SECONDS_PER_HOUR) == 1.0
+
+    def test_floor_at_night(self):
+        pattern = BusinessHoursPattern(floor=0.3)
+        assert pattern.level(2 * SECONDS_PER_HOUR) == pytest.approx(0.3)
+
+    def test_ramp_is_between_floor_and_peak(self):
+        pattern = BusinessHoursPattern(start_hour=10, end_hour=12,
+                                       floor=0.3, ramp_hours=2.0)
+        mid_ramp = pattern.level(9 * SECONDS_PER_HOUR)
+        assert 0.3 < mid_ramp < 1.0
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            BusinessHoursPattern(start_hour=12, end_hour=10)
+
+
+class TestTopOfHour:
+    def test_spike_in_first_five_minutes(self):
+        """Fig. 1 Services B/C: 5-minute peaks at the top of the hour."""
+        pattern = TopOfHourPattern(spike_minutes=5.0, base_scale=0.4)
+        noon = 12 * SECONDS_PER_HOUR
+        spike = pattern.level(noon + 120.0)       # 12:02
+        between = pattern.level(noon + 900.0)     # 12:15
+        assert spike > between
+
+    def test_half_hour_spike_toggle(self):
+        noon = 12 * SECONDS_PER_HOUR
+        with_half = TopOfHourPattern(include_half_hour=True)
+        without = TopOfHourPattern(include_half_hour=False)
+        t = noon + 31 * 60.0
+        assert with_half.level(t) > without.level(t)
+
+    def test_invalid_spike_minutes(self):
+        with pytest.raises(ValueError):
+            TopOfHourPattern(spike_minutes=45.0)
+
+
+class TestSpikePattern:
+    def test_spike_overrides_base(self):
+        pattern = SpikePattern([(100.0, 50.0, 0.9)],
+                               base=ConstantPattern(0.2))
+        assert pattern.level(120.0) == 0.9
+        assert pattern.level(99.0) == 0.2
+        assert pattern.level(150.0) == 0.2  # end-exclusive
+
+    def test_base_wins_if_higher(self):
+        pattern = SpikePattern([(0.0, 10.0, 0.1)],
+                               base=ConstantPattern(0.5))
+        assert pattern.level(5.0) == 0.5
+
+    def test_invalid_spike(self):
+        with pytest.raises(ValueError):
+            SpikePattern([(0.0, -1.0, 0.5)])
+        with pytest.raises(ValueError):
+            SpikePattern([(0.0, 1.0, 1.5)])
+
+
+class TestWeekendScaled:
+    def test_weekday_unscaled(self):
+        pattern = WeekendScaledPattern(ConstantPattern(0.8),
+                                       weekend_scale=0.5)
+        assert pattern.level(0.0) == 0.8  # Monday
+
+    def test_weekend_scaled(self):
+        pattern = WeekendScaledPattern(ConstantPattern(0.8),
+                                       weekend_scale=0.5)
+        saturday = 5 * SECONDS_PER_DAY + 3600.0
+        assert pattern.level(saturday) == pytest.approx(0.4)
+
+
+class TestNoisy:
+    def test_noise_is_reproducible_within_run(self):
+        pattern = NoisyPattern(ConstantPattern(0.5),
+                               np.random.default_rng(1), sigma=0.2)
+        assert pattern.level(100.0) == pattern.level(100.0)
+
+    def test_different_seeds_differ(self):
+        a = NoisyPattern(ConstantPattern(0.5), np.random.default_rng(1),
+                         sigma=0.3)
+        b = NoisyPattern(ConstantPattern(0.5), np.random.default_rng(2),
+                         sigma=0.3)
+        times = np.arange(0, 10000, 500.0)
+        assert any(a.level(float(t)) != b.level(float(t)) for t in times)
+
+    def test_zero_sigma_is_identity(self):
+        pattern = NoisyPattern(ConstantPattern(0.5),
+                               np.random.default_rng(1), sigma=0.0)
+        assert pattern.level(42.0) == pytest.approx(0.5)
+
+
+class TestComposite:
+    def test_weights_normalized(self):
+        pattern = CompositePattern([(ConstantPattern(1.0), 3.0),
+                                    (ConstantPattern(0.0), 1.0)])
+        assert pattern.level(0.0) == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositePattern([])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CompositePattern([(ConstantPattern(0.5), 0.0)])
+
+
+class TestSampling:
+    def test_sample_levels_shape(self):
+        times, levels = DiurnalPattern().sample_levels(
+            0.0, SECONDS_PER_DAY, 300.0)
+        assert len(times) == len(levels) == 288
+
+    def test_sample_levels_bad_step(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern().sample_levels(0.0, 100.0, 0.0)
+
+    @given(st.floats(0, 6 * SECONDS_PER_DAY))
+    @settings(max_examples=30)
+    def test_rate_is_level_times_peak(self, t):
+        pattern = DiurnalPattern(peak_rate=200.0)
+        assert pattern.rate(t) == pytest.approx(200.0 * pattern.level(t))

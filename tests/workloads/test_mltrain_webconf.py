@@ -1,0 +1,96 @@
+"""Tests for the MLTrain and WebConf workload models."""
+
+import pytest
+
+from repro.workloads.mltrain import MLTrainJob
+from repro.workloads.webconf import WebConfDeployment, WebConfVM
+
+
+class TestMLTrain:
+    def test_throughput_scales_with_frequency(self):
+        job = MLTrainJob(base_throughput=1000.0)
+        assert job.throughput(4.0) > job.throughput(3.3)
+
+    def test_throughput_at_turbo_is_base(self):
+        job = MLTrainJob(base_throughput=1000.0)
+        assert job.throughput(3.3) == pytest.approx(1000.0)
+
+    def test_advance_accumulates_samples(self):
+        job = MLTrainJob(base_throughput=100.0)
+        done = job.advance(10.0, 3.3)
+        assert done == pytest.approx(1000.0)
+        assert job.samples_processed == pytest.approx(1000.0)
+
+    def test_average_throughput_reflects_throttling(self):
+        job = MLTrainJob(base_throughput=100.0)
+        job.advance(10.0, 3.3)
+        job.advance(10.0, 2.45)  # throttled by a capping event
+        assert job.average_throughput() < 100.0
+
+    def test_average_before_running_raises(self):
+        with pytest.raises(ValueError):
+            MLTrainJob().average_throughput()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MLTrainJob(base_throughput=0.0)
+        with pytest.raises(ValueError):
+            MLTrainJob(utilization=1.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            MLTrainJob().advance(-1.0, 3.3)
+
+
+class TestWebConfVM:
+    def test_utilization_drops_when_overclocked(self):
+        vm = WebConfVM("vm", base_utilization=0.8)
+        base = vm.utilization
+        vm.set_frequency(4.0)
+        assert vm.utilization < base
+
+    def test_utilization_at_turbo_is_base(self):
+        vm = WebConfVM("vm", base_utilization=0.8)
+        assert vm.utilization == pytest.approx(0.8)
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            WebConfVM("vm", base_utilization=1.2)
+        vm = WebConfVM("vm", base_utilization=0.5)
+        with pytest.raises(ValueError):
+            vm.set_base_utilization(-0.1)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            WebConfVM("vm", 0.5).set_frequency(0.0)
+
+
+class TestWebConfDeployment:
+    def test_deployment_utilization_is_mean(self):
+        deployment = WebConfDeployment([
+            WebConfVM("a", 0.1), WebConfVM("b", 0.8)])
+        assert deployment.deployment_utilization() == pytest.approx(0.45)
+
+    def test_fig4_scenario(self):
+        """Paper Fig. 4: VM2 hot but the deployment-level goal already met
+        — overclocking is unnecessary at deployment level."""
+        vm1, vm2 = WebConfVM("vm1", 0.10), WebConfVM("vm2", 0.80)
+        deployment = WebConfDeployment([vm1, vm2], target_utilization=0.5)
+        assert deployment.meets_target()
+        assert not deployment.overclock_is_needed()
+        # An instance-level policy would still flag VM2:
+        assert vm2 in deployment.hot_vms(threshold=0.7)
+
+    def test_overclock_needed_when_target_violated(self):
+        deployment = WebConfDeployment(
+            [WebConfVM("a", 0.7), WebConfVM("b", 0.8)],
+            target_utilization=0.5)
+        assert deployment.overclock_is_needed()
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ValueError):
+            WebConfDeployment([])
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            WebConfDeployment([WebConfVM("a", 0.5)], target_utilization=0.0)
