@@ -76,14 +76,18 @@ class PrioritizedThrottler:
                for vm in server.vms.values()]
         if not vms:
             return 0, 0.0
-        plan = rack.servers[0].plan
-        for vm, _ in vms:
-            if vm.freq_ghz is not None and not plan.is_overclocked(vm.freq_ghz):
+        # Each VM is judged against *its own server's* plan: racks may mix
+        # SKUs (the paper's §IV-B heterogeneous budgeting case), so there
+        # is no single turbo/base threshold for the whole rack.
+        for vm, server in vms:
+            if vm.freq_ghz is not None and \
+                    not server.plan.is_overclocked(vm.freq_ghz):
                 noc_before[vm.vm_id] = vm.freq_ghz
 
         # Phase 0 — the immediate hardware response revokes every boost:
-        # overclocked VMs drop straight back to max turbo.
+        # overclocked VMs drop straight back to their server's max turbo.
         for vm, server in vms:
+            plan = server.plan
             if vm.freq_ghz is not None and plan.is_overclocked(vm.freq_ghz):
                 server.set_vm_frequency(vm, plan.turbo_ghz)
                 touched.add(vm.vm_id)
@@ -93,9 +97,9 @@ class PrioritizedThrottler:
         # bystanders (e.g. ML training) under a naive policy (§V-A).
         if rack.power_watts() > target_watts:
             self._phase(rack, vms, touched, target_watts,
-                        eligible=lambda vm: vm.freq_ghz > plan.base_ghz
-                        + 1e-9,
-                        floor=lambda vm: plan.base_ghz)
+                        eligible=lambda vm, server:
+                        vm.freq_ghz > server.plan.base_ghz + 1e-9,
+                        floor=lambda vm, server: server.plan.base_ghz)
 
         penalties = []
         for vm, _ in vms:
@@ -106,10 +110,13 @@ class PrioritizedThrottler:
 
     def _phase(self, rack: Rack, vms: list[tuple[VirtualMachine, Server]],
                touched: set[int], target_watts: float,
-               eligible: Callable[[VirtualMachine], bool],
-               floor: Callable[[VirtualMachine], float]) -> None:
+               eligible: Callable[[VirtualMachine, Server], bool],
+               floor: Callable[[VirtualMachine, Server], float]) -> None:
         # Strictly prioritized: the least-important VM is driven all the
-        # way to its floor before the next one is touched.
+        # way to its floor before the next one is touched.  The ordering
+        # is computed once; each step only needs the O(1) cached rack
+        # power, so a full capping event is O(steps), not
+        # O(steps × servers × cores).
         ordering = sorted(vms, key=lambda pair: (pair[0].priority,
                                                  pair[0].vm_id))
         steps = 0
@@ -117,9 +124,10 @@ class PrioritizedThrottler:
             while steps < self.max_iterations:
                 if rack.power_watts() <= target_watts:
                     return
-                if vm.freq_ghz is None or not eligible(vm):
+                if vm.freq_ghz is None or not eligible(vm, server):
                     break
-                target = max(floor(vm), vm.freq_ghz - server.plan.step_ghz)
+                target = max(floor(vm, server),
+                             vm.freq_ghz - server.plan.step_ghz)
                 if target >= vm.freq_ghz - 1e-9:
                     break
                 server.set_vm_frequency(vm, target)
@@ -142,30 +150,34 @@ class FairShareThrottler(PrioritizedThrottler):
             target_watts = rack.power_limit_watts
         if not rack.servers:
             return 0, 0.0
-        plan = rack.servers[0].plan
         share = target_watts / len(rack.servers)
         touched: set[int] = set()
         noc_before = {
             vm.vm_id: vm.freq_ghz
             for server in rack.servers for vm in server.vms.values()
             if vm.freq_ghz is not None
-            and not plan.is_overclocked(vm.freq_ghz)
+            and not server.plan.is_overclocked(vm.freq_ghz)
         }
         for server in rack.servers:
+            # Each server is clamped against its *own* plan (racks can mix
+            # SKUs), and the candidate ordering is computed once: stepping
+            # a VM down never changes the (priority, vm_id) order, it only
+            # removes the VM once it reaches the base floor.
+            plan = server.plan
             steps = 0
-            while (server.power_watts() > share
-                   and steps < self.max_iterations):
-                candidates = sorted(
-                    (vm for vm in server.vms.values()
-                     if vm.freq_ghz is not None
-                     and vm.freq_ghz > plan.base_ghz + 1e-9),
-                    key=lambda vm: (vm.priority, vm.vm_id))
-                if not candidates:
+            candidates = sorted(
+                (vm for vm in server.vms.values() if vm.freq_ghz is not None),
+                key=lambda vm: (vm.priority, vm.vm_id))
+            for vm in candidates:
+                while (server.power_watts() > share
+                       and steps < self.max_iterations
+                       and vm.freq_ghz > plan.base_ghz + 1e-9):
+                    server.set_vm_frequency(vm, plan.step_down(vm.freq_ghz))
+                    touched.add(vm.vm_id)
+                    steps += 1
+                if (server.power_watts() <= share
+                        or steps >= self.max_iterations):
                     break
-                vm = candidates[0]
-                server.set_vm_frequency(vm, plan.step_down(vm.freq_ghz))
-                touched.add(vm.vm_id)
-                steps += 1
         penalties = [noc_before[vm.vm_id] - vm.freq_ghz
                      for server in rack.servers
                      for vm in server.vms.values()
@@ -250,7 +262,9 @@ class RackPowerManager:
         The hardware cap releases within seconds once power recedes, so a
         single sample restores as far as the threshold allows rather than
         one step per tick -- which is also why a naive policy oscillates
-        between capping and restoring instead of settling.
+        between capping and restoring instead of settling.  The ordering
+        is computed once and every per-step budget check is an O(1) read
+        of the rack's cached power.
         """
         budget = self.restore_fraction * self.rack.power_limit_watts
         vms = [(vm, server) for server in self.rack.servers

@@ -45,14 +45,27 @@ class PowerModel:
                              f"{self.dynamic_coefficient}")
         if self.cores < 1:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
+        # Per-frequency k·V²·f memo: DVFS steps give only a handful of
+        # distinct operating points, and the incremental power accounting
+        # in topology.py evaluates one on every mutation (frozen dataclass,
+        # so the cache is attached via object.__setattr__).
+        object.__setattr__(self, "_coeff_cache", {})
+
+    def core_dynamic_coeff(self, freq_ghz: float) -> float:
+        """Dynamic watts per unit utilization at ``freq_ghz`` (k·V²·f)."""
+        coeff = self._coeff_cache.get(freq_ghz)
+        if coeff is None:
+            volts = self.plan.voltage(freq_ghz)
+            coeff = self.dynamic_coefficient * volts * volts * freq_ghz
+            self._coeff_cache[freq_ghz] = coeff
+        return coeff
 
     def core_dynamic_watts(self, utilization: float, freq_ghz: float) -> float:
         """Dynamic power of a single core at ``utilization`` in [0, 1]."""
         if not 0.0 <= utilization <= 1.0:
             raise ValueError(
                 f"utilization must be in [0, 1], got {utilization}")
-        volts = self.plan.voltage(freq_ghz)
-        return utilization * self.dynamic_coefficient * volts * volts * freq_ghz
+        return utilization * self.core_dynamic_coeff(freq_ghz)
 
     def server_watts(self, core_loads: list[tuple[float, float]]) -> float:
         """Power of a server given ``(utilization, freq_ghz)`` per busy core.

@@ -5,12 +5,20 @@ objects are deliberately "dumb": they hold placement, per-VM operating
 points, and utilization, and can report power through a
 :class:`~repro.cluster.power.PowerModel`.  All policy (who gets to
 overclock, how budgets are split) lives in :mod:`repro.core`.
+
+Power accounting is *incremental*: every mutation that can change a
+server's draw (placement, frequency, utilization, per-core overrides)
+applies a watt delta to the owning server's cached total, and the delta
+propagates up through the rack to the datacenter.  ``power_watts()`` at
+every level is therefore an O(1) read — the property the capping and
+enforcement loops rely on to poll power once per 100 MHz step (see
+DESIGN.md "Incremental power accounting").  ``recompute_power_watts()``
+is the from-scratch evaluation kept for validation.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.cluster.frequency import FrequencyPlan
@@ -21,30 +29,95 @@ __all__ = ["Core", "VirtualMachine", "Server", "Rack", "Datacenter"]
 _vm_ids = itertools.count()
 
 
-@dataclass
 class Core:
     """One physical core: operating point plus wear-relevant accounting.
 
     ``utilization_override`` lets finer-grained schedulers (containers
     inside a VM, SmartOClock paper section VI) pin a per-core utilization distinct from
     the VM-level average; ``None`` means "use the VM's utilization".
+
+    ``freq_ghz``, ``vm_id`` and ``utilization_override`` are
+    invalidation-aware properties: writes notify the owning server so it
+    can delta-update its cached wattage (guest-side code such as
+    :mod:`repro.cluster.containers` mutates them directly).
     """
 
-    index: int
-    freq_ghz: float
-    vm_id: Optional[int] = None
-    busy_seconds: float = 0.0
-    overclock_seconds: float = 0.0
-    utilization_override: Optional[float] = None
+    __slots__ = ("index", "busy_seconds", "overclock_seconds",
+                 "_freq_ghz", "_vm_id", "_utilization_override", "_server")
+
+    def __init__(self, index: int, freq_ghz: float,
+                 vm_id: Optional[int] = None,
+                 busy_seconds: float = 0.0,
+                 overclock_seconds: float = 0.0,
+                 utilization_override: Optional[float] = None) -> None:
+        self.index = index
+        self.busy_seconds = busy_seconds
+        self.overclock_seconds = overclock_seconds
+        self._freq_ghz = freq_ghz
+        self._vm_id = vm_id
+        self._utilization_override = utilization_override
+        self._server: Optional["Server"] = None
+
+    @property
+    def freq_ghz(self) -> float:
+        return self._freq_ghz
+
+    @freq_ghz.setter
+    def freq_ghz(self, value: float) -> None:
+        if value == self._freq_ghz:
+            return
+        server = self._server
+        if server is None:
+            self._freq_ghz = value
+            return
+        before = server._core_watts(self)
+        self._freq_ghz = value
+        server._apply_core_delta(server._core_watts(self) - before)
+
+    @property
+    def vm_id(self) -> Optional[int]:
+        return self._vm_id
+
+    @vm_id.setter
+    def vm_id(self, value: Optional[int]) -> None:
+        if value == self._vm_id:
+            return
+        server = self._server
+        if server is None:
+            self._vm_id = value
+            return
+        before = server._core_watts(self)
+        self._vm_id = value
+        server._apply_core_delta(server._core_watts(self) - before)
+
+    @property
+    def utilization_override(self) -> Optional[float]:
+        return self._utilization_override
+
+    @utilization_override.setter
+    def utilization_override(self, value: Optional[float]) -> None:
+        if value == self._utilization_override:
+            return
+        server = self._server
+        if server is None:
+            self._utilization_override = value
+            return
+        before = server._core_watts(self)
+        self._utilization_override = value
+        server._apply_core_delta(server._core_watts(self) - before)
 
     @property
     def allocated(self) -> bool:
-        return self.vm_id is not None
+        return self._vm_id is not None
 
     def effective_utilization(self, vm_utilization: float) -> float:
-        if self.utilization_override is None:
+        if self._utilization_override is None:
             return vm_utilization
-        return self.utilization_override
+        return self._utilization_override
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Core(index={self.index}, freq_ghz={self._freq_ghz}, "
+                f"vm_id={self._vm_id})")
 
 
 class VirtualMachine:
@@ -62,26 +135,37 @@ class VirtualMachine:
                  vm_id: Optional[int] = None) -> None:
         if n_cores < 1:
             raise ValueError(f"a VM needs at least 1 core, got {n_cores}")
-        if not 0.0 <= utilization <= 1.0:
-            raise ValueError(
-                f"utilization must be in [0, 1], got {utilization}")
         self.vm_id = next(_vm_ids) if vm_id is None else vm_id
         self.name = name or f"vm-{self.vm_id}"
         self.n_cores = n_cores
         self.priority = priority
         self.workload = workload
-        self.utilization = utilization
         self.freq_ghz: Optional[float] = None  # set on placement
         self.server: Optional["Server"] = None
+        self._utilization = 0.0
+        self.utilization = utilization
 
     @property
     def placed(self) -> bool:
         return self.server is not None
 
-    def set_utilization(self, utilization: float) -> None:
+    @property
+    def utilization(self) -> float:
+        return self._utilization
+
+    @utilization.setter
+    def utilization(self, utilization: float) -> None:
         if not 0.0 <= utilization <= 1.0:
             raise ValueError(
                 f"utilization must be in [0, 1], got {utilization}")
+        if utilization == self._utilization:
+            return
+        if self.server is not None:
+            self.server._vm_utilization_changed(self, utilization)
+        else:
+            self._utilization = utilization
+
+    def set_utilization(self, utilization: float) -> None:
         self.utilization = utilization
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -103,17 +187,59 @@ class Server:
         self.server_id = server_id
         self.power_model = power_model
         self.rack = rack
+        self.vms: dict[int, VirtualMachine] = {}
+        self._vm_cores: dict[int, list[Core]] = {}
+        # Cached sum of per-core dynamic watts, delta-updated on mutation.
+        self._dynamic_watts = 0.0
+        # Extra non-VM power (e.g. a colocated agent); usually zero.
+        self._background_watts = 0.0
         plan = power_model.plan
         self.cores = [Core(i, plan.turbo_ghz)
                       for i in range(power_model.cores)]
-        self.vms: dict[int, VirtualMachine] = {}
-        self._vm_cores: dict[int, list[Core]] = {}
-        # Extra non-VM power (e.g. a colocated agent); usually zero.
-        self.background_watts = 0.0
+        for core in self.cores:
+            core._server = self
 
     @property
     def plan(self) -> FrequencyPlan:
         return self.power_model.plan
+
+    @property
+    def background_watts(self) -> float:
+        return self._background_watts
+
+    @background_watts.setter
+    def background_watts(self, value: float) -> None:
+        delta = value - self._background_watts
+        self._background_watts = value
+        if delta and self.rack is not None:
+            self.rack._apply_power_delta(delta)
+
+    # -- incremental power accounting ----------------------------------
+
+    def _core_watts(self, core: Core) -> float:
+        """Current dynamic-power contribution of one core (0 when idle)."""
+        vm = self.vms.get(core._vm_id) if core._vm_id is not None else None
+        if vm is None:
+            return 0.0
+        return self.power_model.core_dynamic_watts(
+            core.effective_utilization(vm._utilization), core._freq_ghz)
+
+    def _apply_core_delta(self, delta: float) -> None:
+        """Fold a per-core watt change into this server's cached total and
+        propagate it up to the rack (and from there to the datacenter)."""
+        if delta:
+            self._dynamic_watts += delta
+            if self.rack is not None:
+                self.rack._apply_power_delta(delta)
+
+    def _vm_utilization_changed(self, vm: VirtualMachine,
+                                utilization: float) -> None:
+        """Re-account the VM's cores around a VM-level utilization write."""
+        cores = self._vm_cores.get(vm.vm_id, ())
+        before = sum(self._core_watts(c) for c in cores)
+        vm._utilization = utilization
+        after = sum(self._core_watts(c) for c in cores)
+        self._apply_core_delta(after - before)
 
     @property
     def free_cores(self) -> int:
@@ -130,11 +256,13 @@ class Server:
                 f"{self.server_id}: need {vm.n_cores} cores, "
                 f"only {len(free)} free")
         assigned = free[:vm.n_cores]
+        # Register the VM first so the core setters below can see its
+        # utilization and delta-update the cached wattage.
+        self.vms[vm.vm_id] = vm
+        self._vm_cores[vm.vm_id] = assigned
         for core in assigned:
             core.vm_id = vm.vm_id
             core.freq_ghz = self.plan.turbo_ghz
-        self.vms[vm.vm_id] = vm
-        self._vm_cores[vm.vm_id] = assigned
         vm.server = self
         vm.freq_ghz = self.plan.turbo_ghz
 
@@ -200,9 +328,19 @@ class Server:
         return loads
 
     def power_watts(self) -> float:
-        """Current wall power of this server."""
+        """Current wall power of this server.  O(1): reads the cached
+        dynamic-watt total maintained incrementally by every mutation."""
+        return (self.power_model.idle_watts + self._dynamic_watts
+                + self._background_watts)
+
+    def recompute_power_watts(self) -> float:
+        """Full per-core power-model evaluation, bypassing the cache.
+
+        Kept for validation (the randomized equivalence tests) and as the
+        baseline the capping micro-benchmark measures against.
+        """
         return (self.power_model.server_watts(self.core_loads())
-                + self.background_watts)
+                + self._background_watts)
 
     def overclocked_vms(self) -> list[VirtualMachine]:
         plan = self.plan
@@ -241,6 +379,9 @@ class Rack:
         self.rack_id = rack_id
         self.power_limit_watts = power_limit_watts
         self.servers: list[Server] = []
+        self.datacenter: Optional["Datacenter"] = None
+        # Cached sum of server wattages, updated by server deltas.
+        self._power_watts = 0.0
 
     def add_server(self, server: Server) -> None:
         if server.rack is not None:
@@ -248,9 +389,20 @@ class Rack:
                              f"{server.rack.rack_id}")
         server.rack = self
         self.servers.append(server)
+        self._apply_power_delta(server.power_watts())
+
+    def _apply_power_delta(self, delta: float) -> None:
+        self._power_watts += delta
+        if self.datacenter is not None:
+            self.datacenter._apply_power_delta(delta)
 
     def power_watts(self) -> float:
-        return sum(s.power_watts() for s in self.servers)
+        """O(1): the rack aggregate maintained by server power deltas."""
+        return self._power_watts
+
+    def recompute_power_watts(self) -> float:
+        """From-scratch per-server recompute, for validation."""
+        return sum(s.recompute_power_watts() for s in self.servers)
 
     def utilization(self) -> float:
         """Rack power as a fraction of the rack limit."""
@@ -274,11 +426,20 @@ class Datacenter:
     def __init__(self, name: str = "dc") -> None:
         self.name = name
         self.racks: dict[str, Rack] = {}
+        self._total_watts = 0.0
 
     def add_rack(self, rack: Rack) -> None:
         if rack.rack_id in self.racks:
             raise ValueError(f"duplicate rack id {rack.rack_id}")
+        if rack.datacenter is not None:
+            raise ValueError(f"rack {rack.rack_id} already belongs to "
+                             f"datacenter {rack.datacenter.name}")
+        rack.datacenter = self
         self.racks[rack.rack_id] = rack
+        self._apply_power_delta(rack.power_watts())
+
+    def _apply_power_delta(self, delta: float) -> None:
+        self._total_watts += delta
 
     def servers(self) -> Iterator[Server]:
         for rack in self.racks.values():
@@ -291,4 +452,10 @@ class Datacenter:
         raise KeyError(f"no server {server_id} in datacenter {self.name}")
 
     def total_power_watts(self) -> float:
-        return sum(rack.power_watts() for rack in self.racks.values())
+        """O(1): the fleet aggregate maintained by rack power deltas."""
+        return self._total_watts
+
+    def recompute_total_power_watts(self) -> float:
+        """From-scratch recompute across all racks, for validation."""
+        return sum(rack.recompute_power_watts()
+                   for rack in self.racks.values())

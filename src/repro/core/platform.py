@@ -164,6 +164,17 @@ class SmartOClockPlatform:
     # Introspection
     # ------------------------------------------------------------------
 
+    def total_power_watts(self) -> float:
+        """Current fleet draw: an O(1) read of the datacenter's
+        incrementally-maintained power aggregate (no per-core model
+        evaluation), cheap enough for per-tick telemetry at fleet scale."""
+        return self.datacenter.total_power_watts()
+
+    def rack_power_watts(self) -> dict[str, float]:
+        """Per-rack draw snapshot from the cached rack aggregates."""
+        return {rack_id: rack.power_watts()
+                for rack_id, rack in self.datacenter.racks.items()}
+
     def total_cap_events(self) -> int:
         return sum(len(m.cap_events) for m in self.rack_managers.values())
 

@@ -448,8 +448,8 @@ def run_environment(environment: str, config: ClusterConfig, *,
     aggregators = {name: LatencyAggregator()
                    for name, _ in config.class_counts}
     instance_sums = {name: 0.0 for name, _ in config.class_counts}
-    energy = {server.server_id: 0.0
-              for server in lc_servers + ml_servers + pool}
+    all_servers = lc_servers + ml_servers + pool
+    energy = {server.server_id: 0.0 for server in all_servers}
     ever_active: set[str] = set()
     slo_ticks = 0
     total_service_ticks = 0
@@ -506,7 +506,7 @@ def run_environment(environment: str, config: ClusterConfig, *,
         else:
             for manager in managers:
                 manager.sample(now)
-            for server in lc_servers + ml_servers + pool:
+            for server in all_servers:
                 server.advance(config.tick_s)
 
         # 5. metrics.
@@ -524,11 +524,12 @@ def run_environment(environment: str, config: ClusterConfig, *,
             total_service_ticks += 1
             if service.deployment.p99_latency_ms() > service.spec.slo_ms:
                 slo_ticks += 1
-        for server in lc_servers + ml_servers + pool:
+        for server in all_servers:
             if server.vms:
                 ever_active.add(server.server_id)
             # A server stays powered once it has been brought into service
-            # (clouds do not power servers off after a scale-in).
+            # (clouds do not power servers off after a scale-in).  The
+            # per-tick read is O(1) against the cached server wattage.
             if server.server_id in ever_active:
                 energy[server.server_id] += (server.power_watts()
                                              * config.tick_s)

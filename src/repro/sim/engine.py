@@ -118,19 +118,35 @@ class SimulationEngine:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    def _prune_cancelled(self) -> Optional[_QueueEntry]:
+        """Drop cancelled tombstones off the head of the queue and return
+        the next *live* entry (still queued), or None if none remain.
+
+        ``run(until=...)`` must look at the live head, not the raw head: a
+        tombstone at t <= until sitting in front of a live event at
+        t > until would otherwise let that later event fire past
+        ``until``.
+        """
+        while self._queue:
+            event = self._queue[0].event
+            if event is None or event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return self._queue[0]
+        return None
+
     def step(self) -> bool:
         """Process the next live event.  Returns False when queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            event = entry.event
-            if event is None or event.cancelled:
-                continue
-            self._now = entry.time
-            self._events_processed += 1
-            event.fired = True
-            event.callback()
-            return True
-        return False
+        entry = self._prune_cancelled()
+        if entry is None:
+            return False
+        heapq.heappop(self._queue)
+        event = entry.event
+        self._now = entry.time
+        self._events_processed += 1
+        event.fired = True
+        event.callback()
+        return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -146,10 +162,12 @@ class SimulationEngine:
         self._stopped = False
         processed = 0
         try:
-            while self._queue and not self._stopped:
+            while not self._stopped:
                 if max_events is not None and processed >= max_events:
                     break
-                next_entry = self._queue[0]
+                next_entry = self._prune_cancelled()
+                if next_entry is None:
+                    break
                 if until is not None and next_entry.time > until:
                     break
                 if self.step():

@@ -7,8 +7,15 @@ from repro.cluster.capping import (
     PrioritizedThrottler,
     RackPowerManager,
 )
-from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.frequency import FrequencyPlan
+from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.cluster.topology import Rack, Server, VirtualMachine
+
+# A second SKU with lower operating points than the default
+# (base 2.45 / turbo 3.3 / max 4.0) to build heterogeneous racks.
+LOW_SKU = PowerModel(plan=FrequencyPlan(base_ghz=2.0, turbo_ghz=2.8,
+                                        overclock_max_ghz=3.4),
+                     cores=32)
 
 
 def build_rack(limit, n_servers=2, cores=8, util=1.0, priorities=None):
@@ -159,6 +166,60 @@ class TestFairShareThrottler:
         fair_freq = hungry.freq_ghz
 
         assert fair_freq < prioritized_freq
+
+
+class TestHeterogeneousRack:
+    """Regression tests: throttlers must use each VM's own server plan,
+    not ``rack.servers[0].plan`` (the §IV-B heterogeneous budgeting case)."""
+
+    def build_two_sku_rack(self, limit, hi_util=1.0, lo_util=1.0):
+        rack = Rack("het", limit)
+        s_hi = Server("hi", DEFAULT_POWER_MODEL)
+        s_lo = Server("lo", LOW_SKU)
+        vm_hi = VirtualMachine(8, utilization=hi_util, name="vm-hi")
+        vm_lo = VirtualMachine(8, utilization=lo_util, name="vm-lo")
+        s_hi.place_vm(vm_hi)
+        s_lo.place_vm(vm_lo)
+        rack.add_server(s_hi)
+        rack.add_server(s_lo)
+        return rack, s_hi, s_lo, vm_hi, vm_lo
+
+    def test_boost_revoked_to_each_servers_own_turbo(self):
+        rack, s_hi, s_lo, vm_hi, vm_lo = self.build_two_sku_rack(limit=1e6)
+        s_hi.set_vm_frequency(vm_hi, 4.0)
+        s_lo.set_vm_frequency(vm_lo, 3.4)
+        # Generous target: only phase 0 (boost revocation) runs.
+        PrioritizedThrottler().throttle(rack, target_watts=1e6)
+        assert vm_hi.freq_ghz == pytest.approx(s_hi.plan.turbo_ghz)
+        # With servers[0]'s plan the low SKU's VM was "reverted" to
+        # 3.3 GHz — still overclocked for its own 2.8 GHz turbo.
+        assert vm_lo.freq_ghz == pytest.approx(s_lo.plan.turbo_ghz)
+
+    def test_throttle_floor_is_each_servers_own_base(self):
+        rack, s_hi, s_lo, vm_hi, vm_lo = self.build_two_sku_rack(limit=100.0)
+        # Unreachable target: every VM is driven all the way to its floor.
+        PrioritizedThrottler().throttle(rack, target_watts=1.0)
+        assert vm_hi.freq_ghz == pytest.approx(s_hi.plan.base_ghz)
+        # The low SKU's base is 2.0 GHz, below servers[0]'s 2.45 GHz.
+        assert vm_lo.freq_ghz == pytest.approx(s_lo.plan.base_ghz)
+
+    def test_fair_share_steps_to_each_servers_own_base(self):
+        rack = Rack("het", 500.0)
+        s_hi = Server("hi", DEFAULT_POWER_MODEL)
+        s_lo = Server("lo", LOW_SKU)
+        vm_hi = VirtualMachine(8, utilization=0.05, name="vm-hi")
+        vm_lo = VirtualMachine(32, utilization=1.0, name="vm-lo")
+        s_hi.place_vm(vm_hi)
+        s_lo.place_vm(vm_lo)
+        rack.add_server(s_hi)
+        rack.add_server(s_lo)
+        # A 200 W share sits below the low server's power at 2.45 GHz
+        # (servers[0]'s base) but above its power at its own 2.0 GHz
+        # base, so the throttler must step past 2.45 GHz to satisfy it.
+        FairShareThrottler().throttle(rack, target_watts=400.0)
+        assert vm_lo.freq_ghz == pytest.approx(s_lo.plan.base_ghz)
+        # The near-idle high-SKU server is under its share: untouched.
+        assert vm_hi.freq_ghz == pytest.approx(s_hi.plan.turbo_ghz)
 
 
 class TestRestore:

@@ -97,6 +97,23 @@ class TestCancellation:
         assert engine.pending_events == 1
         assert not keep.cancelled
 
+    def test_cancelled_head_does_not_leak_events_past_until(self):
+        # Regression: a cancelled tombstone at t <= until used to make
+        # run() call step(), which skipped the tombstone and fired the
+        # next live event even when it lay past `until`.
+        engine = SimulationEngine()
+        seen = []
+        doomed = engine.schedule(5.0, lambda: seen.append(5))
+        engine.schedule(20.0, lambda: seen.append(20))
+        doomed.cancel()
+        engine.run(until=10.0)
+        assert seen == []
+        assert engine.now == 10.0
+        assert engine.pending_events == 1
+        engine.run()
+        assert seen == [20]
+        assert engine.now == 20.0
+
 
 class TestRunControl:
     def test_run_until_stops_clock_at_bound(self):
