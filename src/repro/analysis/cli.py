@@ -1,0 +1,90 @@
+"""``repro lint`` — command-line front end for the lint engine.
+
+Usage::
+
+    repro lint src                      # lint a tree, exit 0/1/2
+    repro lint src --select unit-mismatch
+    repro lint src --ignore untyped-def --format json
+    repro lint --list-rules
+
+Configuration merges, in order: built-in defaults, ``[tool.oclint]``
+from the nearest ``pyproject.toml`` above the first path, then the
+``--select``/``--ignore`` flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional
+
+import dataclasses
+
+from repro.analysis.config import load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules
+
+__all__ = ["configure_parser", "run"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s arguments to its subparser."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="RULE", action="append",
+                        default=None,
+                        help="run only these rules (repeatable)")
+    parser.add_argument("--ignore", metavar="RULE", action="append",
+                        default=None,
+                        help="skip these rules (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
+
+def _find_pyproject(start: Path) -> Optional[Path]:
+    anchor = start if start.is_dir() else start.parent
+    for directory in (anchor, *anchor.resolve().parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` and return the process exit code."""
+    rules = all_rules()
+    if args.list_rules:
+        for rule_id in sorted(rules):
+            print(f"{rule_id:<18} {rules[rule_id].description}")
+        return 0
+    for flag in ("select", "ignore"):
+        for rule_id in getattr(args, flag) or ():
+            if rule_id not in rules:
+                known = ", ".join(sorted(rules))
+                print(f"error: unknown rule {rule_id!r} (known: {known})")
+                return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}")
+        return 2
+    config = load_config(_find_pyproject(paths[0]))
+    if args.select:
+        config = dataclasses.replace(config, select=frozenset(args.select))
+    if args.ignore:
+        config = dataclasses.replace(
+            config, ignore=config.ignore | frozenset(args.ignore))
+    result = lint_paths(paths, config)
+    if args.format == "json":
+        print(json.dumps([d.as_dict() for d in result.diagnostics], indent=2))
+    else:
+        for diagnostic in result.diagnostics:
+            print(diagnostic.format())
+        noun = "file" if result.files_checked == 1 else "files"
+        print(f"{result.files_checked} {noun} checked, "
+              f"{len(result.diagnostics)} diagnostic(s)")
+    return result.exit_code

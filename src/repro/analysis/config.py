@@ -1,0 +1,125 @@
+"""Lint configuration: rule selection plus per-rule knobs.
+
+Defaults encode this repository's invariants; a ``[tool.oclint]`` table
+in ``pyproject.toml`` can extend them (e.g. new power-affecting backing
+fields as the topology grows) and the CLI ``--select``/``--ignore``
+flags narrow a single run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_ENGINE_INTERNALS",
+    "DEFAULT_POWER_FIELDS",
+    "LintConfig",
+    "load_config",
+]
+
+# Backing fields of the incremental power-accounting caches
+# (repro.cluster.topology).  A write to any of these from outside the
+# owning object bypasses the delta-updating setters and silently
+# corrupts cached wattage.
+DEFAULT_POWER_FIELDS = frozenset({
+    "_freq_ghz",
+    "_vm_id",
+    "_utilization_override",
+    "_utilization",
+    "_background_watts",
+    "_dynamic_watts",
+    "_power_watts",
+    "_total_watts",
+})
+
+# Private state of repro.sim.engine.SimulationEngine.  Handlers must go
+# through schedule()/cancel()/now — direct event-calendar access breaks
+# the tombstone/ordering invariants.
+DEFAULT_ENGINE_INTERNALS = frozenset({
+    "_queue",
+    "_sequence",
+    "_events_processed",
+    "_running",
+    "_stopped",
+    "_now",
+})
+
+# Module path suffixes where engine internals are legitimately touched
+# (the engine implementation itself).
+DEFAULT_ENGINE_MODULES = ("sim/engine.py",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Engine-wide configuration passed to every rule.
+
+    ``select`` of ``None`` means "all registered rules"; ``ignore`` is
+    subtracted afterwards.  ``determinism_modules`` of ``None`` applies
+    the nondeterminism rule everywhere (the repo-wide convention);
+    a tuple restricts it to modules whose path contains any entry.
+    """
+
+    select: Optional[frozenset[str]] = None
+    ignore: frozenset[str] = frozenset()
+    power_fields: frozenset[str] = DEFAULT_POWER_FIELDS
+    engine_internals: frozenset[str] = DEFAULT_ENGINE_INTERNALS
+    engine_modules: tuple[str, ...] = DEFAULT_ENGINE_MODULES
+    determinism_modules: Optional[tuple[str, ...]] = None
+
+    def enabled(self, rule_id: str) -> bool:
+        """True when ``rule_id`` should run under this configuration."""
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+
+def _as_str_tuple(value: object, key: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+            isinstance(item, str) for item in value):
+        raise ValueError(f"[tool.oclint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(pyproject: Optional[Path] = None,
+                base: Optional[LintConfig] = None) -> LintConfig:
+    """Build a :class:`LintConfig`, merging ``[tool.oclint]`` if present.
+
+    Missing file, missing table, or an interpreter without ``tomllib``
+    (Python 3.10) all fall back to ``base``/defaults — the lint gate
+    must never fail because configuration is absent.
+    """
+    config = base if base is not None else LintConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: stdlib tomllib unavailable.
+        return config
+    try:
+        table = tomllib.loads(pyproject.read_text())
+    except (OSError, tomllib.TOMLDecodeError):
+        return config
+    section = table.get("tool", {}).get("oclint", {})
+    if not isinstance(section, dict) or not section:
+        return config
+    updates: dict[str, object] = {}
+    if "select" in section:
+        updates["select"] = frozenset(_as_str_tuple(section["select"], "select"))
+    if "ignore" in section:
+        updates["ignore"] = frozenset(_as_str_tuple(section["ignore"], "ignore"))
+    if "power-fields" in section:
+        updates["power_fields"] = config.power_fields | frozenset(
+            _as_str_tuple(section["power-fields"], "power-fields"))
+    if "engine-internals" in section:
+        updates["engine_internals"] = config.engine_internals | frozenset(
+            _as_str_tuple(section["engine-internals"], "engine-internals"))
+    if "engine-modules" in section:
+        updates["engine_modules"] = _as_str_tuple(
+            section["engine-modules"], "engine-modules")
+    if "determinism-modules" in section:
+        updates["determinism_modules"] = _as_str_tuple(
+            section["determinism-modules"], "determinism-modules")
+    return dataclasses.replace(config, **updates)  # type: ignore[arg-type]

@@ -1,0 +1,36 @@
+"""Diagnostic records emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation at a file/line/column.
+
+    Ordering is (path, line, col, rule_id) so reports are stable across
+    runs regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable form (``repro lint --format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,121 @@
+"""Lint engine: file discovery, rule execution, pragma filtering.
+
+Two entry points: :func:`lint_paths` for files/directories (the CLI
+path) and :func:`lint_source` for in-memory snippets (the fixture
+tests).  Exit-code convention, mirrored by ``repro lint``:
+
+* 0 — clean,
+* 1 — one or more diagnostics,
+* 2 — a target file failed to parse (reported as a ``syntax-error``
+  diagnostic; the remaining files are still linted).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.pragmas import is_suppressed, suppressed_lines
+from repro.analysis.registry import all_rules
+
+__all__ = ["LintResult", "lint_paths", "lint_source"]
+
+_SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        if self.parse_errors:
+            return 2
+        return 1 if self.diagnostics else 0
+
+
+def _discover(paths: Iterable[Path]) -> list[Path]:
+    """Expand directories to their ``*.py`` files, preserving order and
+    deduplicating."""
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for path in paths:
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _run_rules(contexts: list[ModuleContext], config: LintConfig,
+               result: LintResult) -> None:
+    index = ProjectIndex.build(contexts)
+    rules = [rule for rule_id, rule in sorted(all_rules().items())
+             if config.enabled(rule_id)]
+    for ctx in contexts:
+        suppressions = suppressed_lines(ctx.source)
+        for rule in rules:
+            for diagnostic in rule.check(ctx, index, config):
+                if not is_suppressed(diagnostic.rule_id, diagnostic.line,
+                                     suppressions):
+                    result.diagnostics.append(diagnostic)
+    result.diagnostics.sort()
+
+
+def lint_paths(paths: Iterable[Path | str],
+               config: Optional[LintConfig] = None) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` as one project."""
+    config = config if config is not None else LintConfig()
+    result = LintResult()
+    contexts: list[ModuleContext] = []
+    for file_path in _discover(Path(p) for p in paths):
+        display = str(file_path)
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            result.parse_errors += 1
+            result.diagnostics.append(Diagnostic(
+                path=display, line=1, col=0, rule_id=_SYNTAX_ERROR_RULE,
+                message=f"cannot read file: {exc}"))
+            continue
+        result.files_checked += 1
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            result.parse_errors += 1
+            result.diagnostics.append(Diagnostic(
+                path=display, line=exc.lineno or 1, col=exc.offset or 0,
+                rule_id=_SYNTAX_ERROR_RULE,
+                message=f"cannot parse: {exc.msg}"))
+            continue
+        contexts.append(ModuleContext(display, source, tree))
+    _run_rules(contexts, config, result)
+    return result
+
+
+def lint_source(source: str, path: str = "<string>",
+                config: Optional[LintConfig] = None) -> LintResult:
+    """Lint a single in-memory module (fixture tests, tooling)."""
+    config = config if config is not None else LintConfig()
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.parse_errors += 1
+        result.diagnostics.append(Diagnostic(
+            path=path, line=exc.lineno or 1, col=exc.offset or 0,
+            rule_id=_SYNTAX_ERROR_RULE, message=f"cannot parse: {exc.msg}"))
+        return result
+    _run_rules([ModuleContext(path, source, tree)], config, result)
+    return result

@@ -1,0 +1,66 @@
+"""Inline suppression pragmas.
+
+A diagnostic is suppressed when the physical line it points at carries
+an ``oclint`` pragma covering its rule::
+
+    vm._utilization = u  # oclint: disable=power-cache-write
+    x = foo()            # oclint: disable=unit-mismatch,nondeterminism
+    y = bar()            # oclint: disable
+
+The bare form (no ``=rules``) disables every rule on that line.  Pragmas
+are parsed from real COMMENT tokens, not substring matches, so pragma
+text inside string literals does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Optional
+
+__all__ = ["ALL_RULES", "suppressed_lines"]
+
+# Sentinel meaning "every rule is disabled on this line".
+ALL_RULES = frozenset({"*"})
+
+_PRAGMA = re.compile(
+    r"#\s*oclint:\s*disable(?:\s*=\s*(?P<rules>[\w\-]+(?:\s*,\s*[\w\-]+)*))?")
+
+
+def suppressed_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map line number → rule ids disabled there (:data:`ALL_RULES` = all).
+
+    Unparseable sources yield no suppressions; callers lint only files
+    that already parsed, so tokenization failures are not expected.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        rules_text = match.group("rules")
+        if rules_text is None:
+            rules = ALL_RULES
+        else:
+            rules = frozenset(
+                part.strip() for part in rules_text.split(",") if part.strip())
+        line = token.start[0]
+        previous = suppressions.get(line, frozenset())
+        suppressions[line] = previous | rules
+    return suppressions
+
+
+def is_suppressed(rule_id: str, line: int,
+                  suppressions: dict[int, frozenset[str]]) -> bool:
+    """True when ``rule_id`` is pragma-disabled on ``line``."""
+    rules: Optional[frozenset[str]] = suppressions.get(line)
+    if rules is None:
+        return False
+    return rules is ALL_RULES or "*" in rules or rule_id in rules

@@ -1,0 +1,63 @@
+"""Rule base class and registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:mod:`repro.analysis.rules` imports every rule module so importing the
+package is enough to populate the registry.  Each rule is stateless:
+``check`` receives the module context, the cross-module signature
+index, and the engine configuration, and yields diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]
+
+
+class Rule:
+    """One lint rule.  Subclasses set ``rule_id``/``description`` and
+    implement :meth:`check`."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext, index: ProjectIndex,
+              config: LintConfig) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: ModuleContext, line: int, col: int,
+                   message: str) -> Diagnostic:
+        return Diagnostic(path=ctx.path, line=line, col=col,
+                          rule_id=self.rule_id, message=message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule instance to the global registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    _REGISTRY[rule_class.rule_id] = rule_class()
+    return rule_class
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules, keyed by rule id (import side effect:
+    loading :mod:`repro.analysis.rules` registers the built-ins)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    rules = all_rules()
+    if rule_id not in rules:
+        known = ", ".join(sorted(rules))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})")
+    return rules[rule_id]

@@ -1,0 +1,17 @@
+"""Built-in lint rules.  Importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.determinism import NondeterminismRule
+from repro.analysis.rules.handlers import HandlerHygieneRule
+from repro.analysis.rules.power import PowerCacheWriteRule
+from repro.analysis.rules.units import UnitMismatchRule
+from repro.analysis.rules.untyped import UntypedDefRule
+
+__all__ = [
+    "HandlerHygieneRule",
+    "NondeterminismRule",
+    "PowerCacheWriteRule",
+    "UnitMismatchRule",
+    "UntypedDefRule",
+]

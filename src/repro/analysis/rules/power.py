@@ -1,0 +1,74 @@
+"""Rule ``power-cache-write``: protect the incremental power caches.
+
+PR 1 made ``power_watts()`` an O(1) read of a cached total that is
+delta-updated by the invalidation-aware setters in
+:mod:`repro.cluster.topology`.  A direct write such as
+``core._freq_ghz = 4.0`` from outside the owning object changes the
+physical operating point *without* applying the watt delta, so every
+cached wattage up the rack/datacenter hierarchy silently drifts — the
+worst kind of modeling bug, because power numbers stay plausible.
+
+The rule flags any assignment (plain, augmented, annotated, tuple
+unpacking) or ``del`` whose target is ``<expr>._field`` for a
+power-affecting backing field, unless ``<expr>`` is ``self`` — the
+owning class is the one place allowed to touch its own cache fields.
+Deliberate cross-object writes inside the accounting protocol itself
+carry an inline ``# oclint: disable=power-cache-write`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["PowerCacheWriteRule"]
+
+
+def _attribute_targets(node: ast.AST) -> Iterator[ast.Attribute]:
+    """Attribute nodes written to by an assignment/delete statement."""
+    if isinstance(node, ast.Attribute):
+        yield node
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _attribute_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from _attribute_targets(node.value)
+
+
+@register
+class PowerCacheWriteRule(Rule):
+    rule_id = "power-cache-write"
+    description = ("write to a power-affecting backing field from outside "
+                   "the owning object bypasses the delta-updating setters")
+
+    def check(self, ctx: ModuleContext, index: ProjectIndex,
+              config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                for attribute in _attribute_targets(target):
+                    if attribute.attr not in config.power_fields:
+                        continue
+                    base = attribute.value
+                    if isinstance(base, ast.Name) and base.id == "self":
+                        continue
+                    yield self.diagnostic(
+                        ctx, attribute.lineno, attribute.col_offset,
+                        f"direct write to power-affecting backing field "
+                        f"'{attribute.attr}' from outside its owning object; "
+                        f"use the invalidation-aware setter so the cached "
+                        f"wattage is delta-updated (see "
+                        f"repro.cluster.topology)")

@@ -1,0 +1,130 @@
+"""Rule ``unit-mismatch``: unit-suffix consistency at call sites.
+
+The simulator passes physical quantities as bare floats; the only thing
+standing between a correct run and a 1000x power error is the naming
+convention (``freq_ghz``, ``power_watts``, ``duration_s`` …).  This rule
+checks the convention where it can actually break: argument binding.
+When an argument expression whose terminal name carries one unit suffix
+binds to a parameter whose name carries a *different* unit suffix —
+positionally (via the cross-module signature index) or by keyword — the
+call is almost certainly a unit bug (GHz into MHz, watts into seconds).
+
+Scale variants are distinct units on purpose: ``_mhz`` into ``_ghz`` is
+exactly the silent 1000x error the rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["UnitMismatchRule", "unit_token"]
+
+# name-component → canonical unit.  Components are matched on the last
+# underscore-separated part of a name, so `base_freq_ghz` → GHz and
+# `history_times` → no unit.  Single letters are included only where the
+# repo actually uses them (`duration_s`, `total_energy_j`); `_min`,
+# `_max`, `_w`, `_v` are too ambiguous to claim.
+_UNIT_COMPONENTS: dict[str, str] = {
+    "ghz": "GHz", "mhz": "MHz", "khz": "kHz", "hz": "Hz",
+    "watts": "W", "watt": "W", "kilowatts": "kW", "kw": "kW",
+    "milliwatts": "mW",
+    "joules": "J", "joule": "J", "j": "J", "kj": "kJ",
+    "seconds": "s", "second": "s", "secs": "s", "sec": "s", "s": "s",
+    "ms": "ms", "msec": "ms", "millis": "ms",
+    "minutes": "min", "mins": "min",
+    "hours": "h", "hrs": "h",
+    "days": "days", "weeks": "weeks",
+    "volts": "V", "celsius": "degC", "kelvin": "K",
+}
+
+
+def unit_token(name: str) -> Optional[str]:
+    """Canonical unit carried by ``name``'s suffix, or None."""
+    component = name.rsplit("_", 1)[-1].lower()
+    return _UNIT_COMPONENTS.get(component)
+
+
+def _expression_name(node: ast.expr) -> Optional[str]:
+    """Terminal identifier of an argument expression, when one exists.
+
+    ``freq_mhz`` → ``freq_mhz``; ``vm.freq_ghz`` → ``freq_ghz``;
+    ``server.power_watts()`` → ``power_watts``.  Arithmetic, constants
+    and subscripts return None — an expression like ``mhz / 1000.0`` is
+    presumed to be a deliberate conversion.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _expression_name(node.func)
+    return None
+
+
+@register
+class UnitMismatchRule(Rule):
+    rule_id = "unit-mismatch"
+    description = ("argument whose name carries one unit suffix bound to a "
+                   "parameter carrying a different one")
+
+    def check(self, ctx: ModuleContext, index: ProjectIndex,
+              config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_keywords(ctx, node)
+            yield from self._check_positional(ctx, index, node)
+
+    def _check_keywords(self, ctx: ModuleContext,
+                        call: ast.Call) -> Iterator[Diagnostic]:
+        # Keyword binding needs no signature: the keyword *is* the
+        # parameter name, so this check works across any call boundary.
+        for keyword in call.keywords:
+            if keyword.arg is None:  # **kwargs expansion
+                continue
+            param_unit = unit_token(keyword.arg)
+            if param_unit is None:
+                continue
+            name = _expression_name(keyword.value)
+            if name is None:
+                continue
+            arg_unit = unit_token(name)
+            if arg_unit is None or arg_unit == param_unit:
+                continue
+            yield self.diagnostic(
+                ctx, keyword.value.lineno, keyword.value.col_offset,
+                f"argument '{name}' ({arg_unit}) bound to parameter "
+                f"'{keyword.arg}' ({param_unit}); convert explicitly or "
+                f"rename")
+
+    def _check_positional(self, ctx: ModuleContext, index: ProjectIndex,
+                          call: ast.Call) -> Iterator[Diagnostic]:
+        sig = index.resolve_call(ctx, call)
+        if sig is None:
+            return
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if position >= len(sig.params):
+                break
+            param = sig.params[position]
+            param_unit = unit_token(param)
+            if param_unit is None:
+                continue
+            name = _expression_name(arg)
+            if name is None:
+                continue
+            arg_unit = unit_token(name)
+            if arg_unit is None or arg_unit == param_unit:
+                continue
+            yield self.diagnostic(
+                ctx, arg.lineno, arg.col_offset,
+                f"argument '{name}' ({arg_unit}) bound to parameter "
+                f"'{param}' ({param_unit}) of {sig.qualname}(); convert "
+                f"explicitly or rename")

@@ -1,0 +1,49 @@
+"""Rule ``untyped-def``: every function fully annotated.
+
+The in-repo equivalent of mypy's ``disallow_untyped_defs`` gate (CI
+runs real mypy; this rule keeps the check runnable anywhere the package
+runs, with file:line diagnostics and pragma support).  A function is
+flagged when any parameter other than ``self``/``cls`` lacks an
+annotation or the return type is missing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["UntypedDefRule"]
+
+
+@register
+class UntypedDefRule(Rule):
+    rule_id = "untyped-def"
+    description = "function with unannotated parameters or return type"
+
+    def check(self, ctx: ModuleContext, index: ProjectIndex,
+              config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            named = args.posonlyargs + args.args + args.kwonlyargs
+            missing = [a.arg for a in named
+                       if a.annotation is None and a.arg not in ("self", "cls")]
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append(f"*{args.vararg.arg}")
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append(f"**{args.kwarg.arg}")
+            problems: list[str] = []
+            if missing:
+                problems.append("unannotated parameters: " + ", ".join(missing))
+            if node.returns is None:
+                problems.append("missing return annotation")
+            if problems:
+                yield self.diagnostic(
+                    ctx, node.lineno, node.col_offset,
+                    f"'{node.name}' — " + "; ".join(problems))

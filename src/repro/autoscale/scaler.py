@@ -13,7 +13,7 @@ which engages in milliseconds, wins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ScalerConfig", "HorizontalAutoscaler", "VerticalScaler"]
 
@@ -81,7 +81,7 @@ class HorizontalAutoscaler:
 
     def active_instances(self, now: float) -> int:
         """Instances serving traffic at ``now`` (booted ones only)."""
-        still_booting = []
+        still_booting: list[tuple[float, int]] = []
         for ready_time, count in self._booting:
             if ready_time <= now:
                 self._active += count

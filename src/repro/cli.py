@@ -10,12 +10,17 @@ Usage::
 
 Each subcommand prints the same series/rows its benchmark counterpart
 reports (the benchmarks add assertions and timing on top).
+
+``repro lint`` is different in kind: it runs the project-specific
+static-analysis rules (see :mod:`repro.analysis`) over a source tree
+and exits non-zero on violations.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -23,10 +28,24 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+@dataclass(frozen=True)
+class _Command:
+    """One subcommand: handler, help text, and argument wiring.
+
+    ``seeded`` commands get the shared ``--seed`` option; commands with
+    a ``configure`` hook own their argument set entirely.
+    """
+
+    func: Callable[[argparse.Namespace], int]
+    help: str
+    configure: Optional[Callable[[argparse.ArgumentParser], None]] = None
+    seeded: bool = True
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("available experiments:")
-    for name, (_, help_text) in sorted(_COMMANDS.items()):
-        print(f"  {name:<10} {help_text}")
+    print("available commands:")
+    for name, command in sorted(_COMMANDS.items()):
+        print(f"  {name:<10} {command.help}")
     return 0
 
 
@@ -78,7 +97,7 @@ def _cmd_fig15(args: argparse.Namespace) -> int:
     fleet = generate_fleet(FleetConfig(n_racks=args.racks, weeks=2,
                                        seed=args.seed))
     for kind in TemplateKind:
-        rmses = []
+        rmses: list[float] = []
         for rack in fleet.racks:
             power = rack.total_power()
             hist = rack.times < week
@@ -135,17 +154,29 @@ def _cmd_fig17(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], int], str]] = {
-    "list": (_cmd_list, "list available experiments"),
-    "fig1": (_cmd_fig1, "weekday load patterns of Services A/B/C"),
-    "fig2": (_cmd_fig2, "SocialNet latency sweep (also covers fig3)"),
-    "fig5": (_cmd_fig5, "rack power utilization CDFs"),
-    "fig7": (_cmd_fig7, "CPU ageing under overclocking policies"),
-    "fig15": (_cmd_fig15, "template prediction accuracy"),
-    "table1": (_cmd_table1, "policy comparison across cluster classes"),
-    "cluster": (_cmd_cluster, "the four-environment cluster study"),
-    "fig16": (_cmd_fig16, "Service B utilization vs request rate"),
-    "fig17": (_cmd_fig17, "Service C 5-minute peak reduction"),
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run
+    return run(args)
+
+
+def _configure_lint(parser: argparse.ArgumentParser) -> None:
+    from repro.analysis.cli import configure_parser
+    configure_parser(parser)
+
+
+_COMMANDS: dict[str, _Command] = {
+    "list": _Command(_cmd_list, "list available commands", seeded=False),
+    "fig1": _Command(_cmd_fig1, "weekday load patterns of Services A/B/C"),
+    "fig2": _Command(_cmd_fig2, "SocialNet latency sweep (also covers fig3)"),
+    "fig5": _Command(_cmd_fig5, "rack power utilization CDFs"),
+    "fig7": _Command(_cmd_fig7, "CPU ageing under overclocking policies"),
+    "fig15": _Command(_cmd_fig15, "template prediction accuracy"),
+    "table1": _Command(_cmd_table1, "policy comparison across cluster classes"),
+    "cluster": _Command(_cmd_cluster, "the four-environment cluster study"),
+    "fig16": _Command(_cmd_fig16, "Service B utilization vs request rate"),
+    "fig17": _Command(_cmd_fig17, "Service C 5-minute peak reduction"),
+    "lint": _Command(_cmd_lint, "run project-specific static analysis",
+                     configure=_configure_lint, seeded=False),
 }
 
 
@@ -155,10 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate SmartOClock (ISCA 2024) experiments.")
     sub = parser.add_subparsers(dest="command", required=True)
-    for name, (func, help_text) in _COMMANDS.items():
-        p = sub.add_parser(name, help=help_text)
-        p.set_defaults(func=func)
-        p.add_argument("--seed", type=int, default=1)
+    for name, command in _COMMANDS.items():
+        p = sub.add_parser(name, help=command.help)
+        p.set_defaults(func=command.func)
+        if command.configure is not None:
+            command.configure(p)
+        if command.seeded:
+            p.add_argument("--seed", type=int, default=1)
         if name in ("fig5", "fig15", "table1"):
             p.add_argument("--racks", type=int,
                            default=30 if name != "table1" else 4)

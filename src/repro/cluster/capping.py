@@ -19,7 +19,7 @@ frequency reduction this throttler inflicts on *non-overclocked* VMs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cluster.topology import Rack, Server, VirtualMachine
@@ -101,7 +101,7 @@ class PrioritizedThrottler:
                         vm.freq_ghz > server.plan.base_ghz + 1e-9,
                         floor=lambda vm, server: server.plan.base_ghz)
 
-        penalties = []
+        penalties: list[float] = []
         for vm, _ in vms:
             if vm.vm_id in noc_before and vm.vm_id in touched:
                 penalties.append(noc_before[vm.vm_id] - vm.freq_ghz)

@@ -17,8 +17,7 @@ the narrow interface an sOA can drive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.cluster.topology import Core, Server, VirtualMachine
 

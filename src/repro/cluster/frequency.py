@@ -10,7 +10,7 @@ overclocking is expensive in both watts and lifetime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FrequencyPlan", "DEFAULT_FREQUENCY_PLAN"]
 
@@ -77,7 +77,7 @@ class FrequencyPlan:
 
     def overclock_steps(self) -> list[float]:
         """All overclocked operating points above turbo, ascending."""
-        steps = []
+        steps: list[float] = []
         f = self.turbo_ghz + self.step_ghz
         while f <= self.overclock_max_ghz + 1e-9:
             steps.append(round(f, 6))

@@ -237,7 +237,9 @@ class Server:
         """Re-account the VM's cores around a VM-level utilization write."""
         cores = self._vm_cores.get(vm.vm_id, ())
         before = sum(self._core_watts(c) for c in cores)
-        vm._utilization = utilization
+        # The one sanctioned cross-object write: this *is* the delta
+        # protocol the setter delegates to.
+        vm._utilization = utilization  # oclint: disable=power-cache-write
         after = sum(self._core_watts(c) for c in cores)
         self._apply_core_delta(after - before)
 
@@ -320,7 +322,7 @@ class Server:
 
     def core_loads(self) -> list[tuple[float, float]]:
         """(utilization, freq) per allocated core, for the power model."""
-        loads = []
+        loads: list[tuple[float, float]] = []
         for vm in self.vms.values():
             for core in self._vm_cores[vm.vm_id]:
                 loads.append((core.effective_utilization(vm.utilization),

@@ -8,7 +8,7 @@ with a 10 % overclocking budget, weekly DailyMed template recomputation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.prediction.templates import TemplateKind
 

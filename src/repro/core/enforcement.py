@@ -16,7 +16,6 @@ important VMs reach the ceiling before less important VMs get anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cluster.topology import Server, VirtualMachine
 

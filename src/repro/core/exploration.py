@@ -16,7 +16,6 @@ the assigned value itself comes from the gOA and may change underneath.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 __all__ = ["ExplorationPhase", "ExplorationController"]
 

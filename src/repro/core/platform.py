@@ -9,7 +9,6 @@ runs its control, telemetry, capping and budget-update cadences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.cluster.capping import (
@@ -17,7 +16,7 @@ from repro.cluster.capping import (
     PrioritizedThrottler,
     RackPowerManager,
 )
-from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.cluster.topology import Datacenter, VirtualMachine
 from repro.core.config import SmartOClockConfig
 from repro.core.goa import GlobalOverclockingAgent
 from repro.core.soa import ServerOverclockingAgent
@@ -47,7 +46,7 @@ class SmartOClockPlatform:
         self._last_budget_update = -float("inf")
 
         for rack in datacenter.racks.values():
-            rack_soas = []
+            rack_soas: list[ServerOverclockingAgent] = []
             for server in rack.servers:
                 soa = ServerOverclockingAgent(
                     server, self.config,

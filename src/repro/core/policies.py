@@ -22,8 +22,8 @@ its own persistent state; it returns granted cores per server.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 import numpy as np
 
@@ -177,7 +177,7 @@ class NoFeedback(TracePolicy):
         week_start = (history_times[-1] // (7 * 86400.0) + 1) * 7 * 86400.0
         slot_times = week_start + self.slot_s * np.arange(
             self._slots_per_week)
-        profiles = []
+        profiles: list[ServerProfileReport] = []
         for i in range(self.n_servers):
             regular = self._templates[i].predict_series(slot_times)
             # Demand template: per-slot-of-week max over history.
@@ -290,8 +290,12 @@ class NoWarning(NoFeedback):
         self.extra[:] = 0.0
         self._backoff(ctx, exploring)
 
-    def begin_week(self, *args, **kwargs) -> None:
-        super().begin_week(*args, **kwargs)
+    def begin_week(self, history_times: np.ndarray,
+                   history_power: np.ndarray,
+                   history_demand: np.ndarray,
+                   limit_watts: float) -> None:
+        super().begin_week(history_times, history_power, history_demand,
+                           limit_watts)
         self._backoff_current[:] = self.backoff_ticks
 
 
@@ -306,7 +310,7 @@ class SmartOClockPolicy(NoWarning):
     """
 
     def __init__(self, n_servers: int, *, exploit_ticks: int = 2,
-                 **kwargs) -> None:
+                 **kwargs: Any) -> None:
         super().__init__(n_servers, **kwargs)
         self.exploit_ticks = exploit_ticks
         self._exploit_until = np.full(n_servers, -1)

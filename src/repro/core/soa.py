@@ -22,14 +22,13 @@ The sOA is the decentralized decision-maker on every server:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.cluster.capping import CapEvent, WarningMessage
-from repro.cluster.topology import Server, VirtualMachine
+from repro.cluster.topology import Core, Server, VirtualMachine
 from repro.core.budgets import BudgetAssignment
 from repro.core.config import SmartOClockConfig
 from repro.core.enforcement import FeedbackLoop
@@ -319,7 +318,7 @@ class ServerOverclockingAgent:
             if vm.freq_ghz is None or not plan.is_overclocked(vm.freq_ghz):
                 continue  # granted but not ramped up yet: no budget burned
             cores = self.server.vm_cores(vm)
-            exhausted = []
+            exhausted: list[Core] = []
             if self.config.lifetime_mode == "online":
                 # Wear accrues through the counters in _accrue_wear; the
                 # grant ends when a core's credits run dry.
@@ -345,12 +344,12 @@ class ServerOverclockingAgent:
         if self.config.lifetime_mode == "online":
             volts = self.server.plan.voltage(
                 self.server.plan.overclock_max_ghz)
-            def has_budget(core):
+            def has_budget(core: Core) -> bool:
                 return self.online_budgets[core.index].available_seconds(
                     max(0.5, vm.utilization), volts) \
                     >= self.config.min_grant_s
         else:
-            def has_budget(core):
+            def has_budget(core: Core) -> bool:
                 return self.core_budgets[core.index].available_seconds(
                     now) >= self.config.min_grant_s
         candidates = [

@@ -12,7 +12,7 @@ run out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.cluster.topology import VirtualMachine

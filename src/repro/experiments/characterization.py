@@ -28,7 +28,6 @@ from repro.workloads.loadgen import (
 from repro.workloads.microservices import (
     SOCIALNET_SERVICES,
     MicroserviceInstance,
-    MicroserviceSpec,
 )
 from repro.workloads.webconf import WebConfDeployment, WebConfVM
 
@@ -71,7 +70,7 @@ def fig1_load_patterns(step_s: float = 300.0
                                       include_half_hour=True,
                                       base_scale=0.35),
     }
-    out = {}
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for name, pattern in services.items():
         times, levels = WeekendScaledPattern(pattern).sample_levels(
             0.0, SECONDS_PER_DAY, step_s)
@@ -106,7 +105,7 @@ LOAD_LEVELS = {"low": 0.35, "medium": 0.60, "high": 0.85}
 
 def fig2_fig3_microservice_sweep() -> list[MicroserviceSweepPoint]:
     """Tail latency and CPU utilization for all 8 SocialNet services."""
-    points = []
+    points: list[MicroserviceSweepPoint] = []
     for spec in SOCIALNET_SERVICES:
         for load_name, fraction in LOAD_LEVELS.items():
             total_rate = fraction * spec.capacity(TURBO_GHZ)
@@ -135,7 +134,7 @@ def fig2_fig3_microservice_sweep() -> list[MicroserviceSweepPoint]:
 
 def fig4_webconf() -> dict[str, dict[str, float]]:
     """Two WebConf VMs at 10 % and 80 % utilization, ± overclocking VM2."""
-    results = {}
+    results: dict[str, dict[str, float]] = {}
     for env, freq in (("Baseline", TURBO_GHZ), ("Overclock", OVERCLOCK_GHZ)):
         vm1 = WebConfVM("VM1", base_utilization=0.10)
         vm2 = WebConfVM("VM2", base_utilization=0.80)
@@ -293,12 +292,12 @@ def fig8_prediction_rmse_by_region(*, n_racks: int = 25, seed: int = 31
         "Region 3": dict(noise_sigma=0.06, outlier_day_prob=0.07),
         "Region 4": dict(noise_sigma=0.10, outlier_day_prob=0.10),
     }
-    out = {}
+    out: dict[str, Cdf] = {}
     for i, (name, knobs) in enumerate(regions.items()):
         config = FleetConfig(n_racks=n_racks, weeks=2, seed=seed + i,
                              region=name, **knobs)
         fleet = generate_fleet(config)
-        errors = []
+        errors: list[float] = []
         for rack in fleet.racks:
             power = rack.total_power()
             t = rack.times
@@ -336,7 +335,7 @@ def fig9_server_heterogeneity(rack: Optional[RackTrace] = None, *,
         raise ValueError(
             f"rack has only {len(varying)} varying servers")
     chosen = rng.choice(varying, size=n_servers, replace=False)
-    series = {}
+    series: dict[str, np.ndarray] = {}
     peak = max(float(np.max(rack.servers[i].power_watts)) for i in chosen)
     for i in sorted(chosen):
         server = rack.servers[i]

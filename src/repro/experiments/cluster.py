@@ -21,7 +21,6 @@ mass are computed by bisection — no per-request sampling noise.
 from __future__ import annotations
 
 import dataclasses
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,7 +31,7 @@ from repro.autoscale.scaler import (
     ScalerConfig,
     VerticalScaler,
 )
-from repro.cluster.capping import PrioritizedThrottler, RackPowerManager
+from repro.cluster.capping import RackPowerManager
 from repro.cluster.power import DEFAULT_POWER_MODEL
 from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
 from repro.core.config import SmartOClockConfig
@@ -276,13 +275,13 @@ class EnvironmentResult:
 
 def _build_services(config: ClusterConfig, lc_servers: list[Server],
                     rng: np.random.Generator) -> list[_Service]:
-    classes = []
+    classes: list[tuple[str, float]] = []
     lo, hi = config.class_spread
     for name, count in config.class_counts:
         spreads = (np.linspace(lo, hi, count) if count > 1
                    else np.array([1.0]))
         classes.extend((name, float(s)) for s in spreads)
-    services = []
+    services: list[_Service] = []
     for i, (load_class, spread) in enumerate(classes):
         spec = SOCIALNET_SERVICES[i % len(SOCIALNET_SERVICES)]
         fraction = dict(config.load_fractions)[load_class] * spread
@@ -370,7 +369,7 @@ def run_environment(environment: str, config: ClusterConfig, *,
 
     # --- workloads ----------------------------------------------------------
     services = _build_services(config, lc_servers, rng)
-    ml_jobs = []
+    ml_jobs: list[tuple[Server, VirtualMachine, MLTrainJob]] = []
     for server in ml_servers:
         vm = VirtualMachine(config.ml_cores, name=f"{server.server_id}-job",
                             priority=1, workload="mltrain",
@@ -535,7 +534,7 @@ def run_environment(environment: str, config: ClusterConfig, *,
                                              * config.tick_s)
 
     # --- reduce ---------------------------------------------------------------
-    per_class = {}
+    per_class: dict[str, ClassMetrics] = {}
     class_sizes = dict(config.class_counts)
     for name, count in config.class_counts:
         home_energy = [energy[s.home_server.server_id]
@@ -653,9 +652,9 @@ def overclock_constrained_experiment(
     base = config or ClusterConfig()
     # Budget that exactly covers the peak window once per epoch-week.
     full_budget = base.peak_duration_s / (7 * 86400.0)
-    out = {}
+    out: dict[float, dict[str, float]] = {}
     for scale in budget_scales:
-        row = {}
+        row: dict[str, float] = {}
         for mode, proactive in (("reactive", False), ("proactive", True)):
             tuned = dataclasses.replace(
                 base,

@@ -20,8 +20,8 @@ Capping semantics (one tick):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -276,7 +276,7 @@ def compare_policies(fleet: SyntheticFleet,
     central_caps = None
     if "Central" in raw:
         central_caps = max(1, sum(r.cap_events for r in raw["Central"]))
-    scores = {}
+    scores: dict[str, PolicyScore] = {}
     for name, results in raw.items():
         caps = sum(r.cap_events for r in results)
         demanded = sum(r.demanded_core_ticks for r in results)
@@ -303,7 +303,7 @@ def cluster_class_fleets(*, n_racks: int = 12, weeks: int = 2,
         "Medium-Power": (0.78, 0.88),
         "Low-Power": (0.52, 0.72),
     }
-    fleets = {}
+    fleets: dict[str, SyntheticFleet] = {}
     for i, (name, p99_range) in enumerate(ranges.items()):
         config = FleetConfig(
             n_racks=n_racks, weeks=weeks, seed=seed + i,

@@ -21,7 +21,6 @@ Strategies (paper §V-B, Fig. 15):
 from __future__ import annotations
 
 import enum
-import math
 from typing import Sequence
 
 import numpy as np

@@ -14,7 +14,7 @@ Two pieces (paper §IV-B "Managing lifetime impact from overclocking"):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.reliability.aging import DEFAULT_AGING_MODEL, AgingModel
 

@@ -74,7 +74,7 @@ def at_times(engine: SimulationEngine, times: Iterable[float],
     Convenience used by trace replay: the trace timestamps become the event
     calendar.  Returns the event handles in scheduling order.
     """
-    events = []
+    events: list[Event] = []
     for t in times:
         events.append(engine.schedule(
             t, (lambda tt=t: callback(tt)), priority=priority))

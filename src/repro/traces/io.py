@@ -60,7 +60,7 @@ def load_rack_csv(path: str | Path) -> RackTrace:
             if sid not in rows_by_server:
                 raise ValueError(f"{path}: unknown server {sid!r} in body")
             rows_by_server[sid].append(row)
-    servers = []
+    servers: list[ServerTrace] = []
     for sid in meta["servers"]:
         rows = rows_by_server[sid]
         if not rows:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.metrics import rmse
-from repro.traces.schema import RackTrace, ServerTrace
+from repro.traces.schema import RackTrace
 
 __all__ = [
     "UtilizationStats",
@@ -87,7 +87,7 @@ def multiplexing_gain(rack: RackTrace) -> float:
     """
     rack_rmse = week_over_week_rmse(rack.times, rack.total_power())
     rack_rel = rack_rmse / float(np.mean(rack.total_power()))
-    server_rels = []
+    server_rels: list[float] = []
     for server in rack.servers:
         server_rmse = week_over_week_rmse(server.times,
                                           server.power_watts)

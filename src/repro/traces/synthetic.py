@@ -24,7 +24,7 @@ All randomness flows from one ``numpy.random.Generator``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -289,7 +289,7 @@ def generate_rack(rack_id: str, config: FleetConfig,
     times = np.arange(0.0, config.weeks * SECONDS_PER_WEEK,
                       config.interval_s)
     n_ml = int(round(config.ml_fraction * n_servers))
-    servers = []
+    servers: list[ServerTrace] = []
     for i in range(n_servers):
         profile = sample_server_profile(rng, config, force_ml=(i < n_ml))
         servers.append(generate_server_trace(
@@ -342,7 +342,7 @@ def generate_fleet(config: FleetConfig, *,
                    ) -> SyntheticFleet:
     """Generate a whole fleet deterministically from ``config.seed``."""
     rng = np.random.default_rng(config.seed)
-    racks = []
+    racks: list[RackTrace] = []
     for r in range(config.n_racks):
         profile = sample_rack_profile(rng, config)
         racks.append(generate_rack(f"{config.region}-rack{r:04d}", config,

@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.workloads.queueing import (
     MMcQueue,
-    OverloadedQueueError,
     frequency_speedup,
 )
 

@@ -200,7 +200,8 @@ class QueueSimulator:
 
     def __init__(self, arrival_rate: float, service_rate: float,
                  servers: int, *, cv: float = 1.0,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None) -> None:
         if arrival_rate <= 0:
             raise ValueError(f"arrival rate must be > 0: {arrival_rate}")
         if service_rate <= 0:
@@ -209,11 +210,21 @@ class QueueSimulator:
             raise ValueError(f"need at least 1 server: {servers}")
         if cv <= 0:
             raise ValueError(f"cv must be > 0: {cv}")
+        if rng is None and seed is None:
+            # A hidden default (the old `rng or default_rng(0)`) silently
+            # gave every station that omitted rng the *same* stream,
+            # correlating supposedly independent queues.  Randomness must
+            # be an explicit choice at the constructor boundary.
+            raise ValueError(
+                "QueueSimulator needs an explicit rng= or seed=; a hidden "
+                "shared default would correlate independent stations")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng= or seed=, not both")
         self.arrival_rate = arrival_rate
         self.service_rate = service_rate
         self.servers = servers
         self.cv = cv
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def _service_sample(self, n: int) -> np.ndarray:
         mean = 1.0 / self.service_rate

@@ -13,7 +13,6 @@ faster: ``util(f) = util_turbo / speedup(f)``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -1,0 +1,16 @@
+"""Known-bad fixture: wall-clock reads and unseeded/global randomness."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def all_the_sins() -> float:
+    started = time.time()                       # line 11: nondeterminism
+    jitter = random.random()                    # line 12: nondeterminism
+    rng = np.random.default_rng()               # line 13: nondeterminism
+    draw = float(np.random.normal())            # line 14: nondeterminism
+    stamp = datetime.now()                      # line 15: nondeterminism
+    return started + jitter + float(rng.random()) + draw + stamp.hour

@@ -1,0 +1,14 @@
+"""Known-good fixture: the seeded-rng-parameter convention."""
+
+from typing import Optional
+
+import numpy as np
+
+
+def seeded_draw(rng: np.random.Generator) -> float:
+    return float(rng.normal())
+
+
+def seeded_factory(seed: int, rng: Optional[np.random.Generator] = None
+                   ) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(seed)

@@ -1,0 +1,18 @@
+"""Known-good fixture: None-default allocation, public engine API only."""
+
+from typing import Optional
+
+
+def accumulate(value: float, acc: Optional[list] = None) -> list:
+    if acc is None:
+        acc = []
+    acc.append(value)
+    return acc
+
+
+class WellBehavedProcess:
+    def __init__(self) -> None:
+        self._queue: list = []     # its own _queue attribute: fine
+
+    def tick(self, engine: "WellBehavedProcess") -> None:
+        self._queue.append(engine)

@@ -1,0 +1,12 @@
+"""Known-bad fixture: direct writes to power-affecting backing fields."""
+
+
+class NotTheOwner:
+    def corrupt(self, core: object, server: object) -> None:
+        core._freq_ghz = 4.0               # line 6: power-cache-write
+        server._dynamic_watts += 12.5      # line 7: power-cache-write
+
+
+def module_level(vm: object) -> None:
+    vm._utilization = 0.9                  # line 11: power-cache-write
+    del vm._background_watts               # line 12: power-cache-write

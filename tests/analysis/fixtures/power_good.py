@@ -1,0 +1,20 @@
+"""Known-good fixture: cache fields touched only through the owner."""
+
+
+class Owner:
+    def __init__(self, freq_ghz: float) -> None:
+        self._freq_ghz = freq_ghz          # self-write: owner's business
+        self._dynamic_watts = 0.0
+
+    @property
+    def freq_ghz(self) -> float:
+        return self._freq_ghz
+
+    @freq_ghz.setter
+    def freq_ghz(self, value: float) -> None:
+        self._freq_ghz = value
+
+
+def well_behaved(core: Owner) -> None:
+    core.freq_ghz = 4.0                    # public setter: fine
+    _ = core.freq_ghz

@@ -1,0 +1,12 @@
+"""Known-bad fixture: unit-suffixed names bound to other-unit params."""
+
+
+def set_operating_point(freq_ghz: float, duration_s: float) -> float:
+    return freq_ghz * duration_s
+
+
+def caller(freq_mhz: float, power_watts: float, wait_ms: float) -> float:
+    a = set_operating_point(freq_mhz, power_watts)   # line 9: two mismatches
+    b = set_operating_point(freq_ghz=power_watts,    # line 10: unit-mismatch
+                            duration_s=wait_ms)      # line 11: unit-mismatch
+    return a + b

@@ -1,0 +1,12 @@
+"""Known-good fixture: units line up, conversions are explicit."""
+
+
+def set_operating_point(freq_ghz: float, duration_s: float) -> float:
+    return freq_ghz * duration_s
+
+
+def caller(freq_ghz: float, freq_mhz: float, wait_ms: float) -> float:
+    matched = set_operating_point(freq_ghz, wait_ms / 1000.0)
+    converted = set_operating_point(freq_mhz / 1000.0, 5.0)
+    keyword = set_operating_point(freq_ghz=freq_ghz, duration_s=3.0)
+    return matched + converted + keyword

@@ -1,0 +1,14 @@
+"""Known-bad fixture: functions with missing annotations."""
+
+
+def no_return_annotation(x: int):           # line 4: untyped-def
+    return x
+
+
+def untyped_params(a, b: float, *args, **kwargs) -> float:  # line 8: untyped-def
+    return b
+
+
+class Holder:
+    def method(self, value):                # line 13: untyped-def
+        return value

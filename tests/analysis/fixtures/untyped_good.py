@@ -1,0 +1,16 @@
+"""Known-good fixture: fully annotated functions."""
+
+from typing import Any
+
+
+def annotated(a: int, b: float, *args: float, **kwargs: Any) -> float:
+    return b
+
+
+class Holder:
+    def method(self, value: float) -> float:
+        return value
+
+    @staticmethod
+    def helper(value: int) -> int:
+        return value

@@ -1,0 +1,27 @@
+"""The acceptance gate: the repository's own sources lint clean.
+
+Any PR that introduces a direct backing-field write, unseeded
+randomness, a unit-suffix mismatch, a mutable-default handler, or an
+unannotated function fails here before CI even reaches mypy.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_lints_clean():
+    result = lint_paths([REPO_SRC])
+    formatted = "\n".join(d.format() for d in result.diagnostics)
+    assert result.exit_code == 0, f"repo must lint clean:\n{formatted}"
+    # Sanity: the run actually covered the tree.
+    assert result.files_checked > 50
+
+
+def test_cli_entry_point_on_src(capsys):
+    assert main(["lint", str(REPO_SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "0 diagnostic(s)" in out

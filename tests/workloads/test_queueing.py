@@ -167,11 +167,31 @@ class TestQueueSimulator:
 
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
-            QueueSimulator(0.0, 1.0, 1)
+            QueueSimulator(0.0, 1.0, 1, seed=0)
         with pytest.raises(ValueError):
-            QueueSimulator(1.0, 1.0, 1, cv=0.0)
+            QueueSimulator(1.0, 1.0, 1, cv=0.0, seed=0)
         with pytest.raises(ValueError):
-            QueueSimulator(1.0, 1.0, 1).run(0)
+            QueueSimulator(1.0, 1.0, 1, seed=0).run(0)
+
+    def test_randomness_must_be_explicit(self):
+        """Omitting both rng and seed is an error: the old hidden
+        default seed silently correlated independent stations."""
+        with pytest.raises(ValueError, match="explicit rng= or seed="):
+            QueueSimulator(1.0, 1.0, 1)
+        with pytest.raises(ValueError, match="not both"):
+            QueueSimulator(1.0, 1.0, 1, seed=1,
+                           rng=np.random.default_rng(1))
+
+    def test_seed_equivalent_to_generator(self):
+        by_seed = QueueSimulator(1.0, 2.0, 2, seed=9).run(200)
+        by_rng = QueueSimulator(1.0, 2.0, 2,
+                                rng=np.random.default_rng(9)).run(200)
+        assert np.array_equal(by_seed.latencies, by_rng.latencies)
+
+    def test_distinct_seeds_decorrelate_stations(self):
+        a = QueueSimulator(1.0, 2.0, 1, seed=1).run(200)
+        b = QueueSimulator(1.0, 2.0, 1, seed=2).run(200)
+        assert not np.array_equal(a.latencies, b.latencies)
 
     def test_quantile_api(self):
         sim = simulate_mgc(1.0, 2.0, 1, n_requests=5000, seed=1)
