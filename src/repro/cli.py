@@ -154,6 +154,22 @@ def _cmd_fig17(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.faults import (
+        FaultScenarioConfig,
+        fault_injection_experiment,
+        format_fault_report,
+    )
+    config = FaultScenarioConfig(duration_s=args.duration, seed=args.seed,
+                                 message_drop_prob=args.drop_prob)
+    result = fault_injection_experiment(config)
+    print(format_fault_report(result))
+    # Exit non-zero if the decentralization claim failed: a faulted run
+    # must never leave the rack above its limit after enforcement.
+    safe = result.faulted.peak_rack_power_fraction <= 1.0 + 1e-9
+    return 0 if safe else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run
     return run(args)
@@ -175,6 +191,8 @@ _COMMANDS: dict[str, _Command] = {
     "cluster": _Command(_cmd_cluster, "the four-environment cluster study"),
     "fig16": _Command(_cmd_fig16, "Service B utilization vs request rate"),
     "fig17": _Command(_cmd_fig17, "Service C 5-minute peak reduction"),
+    "faults": _Command(_cmd_faults,
+                       "fault-free vs faulted SmartOClock comparison"),
     "lint": _Command(_cmd_lint, "run project-specific static analysis",
                      configure=_configure_lint, seeded=False),
 }
@@ -202,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--days", type=int, default=5)
         if name == "cluster":
             p.add_argument("--duration", type=float, default=3600.0)
+        if name == "faults":
+            p.add_argument("--duration", type=float, default=3600.0)
+            p.add_argument("--drop-prob", type=float, default=0.5,
+                           help="budget/profile message drop probability")
     return parser
 
 

@@ -46,6 +46,17 @@ class SmartOClockConfig:
     # --- rack power safety --------------------------------------------------
     warning_fraction: float = 0.95         # rack warning threshold
 
+    # --- stale-budget safety margin (decentralization, §III Q5) -------------
+    # When the gOA (or its communication path) fails, sOAs keep enforcing
+    # their last-known assignment.  The assignment was computed for the
+    # week it was pushed; as it ages past ``grace`` update periods the sOA
+    # shaves ``margin_per_period`` off its budget per additional missed
+    # period (capped), trading overclock headroom for safety against
+    # drifted rack conditions.
+    stale_budget_grace_periods: float = 1.5
+    stale_budget_margin_per_period: float = 0.05
+    stale_budget_margin_max: float = 0.25
+
     # --- lifetime management (§IV-B) ----------------------------------------
     # "epoch": offline vendor analysis, fixed time share per epoch (§IV-B).
     # "online": per-core wear counters budget against live lifetime
@@ -86,6 +97,14 @@ class SmartOClockConfig:
             raise ValueError("oc_budget_fraction must be in [0, 1]")
         if self.exhaustion_window_s < 0:
             raise ValueError("exhaustion_window_s must be >= 0")
+        if self.stale_budget_grace_periods < 0:
+            raise ValueError("stale_budget_grace_periods must be >= 0")
+        if self.stale_budget_margin_per_period < 0:
+            raise ValueError("stale_budget_margin_per_period must be >= 0")
+        if not 0.0 <= self.stale_budget_margin_max < 1.0:
+            raise ValueError(
+                "stale_budget_margin_max must be in [0, 1): "
+                f"{self.stale_budget_margin_max}")
         if self.lifetime_mode not in ("epoch", "online"):
             raise ValueError(
                 f"lifetime_mode must be 'epoch' or 'online', got "

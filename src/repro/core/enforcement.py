@@ -139,6 +139,10 @@ class FeedbackLoop:
                     stepped_down += 1
                 if self.server.power_watts() < limit_watts:
                     break
+            # The down-phase changed frequencies: the draw captured before
+            # it is stale and could report >= limit even though the loop
+            # already brought power back under it.
+            draw = self.server.power_watts()
         return LoopAction(stepped_up=stepped_up, stepped_down=stepped_down,
                           draw_watts=draw, limit_watts=limit_watts)
 

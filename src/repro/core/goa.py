@@ -5,6 +5,15 @@ power series + overclock demand series), computes heterogeneous per-server
 power budgets for the next period, and pushes them back to the sOAs.  The
 gOA failing is survivable: sOAs keep operating on their last assignment
 (decentralization, §III Q5).
+
+Both directions of gOA↔sOA traffic go through a
+:class:`~repro.core.messaging.MessageChannel`: profile *pulls* are
+synchronous requests that can fail for a cycle, budget *pushes* are
+messages that can be dropped or delayed.  A healthy channel delivers
+everything synchronously, so fault-free behaviour is unchanged.  Every
+profile is stamped with its collection time; ``recompute_budgets``
+re-pulls profiles that are missing or older than one update period
+instead of silently budgeting a new week from week-old data.
 """
 
 from __future__ import annotations
@@ -14,6 +23,12 @@ from typing import Optional
 from repro.cluster.topology import Rack
 from repro.core.budgets import BudgetAssignment, compute_heterogeneous_budgets
 from repro.core.config import SmartOClockConfig
+from repro.core.messaging import (
+    BUDGET_PUSH,
+    PROFILE_PULL,
+    Envelope,
+    MessageChannel,
+)
 from repro.core.soa import ServerOverclockingAgent
 from repro.core.types import ServerProfileReport
 
@@ -24,7 +39,8 @@ class GlobalOverclockingAgent:
     """Collects profiles and assigns heterogeneous budgets."""
 
     def __init__(self, rack: Rack, config: SmartOClockConfig,
-                 soas: list[ServerOverclockingAgent]) -> None:
+                 soas: list[ServerOverclockingAgent],
+                 channel: Optional[MessageChannel] = None) -> None:
         if not soas:
             raise ValueError("a gOA needs at least one sOA")
         for soa in soas:
@@ -33,25 +49,80 @@ class GlobalOverclockingAgent:
                     f"{soa.server.server_id} is not in rack {rack.rack_id}")
         self.rack = rack
         self.config = config
+        self.channel = channel if channel is not None else MessageChannel()
         self.soas = {soa.server.server_id: soa for soa in soas}
         self._latest_profiles: dict[str, ServerProfileReport] = {}
+        self._profile_collected_at: dict[str, float] = {}
+        self._last_collect_attempt_at: Optional[float] = None
         self._assignment: Optional[BudgetAssignment] = None
+        self.last_update_at: Optional[float] = None
         self.budget_updates = 0
 
     @property
     def assignment(self) -> Optional[BudgetAssignment]:
         return self._assignment
 
-    def collect_profiles(self) -> None:
-        """Pull the weekly profile report from every sOA."""
-        for server_id, soa in self.soas.items():
-            self._latest_profiles[server_id] = soa.build_profile_report()
-            soa.reset_profile_window()
+    # ------------------------------------------------------------------
+    # Profile collection & staleness
+    # ------------------------------------------------------------------
 
-    def recompute_budgets(self) -> BudgetAssignment:
-        """Compute and push heterogeneous budgets from latest profiles."""
+    def collect_profiles(self, now: float) -> int:
+        """Pull the weekly profile report from every sOA over the channel.
+
+        A failed pull (channel fault) keeps the server's previous — now
+        stale — profile; its collection stamp is *not* refreshed.
+        Returns how many pulls succeeded.
+        """
+        self._last_collect_attempt_at = now
+        collected = 0
+        for server_id in sorted(self.soas):
+            soa = self.soas[server_id]
+            report = self.channel.request(
+                Envelope(PROFILE_PULL, self.rack.rack_id, server_id, now),
+                soa.build_profile_report)
+            if report is None:
+                continue
+            self._latest_profiles[server_id] = report
+            self._profile_collected_at[server_id] = now
+            soa.reset_profile_window()
+            collected += 1
+        return collected
+
+    def profile_age(self, server_id: str, now: float) -> Optional[float]:
+        """Seconds since ``server_id``'s profile was collected (None if
+        the gOA has never received one)."""
+        collected_at = self._profile_collected_at.get(server_id)
+        if collected_at is None:
+            return None
+        return now - collected_at
+
+    def stale_profiles(self, now: float) -> list[str]:
+        """Servers whose profile is missing or older than one update
+        period — the data `recompute_budgets` refuses to silently reuse."""
+        period = self.config.budget_update_period_s
+        stale: list[str] = []
+        for server_id in sorted(self.soas):
+            age = self.profile_age(server_id, now)
+            if age is None or age >= period:
+                stale.append(server_id)
+        return stale
+
+    # ------------------------------------------------------------------
+    # Budget computation & push
+    # ------------------------------------------------------------------
+
+    def recompute_budgets(self, now: float) -> Optional[BudgetAssignment]:
+        """Compute and push heterogeneous budgets from *fresh* profiles.
+
+        Missing or stale profiles are re-pulled first (unless a pull was
+        already attempted at this instant).  If some servers still have
+        no profile at all — every pull to them failed — the gOA cannot
+        split the rack limit and keeps the previous assignment in force.
+        """
+        if self.stale_profiles(now) and self._last_collect_attempt_at != now:
+            self.collect_profiles(now)
         if len(self._latest_profiles) < len(self.soas):
-            self.collect_profiles()
+            return self._assignment
         first = next(iter(self.soas.values()))
         delta = first.server.power_model.overclock_core_delta(1.0)
         assignment = compute_heterogeneous_budgets(
@@ -59,15 +130,20 @@ class GlobalOverclockingAgent:
             [self._latest_profiles[sid] for sid in sorted(self.soas)],
             oc_delta_watts_per_core=delta)
         self._assignment = assignment
-        for soa in self.soas.values():
-            soa.set_budget_assignment(assignment)
+        for server_id in sorted(self.soas):
+            soa = self.soas[server_id]
+            self.channel.send(
+                Envelope(BUDGET_PUSH, self.rack.rack_id, server_id, now),
+                lambda at, s=soa, a=assignment: s.set_budget_assignment(
+                    a, now=at))
         self.budget_updates += 1
+        self.last_update_at = now
         return assignment
 
-    def update(self, now: float) -> BudgetAssignment:
+    def update(self, now: float) -> Optional[BudgetAssignment]:
         """One periodic gOA cycle: collect profiles, recompute, push."""
-        self.collect_profiles()
+        self.collect_profiles(now)
         for soa in self.soas.values():
             if soa.power_store.samples >= 2:
                 soa.recompute_template()
-        return self.recompute_budgets()
+        return self.recompute_budgets(now)

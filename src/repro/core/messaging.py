@@ -1,0 +1,141 @@
+"""gOA ↔ sOA message channel (decentralization plumbing, §III Q5/§IV-C).
+
+In the paper the gOA and its sOAs live on different machines: budget
+pushes and profile pulls traverse a real network that can drop, delay or
+partition.  The seed reproduction modelled them as direct method calls,
+which made the decentralization claim untestable — nothing could fail.
+
+:class:`MessageChannel` is the interposition point.  Senders hand it an
+:class:`Envelope` plus a delivery callback; a pluggable *fate hook*
+(installed by :class:`repro.faults.FaultInjector`, or absent for a
+healthy channel) decides per message whether it is delivered
+immediately, delayed, or dropped.  Delayed messages sit in a
+deterministic FIFO released by :meth:`pump`, which whatever drives time
+(the platform tick) calls each interval.
+
+Profile pulls are request/response and synchronous: a faulted pull
+simply fails for this cycle (returns ``None``) and the gOA keeps the
+server's previous — now stale — profile, which is exactly the paper's
+degradation mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TypeVar
+
+__all__ = ["Envelope", "MessageFate", "MessageChannel",
+           "BUDGET_PUSH", "PROFILE_PULL"]
+
+BUDGET_PUSH = "budget_push"
+PROFILE_PULL = "profile_pull"
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message between a gOA and an sOA."""
+
+    kind: str
+    src: str
+    dst: str
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """A fate hook's verdict for one envelope."""
+
+    dropped: bool = False
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0: {self.delay_s}")
+
+
+DELIVER = MessageFate()
+
+FateHook = Callable[[Envelope], MessageFate]
+
+
+@dataclass
+class _Pending:
+    envelope: Envelope
+    deliver_at: float
+    deliver: Callable[[float], None] = field(repr=False)
+
+
+class MessageChannel:
+    """Fault-interposable transport for gOA/sOA control messages.
+
+    Without a ``fate_hook`` the channel is a healthy network: every send
+    is delivered synchronously and every pull succeeds, so wiring a
+    channel in changes nothing about fault-free behaviour.
+    """
+
+    def __init__(self, fate_hook: Optional[FateHook] = None) -> None:
+        self.fate_hook = fate_hook
+        self._pending: list[_Pending] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.delayed = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def _fate(self, envelope: Envelope) -> MessageFate:
+        if self.fate_hook is None:
+            return DELIVER
+        return self.fate_hook(envelope)
+
+    def send(self, envelope: Envelope,
+             deliver: Callable[[float], None]) -> bool:
+        """Send one message; ``deliver(now)`` runs at its delivery time.
+
+        Returns whether the message will (eventually) be delivered.
+        """
+        self.sent += 1
+        fate = self._fate(envelope)
+        if fate.dropped:
+            self.dropped += 1
+            return False
+        if fate.delay_s > 0.0:
+            self.delayed += 1
+            self._pending.append(_Pending(
+                envelope, envelope.sent_at + fate.delay_s, deliver))
+            return True
+        self.delivered += 1
+        deliver(envelope.sent_at)
+        return True
+
+    def pump(self, now: float) -> int:
+        """Deliver every delayed message due by ``now`` (send order within
+        a pump, which keeps runs deterministic).  Returns deliveries."""
+        if not self._pending:
+            return 0
+        due = [p for p in self._pending if p.deliver_at <= now]
+        if not due:
+            return 0
+        self._pending = [p for p in self._pending if p.deliver_at > now]
+        due.sort(key=lambda p: p.deliver_at)
+        for pending in due:
+            self.delivered += 1
+            pending.deliver(now)
+        return len(due)
+
+    def request(self, envelope: Envelope,
+                fetch: Callable[[], T]) -> Optional[T]:
+        """Synchronous request/response (profile pull).  A dropped *or*
+        delayed fate fails the pull for this cycle — the caller retries
+        next period with whatever state it kept."""
+        self.sent += 1
+        fate = self._fate(envelope)
+        if fate.dropped or fate.delay_s > 0.0:
+            self.dropped += 1
+            return None
+        self.delivered += 1
+        return fetch()

@@ -9,7 +9,7 @@ runs its control, telemetry, capping and budget-update cadences.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cluster.capping import (
     FairShareThrottler,
@@ -19,6 +19,7 @@ from repro.cluster.capping import (
 from repro.cluster.topology import Datacenter, VirtualMachine
 from repro.core.config import SmartOClockConfig
 from repro.core.goa import GlobalOverclockingAgent
+from repro.core.messaging import MessageChannel
 from repro.core.soa import ServerOverclockingAgent
 from repro.core.types import ExhaustionSignal
 from repro.core.workload_intelligence import (
@@ -28,18 +29,31 @@ from repro.core.workload_intelligence import (
     OverclockSchedule,
 )
 
+if TYPE_CHECKING:  # core stays layered below repro.faults
+    from repro.faults.injector import FaultInjector
+
 __all__ = ["SmartOClockPlatform"]
 
 
 class SmartOClockPlatform:
-    """SmartOClock deployed on a datacenter."""
+    """SmartOClock deployed on a datacenter.
+
+    ``fault_injector`` (optional) is consulted at every interposition
+    point — gOA update cycles, the per-rack gOA↔sOA message channels,
+    sOA telemetry sampling, and template predictions.  Without one, all
+    channels are healthy and behaviour is identical to the pre-fault
+    platform.
+    """
 
     def __init__(self, datacenter: Datacenter,
-                 config: Optional[SmartOClockConfig] = None) -> None:
+                 config: Optional[SmartOClockConfig] = None,
+                 fault_injector: Optional["FaultInjector"] = None) -> None:
         self.datacenter = datacenter
         self.config = config or SmartOClockConfig()
+        self.fault_injector = fault_injector
         self.soas: dict[str, ServerOverclockingAgent] = {}
         self.goas: dict[str, GlobalOverclockingAgent] = {}
+        self.channels: dict[str, MessageChannel] = {}
         self.rack_managers: dict[str, RackPowerManager] = {}
         self.services: dict[str, GlobalWIAgent] = {}
         self._last_telemetry = -float("inf")
@@ -52,6 +66,9 @@ class SmartOClockPlatform:
                     server, self.config,
                     on_exhaustion=self._route_exhaustion,
                     on_grant_revoked=self._route_revocation)
+                if fault_injector is not None:
+                    soa.prediction_scale = fault_injector.prediction_hook(
+                        server.server_id)
                 self.soas[server.server_id] = soa
                 rack_soas.append(soa)
             # Prioritized capping is part of the SmartOClock stack; the
@@ -67,8 +84,12 @@ class SmartOClockPlatform:
                 manager.on_warning(soa.on_warning)
                 manager.on_cap(soa.on_cap)
             self.rack_managers[rack.rack_id] = manager
+            channel = MessageChannel(
+                fault_injector.channel_hook(rack.rack_id)
+                if fault_injector is not None else None)
+            self.channels[rack.rack_id] = channel
             self.goas[rack.rack_id] = GlobalOverclockingAgent(
-                rack, self.config, rack_soas)
+                rack, self.config, rack_soas, channel=channel)
 
     # ------------------------------------------------------------------
     # Service registration
@@ -132,10 +153,13 @@ class SmartOClockPlatform:
     def tick(self, now: float, dt: float) -> None:
         """Advance the platform by one control interval.
 
-        Order matters and mirrors the paper's architecture: local control
-        (sOAs) first, then rack-level safety (warnings/caps), then the
-        slower telemetry and weekly budget cadences.
+        Order matters and mirrors the paper's architecture: in-flight
+        control messages land first, then local control (sOAs), then
+        rack-level safety (warnings/caps), then the slower telemetry and
+        weekly budget cadences.
         """
+        for channel in self.channels.values():
+            channel.pump(now)
         for soa in self.soas.values():
             soa.control_tick(now, dt)
         for manager in self.rack_managers.values():
@@ -145,19 +169,30 @@ class SmartOClockPlatform:
                 server.advance(dt)
         if now - self._last_telemetry >= self.config.telemetry_interval_s:
             self._last_telemetry = now
-            for soa in self.soas.values():
-                soa.telemetry_tick(now)
+            for server_id in self.soas:
+                if self.fault_injector is not None and \
+                        self.fault_injector.telemetry_drop(server_id, now):
+                    continue
+                self.soas[server_id].telemetry_tick(now)
         if now - self._last_budget_update >= self.config.budget_update_period_s:
             # First update happens immediately (bootstraps fair-share away).
             if self._last_budget_update > -float("inf"):
-                for goa in self.goas.values():
-                    goa.update(now)
+                self._goa_update(now)
             self._last_budget_update = now
 
-    def force_budget_update(self, now: float) -> None:
-        """Trigger gOA profile collection + budget recompute immediately."""
-        for goa in self.goas.values():
+    def _goa_update(self, now: float) -> None:
+        """Run each rack's gOA cycle unless its gOA is faulted down."""
+        for rack_id, goa in self.goas.items():
+            if self.fault_injector is not None and \
+                    self.fault_injector.goa_down(rack_id, now):
+                continue
             goa.update(now)
+
+    def force_budget_update(self, now: float) -> None:
+        """Trigger gOA profile collection + budget recompute immediately
+        (skipped for racks whose gOA is faulted down, like the periodic
+        cadence)."""
+        self._goa_update(now)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,6 +214,22 @@ class SmartOClockPlatform:
 
     def total_warnings(self) -> int:
         return sum(len(m.warnings) for m in self.rack_managers.values())
+
+    def channel_statistics(self) -> dict[str, int]:
+        """Aggregate gOA↔sOA channel counters across racks."""
+        totals = {"sent": 0, "delivered": 0, "dropped": 0, "delayed": 0}
+        for channel in self.channels.values():
+            totals["sent"] += channel.sent
+            totals["delivered"] += channel.delivered
+            totals["dropped"] += channel.dropped
+            totals["delayed"] += channel.delayed
+        return totals
+
+    def fault_counters(self) -> Optional[dict[str, int]]:
+        """The injector's activity counters (None when unfaulted)."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.counters.as_dict()
 
     def grant_statistics(self) -> dict[str, int]:
         received = sum(s.requests_received for s in self.soas.values())

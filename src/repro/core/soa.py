@@ -51,6 +51,11 @@ __all__ = ["ServerOverclockingAgent", "GrantState"]
 SECONDS_PER_WEEK = 7 * 86400.0
 
 
+def _unit_scale(t: float) -> float:
+    """Healthy prediction path: no skew."""
+    return 1.0
+
+
 @dataclass
 class GrantState:
     """Book-keeping for one active overclocking grant."""
@@ -105,12 +110,20 @@ class ServerOverclockingAgent:
             for counter in self.wear_counters
         ]
         self._assignment: Optional[BudgetAssignment] = None
+        self._assignment_received_at: Optional[float] = None
+        # Fault hook: scales template predictions (1.0 = healthy).  The
+        # fault injector installs a per-server skew to model the
+        # misprediction regimes of §V / Kumbhare et al.
+        self.prediction_scale: Callable[[float], float] = _unit_scale
         self._grants: dict[int, GrantState] = {}
         # Per-slot-of-week overclock demand telemetry for the gOA profile.
         self._slot_s = config.budget_slot_s
         n_slots = int(round(SECONDS_PER_WEEK / self._slot_s))
         self._oc_requested = np.zeros(n_slots)
         self._oc_granted = np.zeros(n_slots)
+        # slot -> vm_id -> that VM's peak request/grant within the slot.
+        self._requested_by_vm: dict[int, dict[int, int]] = {}
+        self._granted_by_vm: dict[int, dict[int, int]] = {}
         self._regular_power = np.zeros(n_slots)
         self._regular_count = np.zeros(n_slots, dtype=np.int64)
         # Telemetry counters
@@ -125,16 +138,52 @@ class ServerOverclockingAgent:
     # Budget plumbing
     # ------------------------------------------------------------------
 
-    def set_budget_assignment(self, assignment: BudgetAssignment) -> None:
-        """Install the gOA's latest heterogeneous budget."""
+    def set_budget_assignment(self, assignment: BudgetAssignment,
+                              now: Optional[float] = None) -> None:
+        """Install the gOA's latest heterogeneous budget.
+
+        ``now`` is the delivery time (stamped by the message channel);
+        it anchors the staleness margin.  Without it the assignment is
+        treated as ageless — the pre-channel behaviour.
+        """
         if self.server.server_id not in assignment.budgets:
             raise KeyError(f"assignment lacks {self.server.server_id}")
         self._assignment = assignment
+        self._assignment_received_at = now
+
+    def budget_age(self, now: float) -> Optional[float]:
+        """Seconds since the current assignment arrived (None before the
+        first stamped assignment)."""
+        if self._assignment is None or self._assignment_received_at is None:
+            return None
+        return now - self._assignment_received_at
+
+    def stale_budget_margin(self, now: float) -> float:
+        """Safety margin shaved off an ageing assignment (fraction).
+
+        A budget computed for the week it was pushed gets less
+        trustworthy each missed update period: after
+        ``stale_budget_grace_periods`` the sOA derates its budget by
+        ``stale_budget_margin_per_period`` per additional period, capped
+        at ``stale_budget_margin_max`` — graceful degradation instead of
+        either freezing overclocking or trusting stale data forever.
+        """
+        age = self.budget_age(now)
+        if age is None:
+            return 0.0
+        period = self.config.budget_update_period_s
+        over = age / period - self.config.stale_budget_grace_periods
+        if over <= 0.0:
+            return 0.0
+        return min(self.config.stale_budget_margin_max,
+                   over * self.config.stale_budget_margin_per_period)
 
     def assigned_budget(self, now: float) -> float:
-        """The gOA-assigned budget (fair fallback before first assignment)."""
+        """The gOA-assigned budget (fair fallback before first assignment),
+        derated by the stale-budget safety margin as the assignment ages."""
         if self._assignment is not None:
-            return self._assignment.budget_at(self.server.server_id, now)
+            budget = self._assignment.budget_at(self.server.server_id, now)
+            return budget * (1.0 - self.stale_budget_margin(now))
         rack = self.server.rack
         if rack is not None:
             return rack.fair_share_watts()
@@ -151,8 +200,12 @@ class ServerOverclockingAgent:
 
     def predicted_power(self, t: float) -> float:
         """Server power prediction from the local template (falls back to
-        the live measurement before the first weekly recompute)."""
-        return self.power_store.predict_or(t, self.server.power_watts())
+        the live measurement before the first weekly recompute).  Template
+        outputs pass through the ``prediction_scale`` fault hook; the live
+        fallback is a direct sensor read and is not skewed."""
+        if self.power_store.has_template:
+            return self.prediction_scale(t) * self.power_store.predict(t)
+        return self.server.power_watts()
 
     def _oc_extra_watts(self, n_cores: int,
                         utilization: float = 1.0) -> float:
@@ -187,7 +240,7 @@ class ServerOverclockingAgent:
         if request.vm_id in self._grants:
             return AdmissionDecision(
                 False, RejectionReason.ALREADY_OVERCLOCKED)
-        self._note_request(now, request.n_cores)
+        self._note_request(now, request.vm_id, request.n_cores)
 
         if not self.config.enable_admission_control:
             # NaiveOClock: grant unconditionally.
@@ -253,7 +306,7 @@ class ServerOverclockingAgent:
             from_reservation=from_reservation)
         self.loop.engage(vm, request.target_freq_ghz)
         self.requests_granted += 1
-        self._note_grant(now, request.n_cores)
+        self._note_grant(now, vm.vm_id, request.n_cores)
         return AdmissionDecision(True, granted_until=granted_until)
 
     def stop_overclock(self, vm_id: int, now: float) -> None:
@@ -428,7 +481,7 @@ class ServerOverclockingAgent:
         step = self.config.budget_slot_s
         t = now
         while t <= now + self.config.exhaustion_window_s:
-            if self.power_store.predict(t) + extra > self.effective_budget(t):
+            if self.predicted_power(t) + extra > self.effective_budget(t):
                 return ExhaustionSignal(
                     server_id=self.server.server_id,
                     kind=ExhaustionKind.POWER, time=now,
@@ -464,13 +517,29 @@ class ServerOverclockingAgent:
     def _slot_of_week(self, t: float) -> int:
         return int((t % SECONDS_PER_WEEK) // self._slot_s)
 
-    def _note_request(self, now: float, n_cores: int) -> None:
-        slot = self._slot_of_week(now)
-        self._oc_requested[slot] = max(self._oc_requested[slot], n_cores)
+    def _note_demand(self, per_vm: dict[int, dict[int, int]],
+                     series: np.ndarray, now: float, vm_id: int,
+                     n_cores: int) -> None:
+        """Record per-slot overclock demand as the *sum over distinct VMs*
+        of each VM's peak request in the slot.
 
-    def _note_grant(self, now: float, n_cores: int) -> None:
+        Taking a plain max over requests understates concurrent demand:
+        two VMs asking for 4 cores each in the same slot need 8 cores of
+        overclock headroom, not 4 — and ``compute_heterogeneous_budgets``
+        sizes this server's share of the rack headroom from that need.
+        """
         slot = self._slot_of_week(now)
-        self._oc_granted[slot] = max(self._oc_granted[slot], n_cores)
+        vms = per_vm.setdefault(slot, {})
+        vms[vm_id] = max(vms.get(vm_id, 0), n_cores)
+        series[slot] = float(sum(vms.values()))
+
+    def _note_request(self, now: float, vm_id: int, n_cores: int) -> None:
+        self._note_demand(self._requested_by_vm, self._oc_requested,
+                          now, vm_id, n_cores)
+
+    def _note_grant(self, now: float, vm_id: int, n_cores: int) -> None:
+        self._note_demand(self._granted_by_vm, self._oc_granted,
+                          now, vm_id, n_cores)
 
     def telemetry_tick(self, now: float) -> None:
         """Sample power into the template store (5-minute cadence).
@@ -514,5 +583,7 @@ class ServerOverclockingAgent:
         """Start a fresh profiling week (called after reporting)."""
         self._oc_requested[:] = 0
         self._oc_granted[:] = 0
+        self._requested_by_vm.clear()
+        self._granted_by_vm.clear()
         self._regular_power[:] = 0
         self._regular_count[:] = 0

@@ -40,6 +40,7 @@ from repro.core.workload_intelligence import (
     MetricsTriggerPolicy,
     OverclockSchedule,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.workloads.loadgen import ConstantPattern, NoisyPattern, SpikePattern
 from repro.workloads.microservices import (
     SOCIALNET_SERVICES,
@@ -267,6 +268,11 @@ class EnvironmentResult:
     overclock_rejections: int
     scale_outs: int
     missed_slo_ticks_fraction: float  # fraction of (service,tick) over SLO
+    # Worst post-enforcement rack draw as a fraction of its limit (> 1
+    # would mean an uncontrolled limit violation survived capping).
+    peak_rack_power_fraction: float = 0.0
+    # Injector activity counters for faulted runs (None when unfaulted).
+    faults: Optional[dict[str, int]] = None
 
     def avg_instances_overall(self) -> float:
         return float(np.mean([m.avg_instances
@@ -324,16 +330,30 @@ def _place_scaleout_vm(service: _Service, pool: list[Server],
 
 def run_environment(environment: str, config: ClusterConfig, *,
                     soc_config: Optional[SmartOClockConfig] = None,
-                    label: Optional[str] = None) -> EnvironmentResult:
+                    label: Optional[str] = None,
+                    fault_plan: Optional[FaultPlan] = None,
+                    fault_seed: Optional[int] = None) -> EnvironmentResult:
     """Run one environment over the whole load trace.
 
     ``soc_config`` overrides the platform configuration for the
     SmartOClock environment (used by the constrained studies to run the
-    NaiveOClock ablation); ``label`` renames the result.
+    NaiveOClock ablation); ``label`` renames the result.  ``fault_plan``
+    injects control-plane failures (gOA outages, channel loss, telemetry
+    dropouts, misprediction skew) into the SmartOClock environment —
+    other environments have no control plane to fault.
     """
     if environment not in ENVIRONMENTS:
         raise ValueError(f"unknown environment {environment!r}; "
                          f"choose from {ENVIRONMENTS}")
+    if fault_plan is not None and environment != "SmartOClock":
+        raise ValueError(
+            "fault injection targets the SmartOClock control plane; "
+            f"the {environment} environment has none")
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None and not fault_plan.empty:
+        injector = FaultInjector(
+            fault_plan,
+            seed=config.seed if fault_seed is None else fault_seed)
     rng = np.random.default_rng(config.seed)
     model = DEFAULT_POWER_MODEL
 
@@ -392,7 +412,8 @@ def run_environment(environment: str, config: ClusterConfig, *,
                 control_interval_s=config.tick_s,
                 oc_budget_fraction=config.oc_budget_fraction,
                 enable_proactive_scaleout=config.proactive_scaleout)
-        platform = SmartOClockPlatform(datacenter, soc_config)
+        platform = SmartOClockPlatform(datacenter, soc_config,
+                                       fault_injector=injector)
         managers = list(platform.rack_managers.values())
         # SmartOClock scales out only as a fallback: the reactive band is
         # set past the overclocking band (§IV-D: the scale-up threshold is
@@ -453,6 +474,7 @@ def run_environment(environment: str, config: ClusterConfig, *,
     slo_ticks = 0
     total_service_ticks = 0
     last_budget_update = -float("inf")
+    peak_fraction = 0.0
 
     ticks = int(config.duration_s / config.tick_s)
     for i in range(ticks):
@@ -507,6 +529,9 @@ def run_environment(environment: str, config: ClusterConfig, *,
                 manager.sample(now)
             for server in all_servers:
                 server.advance(config.tick_s)
+        for rack in (rack1, rack2):
+            peak_fraction = max(peak_fraction, rack.power_watts()
+                                / rack.power_limit_watts)
 
         # 5. metrics.
         for service in services:
@@ -565,7 +590,10 @@ def run_environment(environment: str, config: ClusterConfig, *,
         overclock_grants=grants,
         overclock_rejections=rejections,
         scale_outs=scale_outs,
-        missed_slo_ticks_fraction=slo_ticks / max(1, total_service_ticks))
+        missed_slo_ticks_fraction=slo_ticks / max(1, total_service_ticks),
+        peak_rack_power_fraction=peak_fraction,
+        faults=(injector.counters.as_dict()
+                if injector is not None else None))
 
 
 def _sync_instances(service: _Service, active: int, pool: list[Server],

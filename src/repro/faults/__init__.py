@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the SmartOClock control plane.
+
+The paper's robustness claim (§III Q5, §IV-C) is that the platform is
+*decentralized*: a dead gOA or a lossy control network degrades
+overclocking quality, never rack safety.  This package makes that claim
+testable: :class:`FaultPlan` declares *what* fails and *when*;
+:class:`FaultInjector` turns the plan plus a seed into reproducible
+per-event decisions that the platform consults at its interposition
+points (gOA update cycles, the gOA↔sOA message channel, sOA telemetry
+sampling, template predictions).
+"""
+
+from repro.faults.injector import FaultCounters, FaultInjector
+from repro.faults.spec import (
+    FaultPlan,
+    GoaOutage,
+    MessageFault,
+    MispredictionFault,
+    TelemetryDropout,
+)
+
+__all__ = [
+    "FaultPlan",
+    "GoaOutage",
+    "MessageFault",
+    "MispredictionFault",
+    "TelemetryDropout",
+    "FaultInjector",
+    "FaultCounters",
+]

@@ -1,0 +1,171 @@
+"""Declarative fault specifications.
+
+A :class:`FaultPlan` is plain data: windows of simulated time during
+which a component misbehaves.  Plans say nothing about randomness — the
+probabilistic faults (message loss, telemetry dropouts) are resolved by
+the :class:`~repro.faults.injector.FaultInjector`, which owns the seeded
+generator, so one plan replayed under one seed is one exact fault
+schedule.
+
+Selectors (``rack_id`` / ``server_id``) of ``None`` match every rack or
+server: a plan can take down one rack's gOA while another rack's
+telemetry flakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FaultWindow",
+    "GoaOutage",
+    "MessageFault",
+    "TelemetryDropout",
+    "MispredictionFault",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Half-open window ``[start_s, end_s)`` of simulated seconds."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0: {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"need start_s < end_s: {self.start_s}/{self.end_s}")
+
+    def active(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+
+@dataclass(frozen=True)
+class GoaOutage:
+    """The gOA is down: periodic ``update()`` cycles in the window are
+    skipped entirely (no profile collection, no budget recompute, no
+    pushes).  sOAs keep their last assignment — the §III Q5 scenario."""
+
+    window: FaultWindow
+    rack_id: Optional[str] = None
+
+    def matches(self, rack_id: str, now: float) -> bool:
+        return (self.rack_id is None or self.rack_id == rack_id) \
+            and self.window.active(now)
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """The gOA↔sOA channel degrades: each message in the window is
+    dropped with ``drop_prob``; surviving budget pushes are delayed by
+    ``delay_s`` (profile pulls are synchronous, so a nonzero delay fails
+    the pull for that cycle)."""
+
+    window: FaultWindow
+    drop_prob: float = 0.0
+    delay_s: float = 0.0
+    rack_id: Optional[str] = None
+    kinds: Optional[tuple[str, ...]] = None   # None → all message kinds
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError(
+                f"drop_prob must be in [0, 1]: {self.drop_prob}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0: {self.delay_s}")
+        if self.drop_prob == 0.0 and self.delay_s == 0.0:
+            raise ValueError(
+                "a MessageFault needs a drop probability or a delay")
+
+    def matches(self, rack_id: str, kind: str, now: float) -> bool:
+        if self.rack_id is not None and self.rack_id != rack_id:
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        return self.window.active(now)
+
+
+@dataclass(frozen=True)
+class TelemetryDropout:
+    """The sOA's power sensor path flakes: each ``telemetry_tick`` sample
+    in the window is skipped with ``drop_prob`` (1.0 → dead sensor)."""
+
+    window: FaultWindow
+    drop_prob: float = 1.0
+    server_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drop_prob <= 1.0:
+            raise ValueError(
+                f"drop_prob must be in (0, 1]: {self.drop_prob}")
+
+    def matches(self, server_id: str, now: float) -> bool:
+        return (self.server_id is None or self.server_id == server_id) \
+            and self.window.active(now)
+
+
+@dataclass(frozen=True)
+class MispredictionFault:
+    """Template outputs are skewed by ``scale`` in the window: < 1 makes
+    the sOA underpredict (optimistic admission → capping pressure),
+    > 1 overpredict (needless rejections).  Models the misprediction
+    regime Kumbhare et al. judge oversubscription systems by."""
+
+    window: FaultWindow
+    scale: float
+    server_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0: {self.scale}")
+
+    def matches(self, server_id: str, now: float) -> bool:
+        return (self.server_id is None or self.server_id == server_id) \
+            and self.window.active(now)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one run, as declarative data."""
+
+    goa_outages: tuple[GoaOutage, ...] = ()
+    message_faults: tuple[MessageFault, ...] = ()
+    telemetry_dropouts: tuple[TelemetryDropout, ...] = ()
+    mispredictions: tuple[MispredictionFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists in hand-written specs; store canonical tuples so
+        # plans stay hashable/frozen.
+        for name in ("goa_outages", "message_faults",
+                     "telemetry_dropouts", "mispredictions"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.goa_outages or self.message_faults
+                    or self.telemetry_dropouts or self.mispredictions)
+
+    def goa_down(self, rack_id: str, now: float) -> bool:
+        return any(o.matches(rack_id, now) for o in self.goa_outages)
+
+    def prediction_scale(self, server_id: str, now: float) -> float:
+        scale = 1.0
+        for fault in self.mispredictions:
+            if fault.matches(server_id, now):
+                scale *= fault.scale
+        return scale
+
+
+def window(start_s: float, end_s: float) -> FaultWindow:
+    """Shorthand constructor used by scenario code and tests."""
+    return FaultWindow(start_s, end_s)
+
+
+__all__.append("window")

@@ -11,6 +11,7 @@ Fig. 15: build a template from week *k* and score it against week *k+1*.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,14 +63,33 @@ class TemplateStore:
         self._trim()
 
     def record_series(self, times: np.ndarray, values: np.ndarray) -> None:
-        for t, v in zip(times, values):
-            self.record(float(t), float(v))
+        """Bulk-append a telemetry series (equivalent to repeated
+        :meth:`record`, but validates monotonicity once, extends once and
+        trims once — linear instead of quadratic on multi-week traces)."""
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape:
+            raise ValueError(
+                f"times/values shape mismatch: {times.shape} vs "
+                f"{values.shape}")
+        if times.size == 0:
+            return
+        if times.ndim != 1:
+            raise ValueError(f"series must be 1-D, got shape {times.shape}")
+        if self._times and times[0] < self._times[-1]:
+            raise ValueError(
+                f"telemetry time went backwards: {times[0]} < "
+                f"{self._times[-1]}")
+        if times.size > 1 and bool(np.any(np.diff(times) < 0)):
+            raise ValueError("telemetry times must be non-decreasing")
+        self._times.extend(times.tolist())
+        self._values.extend(values.tolist())
+        self._trim()
 
     def _trim(self) -> None:
         horizon = self._times[-1] - self.history_weeks * SECONDS_PER_WEEK
-        drop = 0
-        while drop < len(self._times) and self._times[drop] < horizon:
-            drop += 1
+        # Times are non-decreasing, so the cut point is a bisection.
+        drop = bisect.bisect_left(self._times, horizon)
         if drop:
             self._times = self._times[drop:]
             self._values = self._values[drop:]

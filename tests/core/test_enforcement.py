@@ -69,6 +69,19 @@ class TestRampDown:
         assert vm.freq_ghz < MAX
         assert server.power_watts() < high_power
 
+    def test_reported_draw_reread_after_step_down(self):
+        """Regression: the tick's LoopAction must report the draw as
+        measured *after* the down-phase — the pre-phase reading can show
+        >= limit even though the loop already stepped power under it."""
+        server, (vm,) = setup_server([(8, 1.0, 0)])
+        server.set_vm_frequency(vm, MAX)
+        loop = FeedbackLoop(server, buffer_watts=5.0)
+        loop.engage(vm, MAX)
+        action = loop.tick(limit_watts=server.power_watts() - 20.0)
+        assert action.stepped_down > 0
+        assert action.draw_watts == pytest.approx(server.power_watts())
+        assert action.draw_watts < action.limit_watts
+
     def test_lower_priority_vm_sacrificed_first(self):
         server, (lo, hi) = setup_server([(8, 1.0, 1), (8, 1.0, 10)])
         server.set_vm_frequency(lo, MAX)

@@ -1,0 +1,137 @@
+"""gOA profile staleness: stamping, re-pull, and degraded operation.
+
+Regression coverage for the bug where ``recompute_budgets`` silently
+reused week-old profiles and ``update(now)`` ignored ``now`` entirely.
+"""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.goa import GlobalOverclockingAgent
+from repro.core.messaging import MessageChannel, MessageFate, PROFILE_PULL
+from repro.core.soa import ServerOverclockingAgent
+
+
+def build(n_servers=2, rack_limit=3000.0, channel=None):
+    config = SmartOClockConfig()
+    rack = Rack("r0", rack_limit)
+    soas = []
+    for i in range(n_servers):
+        server = Server(f"s{i}", DEFAULT_POWER_MODEL)
+        rack.add_server(server)
+        vm = VirtualMachine(8, utilization=0.8)
+        server.place_vm(vm)
+        soas.append(ServerOverclockingAgent(server, config))
+    goa = GlobalOverclockingAgent(rack, config, soas, channel=channel)
+    return goa, soas
+
+
+def drop_pulls_to(server_ids):
+    """Channel hook dropping profile pulls addressed to ``server_ids``."""
+    def hook(envelope):
+        if envelope.kind == PROFILE_PULL and envelope.dst in server_ids:
+            return MessageFate(dropped=True)
+        return MessageFate()
+    return hook
+
+
+class TestProfileStamping:
+    def test_collect_stamps_profiles(self):
+        goa, _ = build()
+        assert goa.profile_age("s0", 100.0) is None
+        assert goa.collect_profiles(50.0) == 2
+        assert goa.profile_age("s0", 80.0) == pytest.approx(30.0)
+        assert goa.profile_age("s1", 80.0) == pytest.approx(30.0)
+
+    def test_stale_profiles_lists_missing_and_old(self):
+        goa, _ = build()
+        period = goa.config.budget_update_period_s
+        assert goa.stale_profiles(0.0) == ["s0", "s1"]  # never collected
+        goa.collect_profiles(0.0)
+        assert goa.stale_profiles(period - 1.0) == []
+        assert goa.stale_profiles(period) == ["s0", "s1"]
+
+    def test_failed_pull_keeps_old_profile_and_stamp(self):
+        channel = MessageChannel(drop_pulls_to({"s1"}))
+        goa, _ = build(channel=channel)
+        goa.collect_profiles(0.0)  # s1's pull dropped
+        assert goa.profile_age("s0", 0.0) == pytest.approx(0.0)
+        assert goa.profile_age("s1", 0.0) is None
+        # Healthy retry later: s1's stamp reflects the successful pull.
+        channel.fate_hook = None
+        goa.collect_profiles(100.0)
+        assert goa.profile_age("s1", 100.0) == pytest.approx(0.0)
+
+
+class TestRecomputeStaleness:
+    def test_recompute_repulls_stale_profiles(self):
+        goa, _ = build()
+        period = goa.config.budget_update_period_s
+        goa.collect_profiles(0.0)
+        goa.recompute_budgets(2 * period)  # profiles a period old
+        assert goa.stale_profiles(2 * period) == []  # re-pulled, restamped
+
+    def test_recompute_without_any_profiles_keeps_assignment(self):
+        channel = MessageChannel(drop_pulls_to({"s0", "s1"}))
+        goa, _ = build(channel=channel)
+        assert goa.recompute_budgets(0.0) is None
+        assert goa.budget_updates == 0
+
+    def test_never_profiled_server_blocks_budgeting(self):
+        """While any server has *never* delivered a profile the gOA
+        cannot split the rack limit; it heals once a pull lands."""
+        channel = MessageChannel(drop_pulls_to({"s1"}))
+        goa, _ = build(channel=channel)
+        assert goa.recompute_budgets(0.0) is None
+        assert goa.budget_updates == 0
+        channel.fate_hook = None
+        period = goa.config.budget_update_period_s
+        assert goa.recompute_budgets(period) is not None
+        assert goa.budget_updates == 1
+
+    def test_stale_but_present_profiles_still_budget(self):
+        """If the re-pull fails but an old profile exists, the gOA
+        degrades to budgeting from stale data rather than stalling."""
+        channel = MessageChannel()
+        goa, _ = build(channel=channel)
+        goa.collect_profiles(0.0)
+        channel.fate_hook = drop_pulls_to({"s0", "s1"})
+        period = goa.config.budget_update_period_s
+        assignment = goa.recompute_budgets(2 * period)
+        assert assignment is not None
+        assert goa.budget_updates == 1
+
+
+class TestUpdateNow:
+    def test_update_threads_now_through(self):
+        goa, soas = build()
+        goa.update(123.0)
+        assert goa.last_update_at == 123.0
+        for soa in soas:
+            assert soa.budget_age(123.0) == pytest.approx(0.0)
+
+    def test_push_stamps_soa_assignment_time(self):
+        goa, soas = build()
+        goa.update(500.0)
+        assert soas[0].budget_age(600.0) == pytest.approx(100.0)
+
+    def test_dropped_push_leaves_soa_on_old_assignment(self):
+        channel = MessageChannel()
+        goa, soas = build(channel=channel)
+        goa.update(0.0)
+        old = soas[0]._assignment
+        assert old is not None
+
+        def drop_push_to_s0(envelope):
+            if envelope.dst == "s0" and envelope.kind == "budget_push":
+                return MessageFate(dropped=True)
+            return MessageFate()
+
+        channel.fate_hook = drop_push_to_s0
+        period = goa.config.budget_update_period_s
+        goa.update(period)
+        assert soas[0]._assignment is old          # push lost
+        assert soas[1]._assignment is goa.assignment  # push landed
+        assert soas[0].budget_age(period) == pytest.approx(period)

@@ -242,3 +242,107 @@ class TestExhaustionPrediction:
     def test_power_exhaustion_needs_template(self):
         soa, _, vm = build(rack_limit=5000.0)
         assert soa.predict_power_exhaustion(0.0) is None
+
+
+class TestDemandTelemetry:
+    """Per-slot overclock demand: sum across distinct VMs, max per VM."""
+
+    def test_concurrent_vms_sum(self):
+        soa, server, vm_a = build(rack_limit=5000.0, vm_cores=4)
+        vm_b = VirtualMachine(4, utilization=0.8)
+        server.place_vm(vm_b)
+        soa.handle_request(request_for(vm_a), now=10.0)
+        soa.handle_request(request_for(vm_b), now=20.0)  # same slot
+        report = soa.build_profile_report()
+        assert report.oc_requested_cores[0] == 8  # 4 + 4, not max(4, 4)
+
+    def test_repeated_requests_same_vm_take_max(self):
+        soa, _, vm = build(rack_limit=5000.0, vm_cores=4)
+        soa.handle_request(request_for(vm), now=10.0)
+        soa.handle_request(request_for(vm), now=20.0)  # same slot, same VM
+        report = soa.build_profile_report()
+        assert report.oc_requested_cores[0] == 4  # max over time, not sum
+
+    def test_granted_cores_sum_across_vms(self):
+        soa, server, vm_a = build(rack_limit=5000.0, vm_cores=4)
+        vm_b = VirtualMachine(4, utilization=0.8)
+        server.place_vm(vm_b)
+        a = soa.handle_request(request_for(vm_a), now=10.0)
+        b = soa.handle_request(request_for(vm_b), now=20.0)
+        assert a.granted and b.granted
+        report = soa.build_profile_report()
+        assert report.oc_granted_cores[0] == 8
+
+    def test_distinct_slots_stay_separate(self):
+        soa, server, vm_a = build(rack_limit=5000.0, vm_cores=4)
+        vm_b = VirtualMachine(4, utilization=0.8)
+        server.place_vm(vm_b)
+        slot_s = soa.config.budget_slot_s
+        soa.handle_request(request_for(vm_a), now=10.0)
+        soa.handle_request(request_for(vm_b, now=slot_s + 10.0),
+                           now=slot_s + 10.0)
+        report = soa.build_profile_report()
+        assert report.oc_requested_cores[0] == 4
+        assert report.oc_requested_cores[1] == 4
+
+    def test_reset_profile_window_clears_per_vm_state(self):
+        soa, server, vm_a = build(rack_limit=5000.0, vm_cores=4)
+        vm_b = VirtualMachine(4, utilization=0.8)
+        server.place_vm(vm_b)
+        soa.handle_request(request_for(vm_a), now=10.0)
+        soa.reset_profile_window()
+        soa.handle_request(request_for(vm_b), now=20.0)
+        report = soa.build_profile_report()
+        assert report.oc_requested_cores[0] == 4  # not 8: old window gone
+
+
+class TestStaleBudgetMargin:
+    """sOAs derate an ageing assignment instead of trusting it forever."""
+
+    def assignment_for(self, soa, watts=500.0):
+        from repro.core.budgets import BudgetAssignment
+        import numpy as np
+        n_slots = int(WEEK / soa.config.budget_slot_s)
+        return BudgetAssignment(
+            slot_s=soa.config.budget_slot_s,
+            budgets={soa.server.server_id: np.full(n_slots, watts)})
+
+    def test_unstamped_assignment_is_ageless(self):
+        soa, _, _ = build()
+        soa.set_budget_assignment(self.assignment_for(soa))
+        assert soa.budget_age(10 * WEEK) is None
+        assert soa.stale_budget_margin(10 * WEEK) == 0.0
+        assert soa.assigned_budget(10 * WEEK) == pytest.approx(500.0)
+
+    def test_fresh_assignment_full_budget(self):
+        soa, _, _ = build()
+        soa.set_budget_assignment(self.assignment_for(soa), now=0.0)
+        assert soa.budget_age(100.0) == pytest.approx(100.0)
+        assert soa.stale_budget_margin(100.0) == 0.0
+        assert soa.assigned_budget(100.0) == pytest.approx(500.0)
+
+    def test_margin_grows_after_grace(self):
+        soa, _, _ = build()
+        period = soa.config.budget_update_period_s
+        soa.set_budget_assignment(self.assignment_for(soa), now=0.0)
+        # grace is 1.5 periods; at 2.5 periods we are 1.0 period over.
+        margin = soa.stale_budget_margin(2.5 * period)
+        assert margin == pytest.approx(
+            soa.config.stale_budget_margin_per_period)
+        assert soa.assigned_budget(2.5 * period) == pytest.approx(
+            500.0 * (1.0 - margin))
+
+    def test_margin_capped(self):
+        soa, _, _ = build()
+        period = soa.config.budget_update_period_s
+        soa.set_budget_assignment(self.assignment_for(soa), now=0.0)
+        assert soa.stale_budget_margin(100 * period) == pytest.approx(
+            soa.config.stale_budget_margin_max)
+
+    def test_new_assignment_resets_age(self):
+        soa, _, _ = build()
+        period = soa.config.budget_update_period_s
+        soa.set_budget_assignment(self.assignment_for(soa), now=0.0)
+        soa.set_budget_assignment(self.assignment_for(soa),
+                                  now=3.0 * period)
+        assert soa.stale_budget_margin(3.1 * period) == 0.0

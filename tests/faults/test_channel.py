@@ -1,0 +1,75 @@
+"""MessageChannel: synchronous delivery, drops, delays, pump ordering."""
+
+from repro.core.messaging import Envelope, MessageChannel, MessageFate
+
+
+def envelope(kind="budget_push", dst="s0", sent_at=0.0):
+    return Envelope(kind, "r0", dst, sent_at)
+
+
+class TestHealthyChannel:
+    def test_send_delivers_synchronously(self):
+        channel = MessageChannel()
+        got = []
+        assert channel.send(envelope(sent_at=5.0), got.append)
+        assert got == [5.0]
+        assert channel.sent == channel.delivered == 1
+        assert channel.in_flight == 0
+
+    def test_request_fetches(self):
+        channel = MessageChannel()
+        assert channel.request(envelope("profile_pull"), lambda: 42) == 42
+
+    def test_pump_noop_when_empty(self):
+        assert MessageChannel().pump(100.0) == 0
+
+
+class TestFaultedChannel:
+    def test_drop(self):
+        channel = MessageChannel(lambda e: MessageFate(dropped=True))
+        got = []
+        assert not channel.send(envelope(), got.append)
+        assert got == []
+        assert channel.dropped == 1
+
+    def test_delay_holds_until_pump(self):
+        channel = MessageChannel(lambda e: MessageFate(delay_s=30.0))
+        got = []
+        channel.send(envelope(sent_at=10.0), got.append)
+        assert got == [] and channel.in_flight == 1
+        assert channel.pump(39.0) == 0        # not due yet
+        assert channel.pump(45.0) == 1
+        assert got == [45.0]                  # delivered at pump time
+        assert channel.in_flight == 0
+        assert channel.delayed == 1 and channel.delivered == 1
+
+    def test_pump_delivers_in_due_order(self):
+        fates = {"s0": 50.0, "s1": 10.0, "s2": 30.0}
+        channel = MessageChannel(
+            lambda e: MessageFate(delay_s=fates[e.dst]))
+        order = []
+        for dst in ("s0", "s1", "s2"):
+            channel.send(Envelope("budget_push", "r0", dst, 0.0),
+                         lambda at, d=dst: order.append(d))
+        channel.pump(100.0)
+        assert order == ["s1", "s2", "s0"]
+
+    def test_partial_pump_keeps_later_messages(self):
+        channel = MessageChannel(
+            lambda e: MessageFate(delay_s=100.0 if e.dst == "slow" else 5.0))
+        order = []
+        channel.send(Envelope("budget_push", "r0", "slow", 0.0),
+                     lambda at: order.append("slow"))
+        channel.send(Envelope("budget_push", "r0", "fast", 0.0),
+                     lambda at: order.append("fast"))
+        assert channel.pump(10.0) == 1
+        assert order == ["fast"] and channel.in_flight == 1
+        assert channel.pump(100.0) == 1
+        assert order == ["fast", "slow"]
+
+    def test_request_fails_on_drop_and_delay(self):
+        dropped = MessageChannel(lambda e: MessageFate(dropped=True))
+        assert dropped.request(envelope("profile_pull"), lambda: 1) is None
+        delayed = MessageChannel(lambda e: MessageFate(delay_s=1.0))
+        assert delayed.request(envelope("profile_pull"), lambda: 1) is None
+        assert dropped.dropped == 1 and delayed.dropped == 1

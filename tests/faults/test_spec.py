@@ -1,0 +1,99 @@
+"""FaultPlan / fault-spec validation and matching semantics."""
+
+import pytest
+
+from repro.faults.spec import (
+    FaultPlan,
+    FaultWindow,
+    GoaOutage,
+    MessageFault,
+    MispredictionFault,
+    TelemetryDropout,
+)
+
+
+class TestFaultWindow:
+    def test_half_open_semantics(self):
+        w = FaultWindow(10.0, 20.0)
+        assert not w.active(9.999)
+        assert w.active(10.0)
+        assert w.active(19.999)
+        assert not w.active(20.0)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="start_s < end_s"):
+            FaultWindow(20.0, 10.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultWindow(-1.0, 10.0)
+
+
+class TestSelectors:
+    def test_goa_outage_rack_selector(self):
+        outage = GoaOutage(FaultWindow(0.0, 100.0), rack_id="r1")
+        assert outage.matches("r1", 50.0)
+        assert not outage.matches("r2", 50.0)
+
+    def test_goa_outage_wildcard_rack(self):
+        outage = GoaOutage(FaultWindow(0.0, 100.0))
+        assert outage.matches("anything", 0.0)
+
+    def test_message_fault_kind_selector(self):
+        fault = MessageFault(FaultWindow(0.0, 100.0), drop_prob=1.0,
+                             kinds=("budget_push",))
+        assert fault.matches("r", "budget_push", 1.0)
+        assert not fault.matches("r", "profile_pull", 1.0)
+
+    def test_telemetry_server_selector(self):
+        fault = TelemetryDropout(FaultWindow(0.0, 10.0), server_id="s3")
+        assert fault.matches("s3", 5.0)
+        assert not fault.matches("s4", 5.0)
+        assert not fault.matches("s3", 10.0)
+
+
+class TestValidation:
+    def test_message_fault_needs_an_effect(self):
+        with pytest.raises(ValueError, match="drop probability or a delay"):
+            MessageFault(FaultWindow(0.0, 1.0))
+
+    def test_message_fault_rejects_bad_prob(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            MessageFault(FaultWindow(0.0, 1.0), drop_prob=1.5)
+
+    def test_telemetry_rejects_zero_prob(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            TelemetryDropout(FaultWindow(0.0, 1.0), drop_prob=0.0)
+
+    def test_misprediction_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            MispredictionFault(FaultWindow(0.0, 1.0), scale=0.0)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        plan = FaultPlan(goa_outages=(GoaOutage(FaultWindow(0.0, 1.0)),))
+        assert not plan.empty
+
+    def test_lists_canonicalized_to_tuples(self):
+        plan = FaultPlan(
+            goa_outages=[GoaOutage(FaultWindow(0.0, 1.0))])  # type: ignore[arg-type]
+        assert isinstance(plan.goa_outages, tuple)
+
+    def test_goa_down_any_matching_outage(self):
+        plan = FaultPlan(goa_outages=(
+            GoaOutage(FaultWindow(0.0, 10.0), rack_id="r1"),
+            GoaOutage(FaultWindow(20.0, 30.0), rack_id="r2"),
+        ))
+        assert plan.goa_down("r1", 5.0)
+        assert not plan.goa_down("r1", 25.0)
+        assert plan.goa_down("r2", 25.0)
+
+    def test_prediction_scale_compounds(self):
+        plan = FaultPlan(mispredictions=(
+            MispredictionFault(FaultWindow(0.0, 10.0), scale=0.5),
+            MispredictionFault(FaultWindow(0.0, 10.0), scale=0.8),
+        ))
+        assert plan.prediction_scale("s", 5.0) == pytest.approx(0.4)
+        assert plan.prediction_scale("s", 15.0) == 1.0

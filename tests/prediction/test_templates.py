@@ -216,3 +216,81 @@ class TestTemplateStore:
                                times[~hist], values[~hist])
         assert "DailyMed" in ev.summary()
         assert "RMSE" in ev.summary()
+
+
+class TestRecordSeriesBulk:
+    """record_series must match a record() loop and scale linearly."""
+
+    def test_equivalent_to_record_loop(self):
+        times, values = weekday_series(weeks=2, noise=1.0)
+        bulk = TemplateStore("DailyMed", history_weeks=1)
+        loop = TemplateStore("DailyMed", history_weeks=1)
+        bulk.record_series(times, values)
+        for t, v in zip(times, values):
+            loop.record(t, v)
+        assert bulk.samples == loop.samples
+        assert bulk._times == loop._times
+        assert bulk._values == loop._values
+        bulk.recompute()
+        loop.recompute()
+        probe = times[-1] + 3600.0
+        assert bulk.predict(probe) == loop.predict(probe)
+
+    def test_chunked_series_equivalent_to_single(self):
+        times, values = weekday_series(weeks=2)
+        whole = TemplateStore(history_weeks=1)
+        parts = TemplateStore(history_weeks=1)
+        whole.record_series(times, values)
+        mid = len(times) // 3
+        parts.record_series(times[:mid], values[:mid])
+        parts.record_series(times[mid:], values[mid:])
+        assert whole._times == parts._times
+        assert whole._values == parts._values
+
+    def test_empty_series_is_noop(self):
+        store = TemplateStore()
+        store.record_series(np.array([]), np.array([]))
+        assert store.samples == 0
+
+    def test_shape_mismatch_rejected(self):
+        store = TemplateStore()
+        with pytest.raises(ValueError, match="shape mismatch"):
+            store.record_series(np.arange(3.0), np.arange(4.0))
+
+    def test_non_1d_rejected(self):
+        store = TemplateStore()
+        grid = np.ones((2, 2))
+        with pytest.raises(ValueError, match="1-D"):
+            store.record_series(grid, grid)
+
+    def test_internally_decreasing_series_rejected(self):
+        store = TemplateStore()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            store.record_series(np.array([0.0, 10.0, 5.0]),
+                                np.zeros(3))
+
+    def test_series_before_existing_history_rejected(self):
+        store = TemplateStore()
+        store.record(100.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            store.record_series(np.array([50.0, 60.0]), np.zeros(2))
+
+    def test_bulk_append_scales_linearly(self):
+        """Quadratic trim behaviour made multi-week appends explode;
+        4x the samples must cost far less than 16x the time."""
+        import time
+
+        def cost(n):
+            times = np.arange(n, dtype=float) * 60.0
+            values = np.ones(n)
+            store = TemplateStore(history_weeks=1)
+            start = time.perf_counter()
+            # Many small appends — the regime the old implementation
+            # handled quadratically via per-sample list-slicing trims.
+            for i in range(0, n, 256):
+                store.record_series(times[i:i + 256], values[i:i + 256])
+            return time.perf_counter() - start
+
+        cost(4096)  # warm-up
+        small, big = cost(8192), cost(4 * 8192)
+        assert big < 10.0 * small + 0.05  # quadratic would be ~16x
