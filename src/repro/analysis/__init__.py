@@ -9,6 +9,11 @@ invariants — the ones the test suite cannot see because they only break
   power-affecting mutation goes through the invalidation-aware
   setters.  Direct writes to the backing fields from outside the
   owning object silently corrupt cached wattage.
+* ``durable-state-write`` — the sOA state snapshotted by the
+  checkpoint/restore protocol (:mod:`repro.recovery.checkpoint`) is
+  only faithful if every mutation goes through the owning object's
+  accounting methods; cross-object writes to the durable backing
+  fields persist state the control plane never computed.
 * ``nondeterminism`` — all randomness must flow from an explicitly
   seeded :class:`numpy.random.Generator` and simulated time from the
   event engine, never from the wall clock or global RNG state.
@@ -26,12 +31,18 @@ rationale and the pragma syntax (``# oclint: disable=<rule>``).
 
 from __future__ import annotations
 
-from repro.analysis.config import DEFAULT_POWER_FIELDS, LintConfig, load_config
+from repro.analysis.config import (
+    DEFAULT_DURABLE_FIELDS,
+    DEFAULT_POWER_FIELDS,
+    LintConfig,
+    load_config,
+)
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import LintResult, lint_paths, lint_source
 from repro.analysis.registry import Rule, all_rules, get_rule, register
 
 __all__ = [
+    "DEFAULT_DURABLE_FIELDS",
     "DEFAULT_POWER_FIELDS",
     "Diagnostic",
     "LintConfig",

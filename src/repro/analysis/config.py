@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Optional
 
 __all__ = [
+    "DEFAULT_DURABLE_FIELDS",
     "DEFAULT_ENGINE_INTERNALS",
     "DEFAULT_POWER_FIELDS",
     "LintConfig",
@@ -33,6 +34,28 @@ DEFAULT_POWER_FIELDS = frozenset({
     "_dynamic_watts",
     "_power_watts",
     "_total_watts",
+})
+
+# Backing fields of the sOA's *durable* (checkpointed) state: wear
+# counters, epoch budgets, template history, the grant ledger and the
+# last budget assignment (repro.recovery.checkpoint).  A write from
+# outside the owning object bypasses the accounting methods, so the
+# next checkpoint persists state the control plane never computed.
+DEFAULT_DURABLE_FIELDS = frozenset({
+    "_grants",
+    "_assignment",
+    "_assignment_received_at",
+    "_times",
+    "_values",
+    "_template",
+    "_epoch_index",
+    "_carryover",
+    "_consumed",
+    "_reserved",
+    "_elapsed_seconds",
+    "_busy_seconds",
+    "_overclock_seconds",
+    "_wear_seconds",
 })
 
 # Private state of repro.sim.engine.SimulationEngine.  Handlers must go
@@ -65,6 +88,7 @@ class LintConfig:
     select: Optional[frozenset[str]] = None
     ignore: frozenset[str] = frozenset()
     power_fields: frozenset[str] = DEFAULT_POWER_FIELDS
+    durable_fields: frozenset[str] = DEFAULT_DURABLE_FIELDS
     engine_internals: frozenset[str] = DEFAULT_ENGINE_INTERNALS
     engine_modules: tuple[str, ...] = DEFAULT_ENGINE_MODULES
     determinism_modules: Optional[tuple[str, ...]] = None
@@ -113,6 +137,9 @@ def load_config(pyproject: Optional[Path] = None,
     if "power-fields" in section:
         updates["power_fields"] = config.power_fields | frozenset(
             _as_str_tuple(section["power-fields"], "power-fields"))
+    if "durable-fields" in section:
+        updates["durable_fields"] = config.durable_fields | frozenset(
+            _as_str_tuple(section["durable-fields"], "durable-fields"))
     if "engine-internals" in section:
         updates["engine_internals"] = config.engine_internals | frozenset(
             _as_str_tuple(section["engine-internals"], "engine-internals"))

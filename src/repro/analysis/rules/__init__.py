@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from repro.analysis.rules.determinism import NondeterminismRule
+from repro.analysis.rules.durable import DurableStateWriteRule
 from repro.analysis.rules.handlers import HandlerHygieneRule
 from repro.analysis.rules.power import PowerCacheWriteRule
 from repro.analysis.rules.units import UnitMismatchRule
 from repro.analysis.rules.untyped import UntypedDefRule
 
 __all__ = [
+    "DurableStateWriteRule",
     "HandlerHygieneRule",
     "NondeterminismRule",
     "PowerCacheWriteRule",

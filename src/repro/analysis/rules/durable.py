@@ -1,0 +1,67 @@
+"""Rule ``durable-state-write``: protect checkpointed control-plane state.
+
+PR 4 made part of each sOA's state *durable*: wear counters, epoch
+budgets, the template history, the grant ledger and the last budget
+assignment are snapshotted by ``build_checkpoint`` and restored after a
+crash.  A direct write such as ``counter._wear_seconds = 0.0`` from
+outside the owning object mutates durable state without going through
+the owner's accounting methods (``accumulate``, ``consume``,
+``state_dict``/``load_state_dict``), so the next checkpoint silently
+persists a history the control plane never computed — and a restored
+sOA then *trusts* it.
+
+The rule flags any assignment (plain, augmented, annotated, tuple
+unpacking) or ``del`` whose target is ``<expr>._field`` for a durable
+backing field, unless ``<expr>`` is ``self`` — the owning class is the
+one place allowed to touch its own durable fields.  Deliberate
+cross-object writes inside the checkpoint/restore protocol itself carry
+an inline ``# oclint: disable=durable-state-write`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules.power import _attribute_targets
+
+__all__ = ["DurableStateWriteRule"]
+
+
+@register
+class DurableStateWriteRule(Rule):
+    rule_id = "durable-state-write"
+    description = ("write to a checkpointed (durable) backing field from "
+                   "outside the owning object bypasses the accounting "
+                   "methods the checkpoint/restore protocol relies on")
+
+    def check(self, ctx: ModuleContext, index: ProjectIndex,
+              config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                for attribute in _attribute_targets(target):
+                    if attribute.attr not in config.durable_fields:
+                        continue
+                    base = attribute.value
+                    if isinstance(base, ast.Name) and base.id == "self":
+                        continue
+                    yield self.diagnostic(
+                        ctx, attribute.lineno, attribute.col_offset,
+                        f"direct write to durable backing field "
+                        f"'{attribute.attr}' from outside its owning "
+                        f"object; go through the owner's accounting API "
+                        f"so checkpoints stay faithful (see "
+                        f"repro.recovery.checkpoint)")

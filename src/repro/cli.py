@@ -170,6 +170,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if safe else 1
 
 
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    from repro.experiments.recovery import (
+        RecoveryScenarioConfig,
+        format_recovery_report,
+        recovery_experiment,
+    )
+    config = RecoveryScenarioConfig(duration_s=args.duration,
+                                    seed=args.seed)
+    result = recovery_experiment(config)
+    print(format_recovery_report(result, as_json=args.json))
+    # Exit non-zero if a hard safety claim failed: rack above its limit
+    # after enforcement, or a restored sOA granting beyond its
+    # checkpointed budget assignment.
+    return 0 if result.safe else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run
     return run(args)
@@ -193,6 +209,8 @@ _COMMANDS: dict[str, _Command] = {
     "fig17": _Command(_cmd_fig17, "Service C 5-minute peak reduction"),
     "faults": _Command(_cmd_faults,
                        "fault-free vs faulted SmartOClock comparison"),
+    "recovery": _Command(_cmd_recovery,
+                         "crash/recovery: naive vs SmartOClock uptime"),
     "lint": _Command(_cmd_lint, "run project-specific static analysis",
                      configure=_configure_lint, seeded=False),
 }
@@ -224,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--duration", type=float, default=3600.0)
             p.add_argument("--drop-prob", type=float, default=0.5,
                            help="budget/profile message drop probability")
+        if name == "recovery":
+            p.add_argument("--duration", type=float, default=3600.0)
+            p.add_argument("--json", action="store_true",
+                           help="emit canonical JSON (CI diffs repeats)")
     return parser
 
 

@@ -193,6 +193,9 @@ class Server:
         self._dynamic_watts = 0.0
         # Extra non-VM power (e.g. a colocated agent); usually zero.
         self._background_watts = 0.0
+        # Powered off (crashed): draws nothing, contributes nothing to
+        # the rack aggregate until brought back online.
+        self._offline = False
         plan = power_model.plan
         self.cores = [Core(i, plan.turbo_ghz)
                       for i in range(power_model.cores)]
@@ -211,8 +214,30 @@ class Server:
     def background_watts(self, value: float) -> None:
         delta = value - self._background_watts
         self._background_watts = value
-        if delta and self.rack is not None:
+        if delta and self.rack is not None and not self._offline:
             self.rack._apply_power_delta(delta)
+
+    @property
+    def offline(self) -> bool:
+        return self._offline
+
+    @offline.setter
+    def offline(self, value: bool) -> None:
+        """Power the server off/on.
+
+        The cached dynamic/background watt totals keep tracking core
+        state while the server is off (so the books stay consistent for
+        whoever powers it back on); only the *rack* aggregate sees the
+        server disappear and reappear.
+        """
+        if value == self._offline:
+            return
+        live_watts = (self.power_model.idle_watts + self._dynamic_watts
+                      + self._background_watts)
+        self._offline = value
+        if self.rack is not None:
+            self.rack._apply_power_delta(
+                -live_watts if value else live_watts)
 
     # -- incremental power accounting ----------------------------------
 
@@ -229,7 +254,7 @@ class Server:
         propagate it up to the rack (and from there to the datacenter)."""
         if delta:
             self._dynamic_watts += delta
-            if self.rack is not None:
+            if self.rack is not None and not self._offline:
                 self.rack._apply_power_delta(delta)
 
     def _vm_utilization_changed(self, vm: VirtualMachine,
@@ -332,6 +357,8 @@ class Server:
     def power_watts(self) -> float:
         """Current wall power of this server.  O(1): reads the cached
         dynamic-watt total maintained incrementally by every mutation."""
+        if self._offline:
+            return 0.0
         return (self.power_model.idle_watts + self._dynamic_watts
                 + self._background_watts)
 
@@ -341,6 +368,8 @@ class Server:
         Kept for validation (the randomized equivalence tests) and as the
         baseline the capping micro-benchmark measures against.
         """
+        if self._offline:
+            return 0.0
         return (self.power_model.server_watts(self.core_loads())
                 + self._background_watts)
 
@@ -358,6 +387,8 @@ class Server:
         """Accrue ``dt`` seconds of busy/overclock time on allocated cores."""
         if dt < 0:
             raise ValueError(f"dt must be non-negative, got {dt}")
+        if self._offline:
+            return  # powered off: no cycles executed, no wear accrued
         plan = self.plan
         for vm in self.vms.values():
             for core in self._vm_cores[vm.vm_id]:

@@ -73,6 +73,29 @@ class SmartOClockConfig:
     exhaustion_window_s: float = 900.0     # signal if exhaustion within 15min
     min_grant_s: float = 60.0              # shortest useful overclock grant
 
+    # --- crash / recovery lifecycle -----------------------------------------
+    # sOA durable state (wear counters, template store, grant ledger,
+    # last budget assignment) checkpoints to the in-sim durable store
+    # every ``checkpoint_interval_s``; a restarted sOA restores the
+    # latest checkpoint and loses at most one interval of accounting.
+    checkpoint_interval_s: float = 300.0
+    server_restart_delay_s: float = 120.0  # crash → power-on
+    soa_restart_delay_s: float = 30.0      # sOA process death → restore
+    vm_restart_delay_s: float = 60.0       # evacuated VM boot time
+    # gOA membership: consecutive missed profile reports before a server
+    # is declared dead and its budget share redistributed.
+    dead_after_missed_reports: int = 2
+    # Risk controller: quarantine a server (no OC grants) after
+    # ``quarantine_crash_threshold`` crashes inside
+    # ``quarantine_window_s``, for ``quarantine_cooldown_s``; a
+    # positive ``quarantine_wear_floor_s`` also quarantines servers
+    # whose remaining epoch OC budget falls below the floor.
+    enable_quarantine: bool = True
+    quarantine_crash_threshold: int = 2
+    quarantine_window_s: float = 3600.0
+    quarantine_cooldown_s: float = 1800.0
+    quarantine_wear_floor_s: float = 0.0
+
     # --- feature flags for ablated variants (§V-B baselines) ----------------
     enable_admission_control: bool = True  # False → NaiveOClock
     enable_exploration: bool = True        # False → NoFeedback
@@ -109,6 +132,24 @@ class SmartOClockConfig:
             raise ValueError(
                 f"lifetime_mode must be 'epoch' or 'online', got "
                 f"{self.lifetime_mode!r}")
+        if self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be > 0")
+        if self.server_restart_delay_s < 0:
+            raise ValueError("server_restart_delay_s must be >= 0")
+        if self.soa_restart_delay_s < 0:
+            raise ValueError("soa_restart_delay_s must be >= 0")
+        if self.vm_restart_delay_s < 0:
+            raise ValueError("vm_restart_delay_s must be >= 0")
+        if self.dead_after_missed_reports < 1:
+            raise ValueError("dead_after_missed_reports must be >= 1")
+        if self.quarantine_crash_threshold < 1:
+            raise ValueError("quarantine_crash_threshold must be >= 1")
+        if self.quarantine_window_s <= 0:
+            raise ValueError("quarantine_window_s must be > 0")
+        if self.quarantine_cooldown_s < 0:
+            raise ValueError("quarantine_cooldown_s must be >= 0")
+        if self.quarantine_wear_floor_s < 0:
+            raise ValueError("quarantine_wear_floor_s must be >= 0")
 
     # Named variants used throughout the evaluation -------------------------
 

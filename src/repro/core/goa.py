@@ -57,10 +57,36 @@ class GlobalOverclockingAgent:
         self._assignment: Optional[BudgetAssignment] = None
         self.last_update_at: Optional[float] = None
         self.budget_updates = 0
+        # Membership: consecutive missed profile reports per server; a
+        # server past the configured threshold is declared dead and its
+        # budget share redistributed to the survivors next cycle.
+        self._missed_reports: dict[str, int] = {}
+        self._dead: set[str] = set()
+        self.servers_marked_dead = 0
+        self.servers_revived = 0
 
     @property
     def assignment(self) -> Optional[BudgetAssignment]:
         return self._assignment
+
+    @property
+    def dead_servers(self) -> list[str]:
+        """Servers currently declared dead by missed-report detection."""
+        return sorted(self._dead)
+
+    def _note_missed_report(self, server_id: str) -> None:
+        misses = self._missed_reports.get(server_id, 0) + 1
+        self._missed_reports[server_id] = misses
+        if misses >= self.config.dead_after_missed_reports \
+                and server_id not in self._dead:
+            self._dead.add(server_id)
+            self.servers_marked_dead += 1
+
+    def _note_report_received(self, server_id: str) -> None:
+        self._missed_reports[server_id] = 0
+        if server_id in self._dead:
+            self._dead.discard(server_id)
+            self.servers_revived += 1
 
     # ------------------------------------------------------------------
     # Profile collection & staleness
@@ -77,13 +103,19 @@ class GlobalOverclockingAgent:
         collected = 0
         for server_id in sorted(self.soas):
             soa = self.soas[server_id]
+            if not soa.alive:
+                # A dead sOA cannot answer: no point sending the pull.
+                self._note_missed_report(server_id)
+                continue
             report = self.channel.request(
                 Envelope(PROFILE_PULL, self.rack.rack_id, server_id, now),
                 soa.build_profile_report)
             if report is None:
+                self._note_missed_report(server_id)
                 continue
             self._latest_profiles[server_id] = report
             self._profile_collected_at[server_id] = now
+            self._note_report_received(server_id)
             soa.reset_profile_window()
             collected += 1
         return collected
@@ -97,11 +129,15 @@ class GlobalOverclockingAgent:
         return now - collected_at
 
     def stale_profiles(self, now: float) -> list[str]:
-        """Servers whose profile is missing or older than one update
-        period — the data `recompute_budgets` refuses to silently reuse."""
+        """Live servers whose profile is missing or older than one update
+        period — the data `recompute_budgets` refuses to silently reuse.
+        Dead servers are excluded: their budget share is redistributed,
+        so their (necessarily stale) profiles no longer matter."""
         period = self.config.budget_update_period_s
         stale: list[str] = []
         for server_id in sorted(self.soas):
+            if server_id in self._dead:
+                continue
             age = self.profile_age(server_id, now)
             if age is None or age >= period:
                 stale.append(server_id)
@@ -121,20 +157,25 @@ class GlobalOverclockingAgent:
         """
         if self.stale_profiles(now) and self._last_collect_attempt_at != now:
             self.collect_profiles(now)
-        if len(self._latest_profiles) < len(self.soas):
+        live = [sid for sid in sorted(self.soas) if sid not in self._dead]
+        if not live or any(sid not in self._latest_profiles
+                           for sid in live):
             return self._assignment
         first = next(iter(self.soas.values()))
         delta = first.server.power_model.overclock_core_delta(1.0)
+        # Budgets are computed over the *live* membership only: the full
+        # rack limit is split among survivors, so a dead server's share
+        # is redistributed the first cycle after it is declared dead.
         assignment = compute_heterogeneous_budgets(
             self.rack.power_limit_watts,
-            [self._latest_profiles[sid] for sid in sorted(self.soas)],
+            [self._latest_profiles[sid] for sid in live],
             oc_delta_watts_per_core=delta)
         self._assignment = assignment
-        for server_id in sorted(self.soas):
+        for server_id in live:
             soa = self.soas[server_id]
             self.channel.send(
                 Envelope(BUDGET_PUSH, self.rack.rack_id, server_id, now),
-                lambda at, s=soa, a=assignment: s.set_budget_assignment(
+                lambda at, s=soa, a=assignment: s.receive_budget_push(
                     a, now=at))
         self.budget_updates += 1
         self.last_update_at = now
@@ -144,6 +185,6 @@ class GlobalOverclockingAgent:
         """One periodic gOA cycle: collect profiles, recompute, push."""
         self.collect_profiles(now)
         for soa in self.soas.values():
-            if soa.power_store.samples >= 2:
+            if soa.alive and soa.power_store.samples >= 2:
                 soa.recompute_template()
         return self.recompute_budgets(now)

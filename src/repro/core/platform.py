@@ -29,8 +29,11 @@ from repro.core.workload_intelligence import (
     OverclockSchedule,
 )
 
-if TYPE_CHECKING:  # core stays layered below repro.faults
+if TYPE_CHECKING:  # core stays layered below repro.faults/repro.recovery
     from repro.faults.injector import FaultInjector
+    from repro.recovery.checkpoint import DurableStore
+    from repro.recovery.lifecycle import ServerLifecycleManager
+    from repro.reliability.hazard import HazardModel
 
 __all__ = ["SmartOClockPlatform"]
 
@@ -47,7 +50,10 @@ class SmartOClockPlatform:
 
     def __init__(self, datacenter: Datacenter,
                  config: Optional[SmartOClockConfig] = None,
-                 fault_injector: Optional["FaultInjector"] = None) -> None:
+                 fault_injector: Optional["FaultInjector"] = None,
+                 hazard_model: Optional["HazardModel"] = None,
+                 durable_store: Optional["DurableStore"] = None,
+                 recovery_seed: Optional[int] = None) -> None:
         self.datacenter = datacenter
         self.config = config or SmartOClockConfig()
         self.fault_injector = fault_injector
@@ -90,6 +96,33 @@ class SmartOClockPlatform:
             self.channels[rack.rack_id] = channel
             self.goas[rack.rack_id] = GlobalOverclockingAgent(
                 rack, self.config, rack_soas, channel=channel)
+
+        # Crash/recovery lifecycle: engaged when a hazard model is given
+        # or the fault plan carries crash/restart content.  Without it,
+        # behaviour is identical to the pre-recovery platform.
+        self.lifecycle: Optional["ServerLifecycleManager"] = None
+        plan = fault_injector.plan if fault_injector is not None else None
+        wants_lifecycle = hazard_model is not None or (
+            plan is not None and (plan.server_crashes or plan.soa_restarts))
+        if wants_lifecycle:
+            # Local import: repro.core stays importable without the
+            # recovery package loaded (layering mirrors repro.faults).
+            from repro.recovery.lifecycle import ServerLifecycleManager
+            from repro.recovery.quarantine import (
+                QuarantineController,
+                QuarantinePolicy,
+            )
+            quarantine = None
+            if self.config.enable_quarantine \
+                    and self.config.enable_admission_control:
+                quarantine = QuarantineController(
+                    QuarantinePolicy.from_config(self.config))
+            seed = recovery_seed
+            if seed is None:
+                seed = fault_injector.seed if fault_injector else 0
+            self.lifecycle = ServerLifecycleManager(
+                self, hazard_model=hazard_model, plan=plan, seed=seed,
+                store=durable_store, quarantine=quarantine)
 
     # ------------------------------------------------------------------
     # Service registration
@@ -153,15 +186,19 @@ class SmartOClockPlatform:
     def tick(self, now: float, dt: float) -> None:
         """Advance the platform by one control interval.
 
-        Order matters and mirrors the paper's architecture: in-flight
-        control messages land first, then local control (sOAs), then
-        rack-level safety (warnings/caps), then the slower telemetry and
-        weekly budget cadences.
+        Order matters and mirrors the paper's architecture: the failure
+        lifecycle resolves first (crashes, restarts, evacuations land on
+        tick boundaries), then in-flight control messages, then local
+        control (sOAs), then rack-level safety (warnings/caps), then the
+        slower telemetry and weekly budget cadences.
         """
+        if self.lifecycle is not None:
+            self.lifecycle.tick(now, dt)
         for channel in self.channels.values():
             channel.pump(now)
         for soa in self.soas.values():
-            soa.control_tick(now, dt)
+            if soa.alive:
+                soa.control_tick(now, dt)
         for manager in self.rack_managers.values():
             manager.sample(now)
         for rack in self.datacenter.racks.values():
@@ -170,6 +207,8 @@ class SmartOClockPlatform:
         if now - self._last_telemetry >= self.config.telemetry_interval_s:
             self._last_telemetry = now
             for server_id in self.soas:
+                if not self.soas[server_id].alive:
+                    continue
                 if self.fault_injector is not None and \
                         self.fault_injector.telemetry_drop(server_id, now):
                     continue
@@ -226,10 +265,31 @@ class SmartOClockPlatform:
         return totals
 
     def fault_counters(self) -> Optional[dict[str, int]]:
-        """The injector's activity counters (None when unfaulted)."""
-        if self.fault_injector is None:
+        """One consistent counter table for the whole failure surface.
+
+        Merges the injector's activity counters, the recovery
+        lifecycle's crash/restore counters and the gOAs' membership
+        counters.  Missing subsystems contribute zeros so the table's
+        shape is stable; returns None only when the platform runs with
+        neither an injector nor a lifecycle.
+        """
+        if self.fault_injector is None and self.lifecycle is None:
             return None
-        return self.fault_injector.counters.as_dict()
+        if self.fault_injector is not None:
+            merged = self.fault_injector.counters.as_dict()
+        else:
+            from repro.faults.injector import FaultCounters
+            merged = FaultCounters().as_dict()
+        if self.lifecycle is not None:
+            merged.update(self.lifecycle.counter_dict())
+        else:
+            from repro.recovery.lifecycle import RecoveryCounters
+            merged.update(RecoveryCounters().as_dict())
+        merged["servers_marked_dead"] = sum(
+            g.servers_marked_dead for g in self.goas.values())
+        merged["servers_revived"] = sum(
+            g.servers_revived for g in self.goas.values())
+        return merged
 
     def grant_statistics(self) -> dict[str, int]:
         received = sum(s.requests_received for s in self.soas.values())
@@ -238,5 +298,8 @@ class SmartOClockPlatform:
                         for s in self.soas.values())
         rej_life = sum(s.requests_rejected_lifetime
                        for s in self.soas.values())
+        rej_quarantine = sum(s.requests_rejected_quarantine
+                             for s in self.soas.values())
         return {"received": received, "granted": granted,
-                "rejected_power": rej_power, "rejected_lifetime": rej_life}
+                "rejected_power": rej_power, "rejected_lifetime": rej_life,
+                "rejected_quarantine": rej_quarantine}

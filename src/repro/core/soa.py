@@ -43,6 +43,7 @@ from repro.core.types import (
     ServerProfileReport,
 )
 from repro.prediction.predictor import TemplateStore
+from repro.recovery.checkpoint import RestoreReport, SoaCheckpoint
 from repro.reliability.online_wear import OnlineWearBudget
 from repro.reliability.wearout import CoreWearoutCounter, EpochBudget
 
@@ -83,6 +84,33 @@ class ServerOverclockingAgent:
         self.on_grant_revoked = on_grant_revoked or (
             lambda vm, why, now: None)
 
+        # Liveness & quarantine.  ``alive`` flips when the sOA process
+        # (or its whole server) crashes; ``quarantined_until`` is a
+        # cached projection of the platform's risk controller — the
+        # controller is the source of truth and re-imposes it after
+        # restarts.
+        self.alive = True
+        self.quarantined_until: Optional[float] = None
+        # Fault hook: scales template predictions (1.0 = healthy).  The
+        # fault injector installs a per-server skew to model the
+        # misprediction regimes of §V / Kumbhare et al.  Survives
+        # restarts: the hook models the *environment*, not sOA state.
+        self.prediction_scale: Callable[[float], float] = _unit_scale
+        # Telemetry counters (harness instrumentation: survive restarts
+        # so experiment totals cover the whole run).
+        self.requests_received = 0
+        self.requests_granted = 0
+        self.requests_rejected_power = 0
+        self.requests_rejected_lifetime = 0
+        self.requests_rejected_quarantine = 0
+        self._build_fresh_state()
+
+    def _build_fresh_state(self) -> None:
+        """(Re)build all in-memory control state, as a newly started sOA
+        process would.  Durable state is layered back on top by
+        :meth:`restart` when a checkpoint exists."""
+        config = self.config
+        server = self.server
         self.power_store = TemplateStore(config.template_kind,
                                          config.template_history_weeks)
         self.loop = FeedbackLoop(server,
@@ -111,10 +139,6 @@ class ServerOverclockingAgent:
         ]
         self._assignment: Optional[BudgetAssignment] = None
         self._assignment_received_at: Optional[float] = None
-        # Fault hook: scales template predictions (1.0 = healthy).  The
-        # fault injector installs a per-server skew to model the
-        # misprediction regimes of §V / Kumbhare et al.
-        self.prediction_scale: Callable[[float], float] = _unit_scale
         self._grants: dict[int, GrantState] = {}
         # Per-slot-of-week overclock demand telemetry for the gOA profile.
         self._slot_s = config.budget_slot_s
@@ -126,11 +150,6 @@ class ServerOverclockingAgent:
         self._granted_by_vm: dict[int, dict[int, int]] = {}
         self._regular_power = np.zeros(n_slots)
         self._regular_count = np.zeros(n_slots, dtype=np.int64)
-        # Telemetry counters
-        self.requests_received = 0
-        self.requests_granted = 0
-        self.requests_rejected_power = 0
-        self.requests_rejected_lifetime = 0
         self._last_exhaustion_signal_at = -float("inf")
         self._last_power_rejection_at = -float("inf")
 
@@ -150,6 +169,18 @@ class ServerOverclockingAgent:
             raise KeyError(f"assignment lacks {self.server.server_id}")
         self._assignment = assignment
         self._assignment_received_at = now
+
+    def receive_budget_push(self, assignment: BudgetAssignment,
+                            now: Optional[float] = None) -> None:
+        """Channel delivery endpoint for gOA budget pushes.
+
+        A dead sOA process cannot take delivery: the push is silently
+        lost (exactly what happens to a message addressed to a crashed
+        agent) and the restarted sOA works from its restored assignment
+        until the gOA's next cycle."""
+        if not self.alive:
+            return
+        self.set_budget_assignment(assignment, now=now)
 
     def budget_age(self, now: float) -> Optional[float]:
         """Seconds since the current assignment arrived (None before the
@@ -193,6 +224,148 @@ class ServerOverclockingAgent:
     def effective_budget(self, now: float) -> float:
         """Assigned budget plus whatever exploration has claimed."""
         return self.assigned_budget(now) + self.explorer.extra_watts
+
+    # ------------------------------------------------------------------
+    # Crash / checkpoint / restore lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self, now: float) -> None:
+        """The sOA process dies: all volatile control state is lost.
+
+        Enforcement targets die with the process, but the *hardware*
+        keeps whatever frequencies were last programmed — a dead agent
+        does not reset VM clocks.  The rack capping path, which runs
+        independently of the sOA, remains the safety net until
+        :meth:`restart` reconciles the frequencies against the restored
+        grant ledger.
+        """
+        self.alive = False
+        self.loop.disengage_all(reset_to_turbo=False)
+        self._grants.clear()
+
+    def build_checkpoint(self, now: float) -> SoaCheckpoint:
+        """Snapshot the durable state (wear counters, epoch budgets,
+        template history, grant ledger, last budget assignment) as a
+        JSON-compatible payload."""
+        grants = {
+            str(vm_id): {
+                "vm_id": grant.vm_id,
+                "kind": grant.kind.value,
+                "target_freq_ghz": grant.target_freq_ghz,
+                "granted_at": grant.granted_at,
+                "granted_until": grant.granted_until,
+                "from_reservation": grant.from_reservation,
+            }
+            for vm_id, grant in sorted(self._grants.items())
+        }
+        assignment = None
+        if self._assignment is not None:
+            assignment = {
+                "slot_s": self._assignment.slot_s,
+                "received_at": self._assignment_received_at,
+                "budgets": {
+                    sid: [float(x) for x in series]
+                    for sid, series in sorted(
+                        self._assignment.budgets.items())
+                },
+            }
+        payload = {
+            "server_id": self.server.server_id,
+            "wear_counters": [c.state_dict() for c in self.wear_counters],
+            "epoch_budgets": [b.state_dict() for b in self.core_budgets],
+            "templates": self.power_store.state_dict(),
+            "grants": grants,
+            "assignment": assignment,
+        }
+        return SoaCheckpoint(server_id=self.server.server_id,
+                             taken_at=now, payload=payload)
+
+    def restart(self, now: float,
+                checkpoint: Optional[SoaCheckpoint] = None) -> RestoreReport:
+        """Bring the sOA process back up, restoring durable state.
+
+        All volatile state is rebuilt from scratch (nothing is
+        replayed); the checkpoint layers the durable state back on top.
+        Grants the restored ledger cannot prove were still valid — the
+        VM left the server, or the grant carries no unexpired deadline —
+        are conservatively revoked, and any VM still running overclocked
+        without a surviving grant is forced back to turbo.
+        """
+        self._build_fresh_state()
+        self.alive = True
+        # Quarantine is a projection of the platform's risk controller;
+        # the lifecycle manager re-imposes any active cooldown after the
+        # restart (restoring it here from a stale checkpoint could
+        # *shorten* a quarantine imposed while we were down).
+        self.quarantined_until = None
+        report = self._restore_checkpoint(checkpoint, now)
+        plan = self.server.plan
+        for vm in self.server.vms.values():
+            if vm.vm_id in self._grants:
+                continue
+            if vm.freq_ghz is not None and plan.is_overclocked(vm.freq_ghz):
+                self.server.set_vm_frequency(vm, plan.turbo_ghz)
+        return report
+
+    def _restore_checkpoint(self, checkpoint: Optional[SoaCheckpoint],
+                            now: float) -> RestoreReport:
+        if checkpoint is None:
+            return RestoreReport(
+                server_id=self.server.server_id, restored_at=now,
+                checkpoint_taken_at=None, grants_kept=0, grants_revoked=0,
+                assignment_age_s=None, stale_margin=0.0,
+                checkpoint_budget_watts=None, restored_budget_watts=None)
+        payload = checkpoint.payload
+        for counter, state in zip(self.wear_counters,
+                                  payload["wear_counters"]):
+            counter.load_state_dict(state)
+        for budget, state in zip(self.core_budgets,
+                                 payload["epoch_budgets"]):
+            budget.load_state_dict(state)
+        self.power_store.load_state_dict(payload["templates"])
+        checkpoint_budget = None
+        restored_budget = None
+        assignment_age = None
+        if payload["assignment"] is not None:
+            spec = payload["assignment"]
+            self._assignment = BudgetAssignment(
+                slot_s=spec["slot_s"],
+                budgets={sid: np.asarray(series, dtype=float)
+                         for sid, series in spec["budgets"].items()})
+            self._assignment_received_at = spec["received_at"]
+            # The stale-budget margin re-derives from the restored
+            # assignment age: an assignment that aged across the outage
+            # comes back pre-derated.
+            assignment_age = self.budget_age(now)
+            checkpoint_budget = self._assignment.budget_at(
+                self.server.server_id, now)
+            restored_budget = self.assigned_budget(now)
+        kept = 0
+        revoked = 0
+        for spec in payload["grants"].values():
+            vm = self.server.vms.get(spec["vm_id"])
+            valid = (vm is not None
+                     and spec["granted_until"] is not None
+                     and spec["granted_until"] > now)
+            if not valid:
+                revoked += 1
+                continue
+            self._grants[spec["vm_id"]] = GrantState(
+                vm_id=spec["vm_id"], kind=RequestKind(spec["kind"]),
+                target_freq_ghz=spec["target_freq_ghz"],
+                granted_at=spec["granted_at"],
+                granted_until=spec["granted_until"],
+                from_reservation=spec["from_reservation"])
+            self.loop.engage(vm, spec["target_freq_ghz"])
+            kept += 1
+        return RestoreReport(
+            server_id=self.server.server_id, restored_at=now,
+            checkpoint_taken_at=checkpoint.taken_at,
+            grants_kept=kept, grants_revoked=revoked,
+            assignment_age_s=assignment_age,
+            stale_margin=self.stale_budget_margin(now),
+            checkpoint_budget_watts=checkpoint_budget,
+            restored_budget_watts=restored_budget)
 
     # ------------------------------------------------------------------
     # Admission control (§IV-B)
@@ -245,6 +418,13 @@ class ServerOverclockingAgent:
         if not self.config.enable_admission_control:
             # NaiveOClock: grant unconditionally.
             return self._grant(vm, request, now, granted_until=None)
+
+        # Risk controller: a quarantined server takes no new OC risk
+        # until the cooldown lifts (it keeps running VMs at turbo).
+        if self.quarantined_until is not None \
+                and now < self.quarantined_until:
+            self.requests_rejected_quarantine += 1
+            return AdmissionDecision(False, RejectionReason.QUARANTINED)
 
         # Lifetime check: enough per-core budget for a useful grant.
         available_s = self._lifetime_available_s(vm, now)

@@ -56,6 +56,7 @@ class RejectionReason(str, enum.Enum):
     LIFETIME_BUDGET = "lifetime_budget"  # overclocking time budget exhausted
     UNKNOWN_VM = "unknown_vm"
     ALREADY_OVERCLOCKED = "already_overclocked"
+    QUARANTINED = "quarantined"          # server under crash/wear cooldown
 
 
 @dataclass(frozen=True)

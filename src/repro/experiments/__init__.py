@@ -7,6 +7,10 @@
   (Table I, Fig. 15)
 * :mod:`repro.experiments.production` — §V-C production services
   (Figs. 16–17)
+* :mod:`repro.experiments.faults` — control-plane fault injection
+  (graceful-degradation claim, §III Q5)
+* :mod:`repro.experiments.recovery` — server crash/recovery lifecycle
+  (naive vs risk-aware overclocking under one crash seed)
 
 Each driver returns plain dataclasses/dicts of the numbers the paper
 plots; the ``benchmarks/`` tree prints them in table form and asserts the
@@ -16,6 +20,8 @@ paper's qualitative findings.
 __all__ = [
     "characterization",
     "cluster",
+    "faults",
     "largescale",
     "production",
+    "recovery",
 ]

@@ -41,6 +41,7 @@ from repro.core.workload_intelligence import (
     OverclockSchedule,
 )
 from repro.faults import FaultInjector, FaultPlan
+from repro.reliability.hazard import HazardModel
 from repro.workloads.loadgen import ConstantPattern, NoisyPattern, SpikePattern
 from repro.workloads.microservices import (
     SOCIALNET_SERVICES,
@@ -271,8 +272,23 @@ class EnvironmentResult:
     # Worst post-enforcement rack draw as a fraction of its limit (> 1
     # would mean an uncontrolled limit violation survived capping).
     peak_rack_power_fraction: float = 0.0
-    # Injector activity counters for faulted runs (None when unfaulted).
+    # Merged fault/recovery counters (None when the run had neither an
+    # injector nor a crash/recovery lifecycle).
     faults: Optional[dict[str, int]] = None
+    # Crash/recovery availability metrics (defaults describe a run with
+    # no lifecycle engaged: nothing crashed, everything stayed up).
+    server_crashes: int = 0
+    server_downtime_s: float = 0.0
+    server_uptime_fraction: float = 1.0
+    vm_downtime_s: float = 0.0
+    # Overclock-attributable wear across the fleet: reference-seconds of
+    # wear in excess of the baseline busy wear (zero for a run that
+    # never leaves rated voltage).
+    wear_accrued_s: float = 0.0
+    # Restores whose re-derived budget exceeded the checkpointed one —
+    # must stay 0 (a restored sOA may never grant beyond what its last
+    # assignment provably allowed).
+    restored_overgrants: int = 0
 
     def avg_instances_overall(self) -> float:
         return float(np.mean([m.avg_instances
@@ -332,7 +348,9 @@ def run_environment(environment: str, config: ClusterConfig, *,
                     soc_config: Optional[SmartOClockConfig] = None,
                     label: Optional[str] = None,
                     fault_plan: Optional[FaultPlan] = None,
-                    fault_seed: Optional[int] = None) -> EnvironmentResult:
+                    fault_seed: Optional[int] = None,
+                    hazard_model: Optional[HazardModel] = None
+                    ) -> EnvironmentResult:
     """Run one environment over the whole load trace.
 
     ``soc_config`` overrides the platform configuration for the
@@ -340,7 +358,10 @@ def run_environment(environment: str, config: ClusterConfig, *,
     NaiveOClock ablation); ``label`` renames the result.  ``fault_plan``
     injects control-plane failures (gOA outages, channel loss, telemetry
     dropouts, misprediction skew) into the SmartOClock environment —
-    other environments have no control plane to fault.
+    other environments have no control plane to fault.  ``hazard_model``
+    engages the crash/recovery lifecycle: servers can die from
+    wear/voltage-driven hazard draws (seeded by ``fault_seed`` falling
+    back to ``config.seed``, so matched runs share a crash schedule).
     """
     if environment not in ENVIRONMENTS:
         raise ValueError(f"unknown environment {environment!r}; "
@@ -349,6 +370,10 @@ def run_environment(environment: str, config: ClusterConfig, *,
         raise ValueError(
             "fault injection targets the SmartOClock control plane; "
             f"the {environment} environment has none")
+    if hazard_model is not None and environment != "SmartOClock":
+        raise ValueError(
+            "the crash/recovery lifecycle rides on the SmartOClock "
+            f"platform; the {environment} environment has none")
     injector: Optional[FaultInjector] = None
     if fault_plan is not None and not fault_plan.empty:
         injector = FaultInjector(
@@ -412,8 +437,10 @@ def run_environment(environment: str, config: ClusterConfig, *,
                 control_interval_s=config.tick_s,
                 oc_budget_fraction=config.oc_budget_fraction,
                 enable_proactive_scaleout=config.proactive_scaleout)
-        platform = SmartOClockPlatform(datacenter, soc_config,
-                                       fault_injector=injector)
+        platform = SmartOClockPlatform(
+            datacenter, soc_config, fault_injector=injector,
+            hazard_model=hazard_model,
+            recovery_seed=config.seed if fault_seed is None else fault_seed)
         managers = list(platform.rack_managers.values())
         # SmartOClock scales out only as a fallback: the reactive band is
         # set past the overclocking band (§IV-D: the scale-up threshold is
@@ -572,11 +599,30 @@ def run_environment(environment: str, config: ClusterConfig, *,
             home_server_energy_j=float(np.mean(home_energy)))
 
     grants = rejections = 0
+    faults: Optional[dict[str, int]] = None
+    server_crashes = restored_overgrants = 0
+    server_downtime = vm_downtime = wear_accrued = 0.0
+    uptime_fraction = 1.0
     if platform is not None:
         stats = platform.grant_statistics()
         grants = stats["granted"]
         rejections = (stats["rejected_power"]
-                      + stats["rejected_lifetime"])
+                      + stats["rejected_lifetime"]
+                      + stats["rejected_quarantine"])
+        wear_accrued = sum(c.wear_seconds - c.busy_seconds
+                           for soa in platform.soas.values()
+                           for c in soa.wear_counters)
+        lifecycle = platform.lifecycle
+        if lifecycle is not None:
+            lifecycle.finish(config.duration_s)
+            server_crashes = lifecycle.counters.server_crashes
+            server_downtime = lifecycle.server_downtime.total_downtime_s
+            vm_downtime = lifecycle.vm_downtime.total_downtime_s
+            uptime_fraction = 1.0 - server_downtime / (
+                len(all_servers) * config.duration_s)
+            restored_overgrants = sum(
+                1 for r in lifecycle.restore_reports if r.overgranted)
+        faults = platform.fault_counters()
     scale_outs = sum(s.scaler.scale_out_count for s in services
                      if s.scaler is not None)
     ml_rate = float(np.mean([job.average_throughput()
@@ -584,7 +630,9 @@ def run_environment(environment: str, config: ClusterConfig, *,
     return EnvironmentResult(
         environment=label or environment,
         per_class=per_class,
-        total_energy_j=sum(energy[sid] for sid in ever_active),
+        # sorted(): set iteration is hash-randomized across processes,
+        # and float summation order must not leak into the result.
+        total_energy_j=sum(energy[sid] for sid in sorted(ever_active)),
         ml_throughput=ml_rate,
         cap_events=sum(len(m.cap_events) for m in managers),
         overclock_grants=grants,
@@ -592,8 +640,13 @@ def run_environment(environment: str, config: ClusterConfig, *,
         scale_outs=scale_outs,
         missed_slo_ticks_fraction=slo_ticks / max(1, total_service_ticks),
         peak_rack_power_fraction=peak_fraction,
-        faults=(injector.counters.as_dict()
-                if injector is not None else None))
+        faults=faults,
+        server_crashes=server_crashes,
+        server_downtime_s=server_downtime,
+        server_uptime_fraction=uptime_fraction,
+        vm_downtime_s=vm_downtime,
+        wear_accrued_s=wear_accrued,
+        restored_overgrants=restored_overgrants)
 
 
 def _sync_instances(service: _Service, active: int, pool: list[Server],

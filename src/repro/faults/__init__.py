@@ -10,12 +10,14 @@ points (gOA update cycles, the gOA↔sOA message channel, sOA telemetry
 sampling, template predictions).
 """
 
-from repro.faults.injector import FaultCounters, FaultInjector
+from repro.faults.injector import FaultCounters, FaultInjector, event_entropy
 from repro.faults.spec import (
     FaultPlan,
     GoaOutage,
     MessageFault,
     MispredictionFault,
+    ServerCrashFault,
+    SoaRestart,
     TelemetryDropout,
 )
 
@@ -24,7 +26,10 @@ __all__ = [
     "GoaOutage",
     "MessageFault",
     "MispredictionFault",
+    "ServerCrashFault",
+    "SoaRestart",
     "TelemetryDropout",
     "FaultInjector",
     "FaultCounters",
+    "event_entropy",
 ]

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.messaging import Envelope, MessageFate
 from repro.faults.spec import FaultPlan
 
-__all__ = ["FaultCounters", "FaultInjector"]
+__all__ = ["FaultCounters", "FaultInjector", "event_entropy"]
 
 
 @dataclass
@@ -44,8 +44,21 @@ class FaultCounters:
         }
 
 
-def _entropy(seed: int, *parts: object) -> list[int]:
+def event_entropy(seed: int, *parts: object) -> list[int]:
+    """SeedSequence entropy for one named event.
+
+    The shared determinism scheme: hash the event's identity (kind,
+    endpoint ids, timestamp) into the entropy pool so every decision is
+    tied to *what happened*, not to how many draws preceded it.  The
+    recovery subsystem reuses this for hazard-driven server crashes, so
+    matched naive/SmartOClock runs flip the same coin for the same
+    server at the same instant.
+    """
     return [seed] + [zlib.crc32(str(p).encode("utf-8")) for p in parts]
+
+
+# Backwards-compatible private alias (pre-recovery internal name).
+_entropy = event_entropy
 
 
 @dataclass

@@ -23,6 +23,8 @@ __all__ = [
     "MessageFault",
     "TelemetryDropout",
     "MispredictionFault",
+    "ServerCrashFault",
+    "SoaRestart",
     "FaultPlan",
 ]
 
@@ -130,6 +132,40 @@ class MispredictionFault:
 
 
 @dataclass(frozen=True)
+class ServerCrashFault:
+    """Forced whole-server crashes: during the window the matched
+    server(s) are crashed outright (power off, VMs evacuated, sOA state
+    lost up to its last checkpoint).  Unlike the hazard-driven crashes —
+    which are probabilistic in wear and voltage — this is deterministic
+    scenario scaffolding: "kill s3 at t=600 no matter what"."""
+
+    window: FaultWindow
+    server_id: Optional[str] = None
+
+    def matches(self, server_id: str, now: float) -> bool:
+        return (self.server_id is None or self.server_id == server_id) \
+            and self.window.active(now)
+
+
+@dataclass(frozen=True)
+class SoaRestart:
+    """The sOA *process* dies at ``at_s`` and restarts from its durable
+    checkpoint; the server itself (and its VMs) keep running.  Models a
+    control-plane agent crash — the scenario the checkpoint/restore path
+    exists for."""
+
+    at_s: float
+    server_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0: {self.at_s}")
+
+    def matches(self, server_id: str) -> bool:
+        return self.server_id is None or self.server_id == server_id
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that goes wrong in one run, as declarative data."""
 
@@ -137,12 +173,15 @@ class FaultPlan:
     message_faults: tuple[MessageFault, ...] = ()
     telemetry_dropouts: tuple[TelemetryDropout, ...] = ()
     mispredictions: tuple[MispredictionFault, ...] = ()
+    server_crashes: tuple[ServerCrashFault, ...] = ()
+    soa_restarts: tuple[SoaRestart, ...] = ()
 
     def __post_init__(self) -> None:
         # Tolerate lists in hand-written specs; store canonical tuples so
         # plans stay hashable/frozen.
         for name in ("goa_outages", "message_faults",
-                     "telemetry_dropouts", "mispredictions"):
+                     "telemetry_dropouts", "mispredictions",
+                     "server_crashes", "soa_restarts"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -150,7 +189,11 @@ class FaultPlan:
     @property
     def empty(self) -> bool:
         return not (self.goa_outages or self.message_faults
-                    or self.telemetry_dropouts or self.mispredictions)
+                    or self.telemetry_dropouts or self.mispredictions
+                    or self.server_crashes or self.soa_restarts)
+
+    def server_crash_forced(self, server_id: str, now: float) -> bool:
+        return any(c.matches(server_id, now) for c in self.server_crashes)
 
     def goa_down(self, rack_id: str, now: float) -> bool:
         return any(o.matches(rack_id, now) for o in self.goa_outages)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -113,6 +114,34 @@ class TemplateStore:
         if self._template is None:
             return default
         return self._template.predict(t)
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable history snapshot (checkpoint payload).
+
+        The template itself is *not* serialized: it is a pure function
+        of the retained history, so :meth:`load_state_dict` rebuilds it
+        when the snapshot says one existed.
+        """
+        return {
+            "times": list(self._times),
+            "values": list(self._values),
+            "has_template": self._template is not None,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore history from a :meth:`state_dict` snapshot."""
+        times = [float(t) for t in state["times"]]
+        values = [float(v) for v in state["values"]]
+        if len(times) != len(values):
+            raise ValueError(
+                f"times/values length mismatch: {len(times)} vs "
+                f"{len(values)}")
+        self._times = times
+        self._values = values
+        if state["has_template"] and len(self._times) >= 2:
+            self.recompute()
+        else:
+            self._template = None
 
 
 @dataclass(frozen=True)

@@ -55,8 +55,15 @@ def _validate_history(times: np.ndarray, values: np.ndarray) -> float:
     if len(times) < 2:
         raise ValueError("need at least 2 history samples")
     intervals = np.diff(times)
-    interval = float(intervals[0])
-    if interval <= 0 or not np.allclose(intervals, interval):
+    interval = float(np.min(intervals))
+    if interval <= 0:
+        raise ValueError("history must be regularly sampled")
+    # Histories may have *gaps* — dropped telemetry, server downtime —
+    # but every sample must still sit on the base sampling grid (each
+    # gap a whole multiple of the interval).  Slot-aggregation handles
+    # the unseen slots; a genuinely irregular cadence is still an error.
+    ratios = intervals / interval
+    if not np.allclose(ratios, np.round(ratios)):
         raise ValueError("history must be regularly sampled")
     return interval
 
@@ -111,8 +118,9 @@ class WeeklyTemplate(PowerTemplate):
                 f"({slots_per_week} samples), got {len(values)}")
         last_week_values = values[-slots_per_week:]
         last_week_times = times[-slots_per_week:]
-        # Map each sample to its slot-of-week.
-        self._series = np.empty(slots_per_week)
+        # Map each sample to its slot-of-week; slots unseen in a gapped
+        # history fall back to the window's median.
+        self._series = np.full(slots_per_week, float(np.median(values)))
         slots = (np.round((last_week_times % SECONDS_PER_WEEK)
                           / self.interval).astype(int)) % slots_per_week
         self._series[slots] = last_week_values

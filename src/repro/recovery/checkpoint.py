@@ -1,0 +1,100 @@
+"""Durable checkpoints for sOA control-plane state.
+
+The sOA's *durable* state — wear counters, template store history, the
+grant ledger, and the last budget assignment — serializes to an in-sim
+:class:`DurableStore` on a configurable cadence.  A restarted sOA
+restores the latest checkpoint and re-derives everything else (stale
+budget margins from the restored assignment age, templates from the
+restored history); nothing is replayed.
+
+Checkpoints are plain JSON-compatible payloads so equality is exact and
+the round-trip property (checkpoint → restore → checkpoint is
+bit-identical) is testable via canonical fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["SoaCheckpoint", "RestoreReport", "DurableStore"]
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SoaCheckpoint:
+    """One durable snapshot of an sOA's checkpointed state."""
+
+    server_id: str
+    taken_at: float
+    payload: dict[str, Any]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON encoding of the snapshot —
+        the identity used by the bit-identical round-trip tests."""
+        body = _canonical_json(
+            {"server_id": self.server_id, "taken_at": self.taken_at,
+             "payload": self.payload})
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """What a restarted sOA did with its checkpoint (audit record)."""
+
+    server_id: str
+    restored_at: float
+    checkpoint_taken_at: Optional[float]  # None → cold start, no checkpoint
+    grants_kept: int
+    grants_revoked: int
+    assignment_age_s: Optional[float]     # None → no assignment restored
+    stale_margin: float
+    checkpoint_budget_watts: Optional[float]
+    restored_budget_watts: Optional[float]
+
+    @property
+    def cold_start(self) -> bool:
+        return self.checkpoint_taken_at is None
+
+    @property
+    def overgranted(self) -> bool:
+        """True if the restored sOA considers itself entitled to more
+        budget than the checkpointed assignment allows — the invariant
+        `repro recovery` fails the run on."""
+        if self.checkpoint_budget_watts is None \
+                or self.restored_budget_watts is None:
+            return False
+        return (self.restored_budget_watts
+                > self.checkpoint_budget_watts + 1e-9)
+
+
+@dataclass
+class DurableStore:
+    """The in-sim durable storage service (one per platform).
+
+    Keeps the latest checkpoint per server — SmartOClock's checkpoints
+    fully supersede each other, so retaining history would only model
+    storage we never read.
+    """
+
+    checkpoints_saved: int = 0
+    checkpoints_loaded: int = 0
+    _latest: dict[str, SoaCheckpoint] = field(default_factory=dict)
+
+    def save(self, checkpoint: SoaCheckpoint) -> None:
+        self.checkpoints_saved += 1
+        self._latest[checkpoint.server_id] = checkpoint
+
+    def load(self, server_id: str) -> Optional[SoaCheckpoint]:
+        checkpoint = self._latest.get(server_id)
+        if checkpoint is not None:
+            self.checkpoints_loaded += 1
+        return checkpoint
+
+    def has_checkpoint(self, server_id: str) -> bool:
+        return server_id in self._latest

@@ -1,0 +1,99 @@
+"""Risk controller: quarantine crash-prone or worn-out servers.
+
+Overclocking is a *risk* trade (paper §II, §VI; Kumbhare et al. and
+Wang et al. treat the analogous oversubscription risk as the control
+signal).  The quarantine controller is the platform's circuit breaker:
+a server that keeps crashing, or whose overclocking lifetime budget is
+nearly exhausted, stops receiving OC grants until a cooldown expires —
+it still runs VMs at rated frequency, it just may not take on more
+failure risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import SmartOClockConfig
+
+__all__ = ["QuarantinePolicy", "QuarantineController"]
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When to quarantine and for how long."""
+
+    crash_threshold: int = 2       # crashes within the window that trip it
+    crash_window_s: float = 3600.0
+    cooldown_s: float = 1800.0     # how long grants stay blocked
+    wear_floor_s: float = 0.0      # <= 0 disables the wear trigger
+
+    def __post_init__(self) -> None:
+        if self.crash_threshold < 1:
+            raise ValueError(
+                f"crash_threshold must be >= 1: {self.crash_threshold}")
+        if self.crash_window_s <= 0:
+            raise ValueError(
+                f"crash_window_s must be > 0: {self.crash_window_s}")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0: {self.cooldown_s}")
+
+    @classmethod
+    def from_config(cls, config: "SmartOClockConfig") -> "QuarantinePolicy":
+        return cls(crash_threshold=config.quarantine_crash_threshold,
+                   crash_window_s=config.quarantine_window_s,
+                   cooldown_s=config.quarantine_cooldown_s,
+                   wear_floor_s=config.quarantine_wear_floor_s)
+
+
+@dataclass
+class QuarantineController:
+    """Tracks per-server crash history and active quarantines.
+
+    The controller is the control-plane source of truth: an sOA's local
+    ``quarantined_until`` is a cached projection that is re-imposed from
+    here after every restart (so losing the sOA's volatile state never
+    shortens a quarantine).
+    """
+
+    policy: QuarantinePolicy = field(default_factory=QuarantinePolicy)
+    quarantines: int = 0
+    _crash_times: dict[str, list[float]] = field(default_factory=dict)
+    _release_at: dict[str, float] = field(default_factory=dict)
+
+    def record_crash(self, server_id: str, now: float) -> bool:
+        """Record one crash; returns True if it tripped a quarantine."""
+        times = self._crash_times.setdefault(server_id, [])
+        times.append(now)
+        cutoff = now - self.policy.crash_window_s
+        times[:] = [t for t in times if t > cutoff]
+        if len(times) >= self.policy.crash_threshold:
+            self._impose(server_id, now)
+            return True
+        return False
+
+    def check_wear(self, server_id: str, min_available_s: float,
+                   now: float) -> bool:
+        """Quarantine when remaining OC lifetime budget hits the floor."""
+        if self.policy.wear_floor_s <= 0:
+            return False
+        if self.active(server_id, now):
+            return False
+        if min_available_s < self.policy.wear_floor_s:
+            self._impose(server_id, now)
+            return True
+        return False
+
+    def _impose(self, server_id: str, now: float) -> None:
+        release = now + self.policy.cooldown_s
+        if release > self._release_at.get(server_id, float("-inf")):
+            self._release_at[server_id] = release
+            self.quarantines += 1
+
+    def active(self, server_id: str, now: float) -> bool:
+        return now < self._release_at.get(server_id, float("-inf"))
+
+    def release_at(self, server_id: str) -> Optional[float]:
+        """When the server's quarantine lifts (None if never imposed)."""
+        return self._release_at.get(server_id)

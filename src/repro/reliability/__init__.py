@@ -11,6 +11,7 @@ the epoch-based overclocking time budgets that SmartOClock enforces
 """
 
 from repro.reliability.aging import AgingModel, DEFAULT_AGING_MODEL
+from repro.reliability.hazard import DEFAULT_HAZARD_MODEL, HazardModel
 from repro.reliability.online_wear import OnlineWearBudget
 from repro.reliability.wearout import (
     CoreWearoutCounter,
@@ -21,8 +22,10 @@ from repro.reliability.wearout import (
 __all__ = [
     "AgingModel",
     "DEFAULT_AGING_MODEL",
+    "DEFAULT_HAZARD_MODEL",
     "CoreWearoutCounter",
     "EpochBudget",
+    "HazardModel",
     "OnlineWearBudget",
     "OverclockBudgetPlanner",
 ]

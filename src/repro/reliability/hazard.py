@@ -1,0 +1,88 @@
+"""Wear-coupled server failure hazard.
+
+The ageing model (:mod:`repro.reliability.aging`) accrues *wear*; this
+module converts wear plus the current operating voltage into a per-tick
+failure probability, closing the loop the paper leaves implicit: pushing
+cores past turbo does not merely burn lifetime budget, it raises the
+chance the part dies *now* (§II "overclocking reduces component
+lifetime", §VI).  Related oversubscription work (Kumbhare et al.,
+Wang et al.) treats this failure risk as the central control signal.
+
+The hazard is a standard proportional-hazards composition::
+
+    rate(wear_ratio, volts) = base_rate
+                              * voltage_acceleration(volts) ** voltage_weight
+                              * (1 + wear_coupling * max(0, wear_ratio - 1))
+
+* ``base_rate`` — failures per second for a healthy part at rated
+  voltage (configured in failures/year for readability).  Simulations
+  run minutes, not years, so experiment configs deliberately inflate
+  this figure — a compressed-timescale calibration, like the ageing
+  anchors.
+* the **voltage term** reuses the ageing model's exponential E-model
+  acceleration: the same physics that wears the oxide 20× faster at the
+  overclocked point also makes immediate breakdown 20× more likely
+  (``voltage_weight`` softens or sharpens the coupling);
+* the **wear term** makes *accrued* damage matter: a part whose wear
+  ratio exceeds 1 (ageing faster than the vendor reference) sees its
+  hazard grow linearly with the excess, so a server that has been
+  overclocked hard for a long time keeps failing more often even after
+  it returns to rated voltage.
+
+Per-tick failure probability follows from the exponential survival
+function, ``1 - exp(-rate * dt)``, which keeps probabilities well-formed
+for any tick length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.reliability.aging import DEFAULT_AGING_MODEL, AgingModel
+
+__all__ = ["HazardModel", "DEFAULT_HAZARD_MODEL", "SECONDS_PER_YEAR"]
+
+SECONDS_PER_YEAR = 365.0 * 86400.0
+
+
+@dataclass(frozen=True)
+class HazardModel:
+    """Converts wear state + operating voltage into a failure rate."""
+
+    aging: AgingModel = DEFAULT_AGING_MODEL
+    base_failures_per_year: float = 0.05
+    voltage_weight: float = 1.0
+    wear_coupling: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_failures_per_year < 0:
+            raise ValueError("base_failures_per_year must be >= 0: "
+                             f"{self.base_failures_per_year}")
+        if self.voltage_weight < 0:
+            raise ValueError(
+                f"voltage_weight must be >= 0: {self.voltage_weight}")
+        if self.wear_coupling < 0:
+            raise ValueError(
+                f"wear_coupling must be >= 0: {self.wear_coupling}")
+
+    def failure_rate_per_s(self, wear_ratio: float, volts: float) -> float:
+        """Instantaneous failure rate (per second) at this operating point."""
+        if wear_ratio < 0:
+            raise ValueError(f"wear_ratio must be >= 0: {wear_ratio}")
+        base = self.base_failures_per_year / SECONDS_PER_YEAR
+        voltage_term = (self.aging.voltage_acceleration(volts)
+                        ** self.voltage_weight)
+        wear_term = 1.0 + self.wear_coupling * max(0.0, wear_ratio - 1.0)
+        return base * voltage_term * wear_term
+
+    def tick_failure_probability(self, wear_ratio: float, volts: float,
+                                 dt: float) -> float:
+        """Probability the server fails during a ``dt``-second tick."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0: {dt}")
+        rate = self.failure_rate_per_s(wear_ratio, volts)
+        return 1.0 - math.exp(-rate * dt)
+
+
+DEFAULT_HAZARD_MODEL = HazardModel()

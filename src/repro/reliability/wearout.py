@@ -25,25 +25,64 @@ SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
 
 
 class CoreWearoutCounter:
-    """Accumulates wear and time-in-state for one core."""
+    """Accumulates wear and time-in-state for one core.
+
+    The accumulators are private backing fields behind read-only
+    properties: they are part of the sOA's *durable* (checkpointed)
+    state, and the ``durable-state-write`` lint rule guarantees nothing
+    outside the owner and the checkpoint/restore API mutates them.
+    """
 
     def __init__(self, model: AgingModel = DEFAULT_AGING_MODEL) -> None:
         self.model = model
-        self.elapsed_seconds = 0.0
-        self.busy_seconds = 0.0
-        self.overclock_seconds = 0.0
-        self.wear_seconds = 0.0  # wear in reference-seconds
+        self._elapsed_seconds = 0.0
+        self._busy_seconds = 0.0
+        self._overclock_seconds = 0.0
+        self._wear_seconds = 0.0  # wear in reference-seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self._elapsed_seconds
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy_seconds
+
+    @property
+    def overclock_seconds(self) -> float:
+        return self._overclock_seconds
+
+    @property
+    def wear_seconds(self) -> float:
+        return self._wear_seconds
 
     def accumulate(self, dt: float, utilization: float, volts: float,
                    temp_k: float | None = None) -> None:
         """Account ``dt`` seconds at the given operating point."""
         if dt < 0:
             raise ValueError(f"dt must be >= 0: {dt}")
-        self.elapsed_seconds += dt
-        self.busy_seconds += utilization * dt
+        self._elapsed_seconds += dt
+        self._busy_seconds += utilization * dt
         if volts > self.model.reference_volts + 1e-12:
-            self.overclock_seconds += dt
-        self.wear_seconds += self.model.aging(dt, utilization, volts, temp_k)
+            self._overclock_seconds += dt
+        self._wear_seconds += self.model.aging(dt, utilization, volts,
+                                               temp_k)
+
+    def state_dict(self) -> dict[str, float]:
+        """Serializable accumulator snapshot (checkpoint payload)."""
+        return {
+            "elapsed_seconds": self._elapsed_seconds,
+            "busy_seconds": self._busy_seconds,
+            "overclock_seconds": self._overclock_seconds,
+            "wear_seconds": self._wear_seconds,
+        }
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        """Restore the accumulators from a :meth:`state_dict` snapshot."""
+        self._elapsed_seconds = float(state["elapsed_seconds"])
+        self._busy_seconds = float(state["busy_seconds"])
+        self._overclock_seconds = float(state["overclock_seconds"])
+        self._wear_seconds = float(state["wear_seconds"])
 
     @property
     def wear_ratio(self) -> float:
@@ -175,6 +214,22 @@ class EpochBudget:
     @property
     def reserved_seconds(self) -> float:
         return self._reserved
+
+    def state_dict(self) -> dict[str, float]:
+        """Serializable epoch-accounting snapshot (checkpoint payload)."""
+        return {
+            "epoch_index": float(self._epoch_index),
+            "carryover": self._carryover,
+            "consumed": self._consumed,
+            "reserved": self._reserved,
+        }
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        """Restore epoch accounting from a :meth:`state_dict` snapshot."""
+        self._epoch_index = int(state["epoch_index"])
+        self._carryover = float(state["carryover"])
+        self._consumed = float(state["consumed"])
+        self._reserved = float(state["reserved"])
 
 
 class OverclockBudgetPlanner:

@@ -21,6 +21,7 @@ __all__ = [
     "TimeWeightedValue",
     "Histogram",
     "Cdf",
+    "DowntimeTracker",
 ]
 
 
@@ -255,3 +256,48 @@ class Cdf:
         fractions = np.linspace(0.0, 1.0, points)
         xs = np.quantile(self._sorted, fractions)
         return xs, fractions
+
+
+class DowntimeTracker:
+    """Availability accounting for a set of entities (servers, VMs).
+
+    ``mark_down`` / ``mark_up`` bracket outages per entity id; ``finish``
+    closes any outage still open at the end of the run so the totals are
+    exact for the observed window.  Downtime intervals may not nest —
+    marking a down entity down again is an accounting bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._down_since: dict[str, float] = {}
+        self._downtime_s: dict[str, float] = {}
+        self.outages = 0
+
+    def mark_down(self, entity_id: str, now: float) -> None:
+        if entity_id in self._down_since:
+            raise ValueError(f"{entity_id} is already down")
+        self._down_since[entity_id] = now
+        self.outages += 1
+
+    def mark_up(self, entity_id: str, now: float) -> None:
+        since = self._down_since.pop(entity_id, None)
+        if since is None:
+            raise ValueError(f"{entity_id} is not down")
+        if now < since:
+            raise ValueError(f"time went backwards: {now} < {since}")
+        self._downtime_s[entity_id] = \
+            self._downtime_s.get(entity_id, 0.0) + (now - since)
+
+    def is_down(self, entity_id: str) -> bool:
+        return entity_id in self._down_since
+
+    def finish(self, now: float) -> None:
+        """Close open outages at the end of the observation window."""
+        for entity_id in list(self._down_since):
+            self.mark_up(entity_id, now)
+
+    def downtime_s(self, entity_id: str) -> float:
+        return self._downtime_s.get(entity_id, 0.0)
+
+    @property
+    def total_downtime_s(self) -> float:
+        return sum(self._downtime_s.values())

@@ -1,0 +1,13 @@
+"""Known-bad fixture: direct writes to durable (checkpointed) fields."""
+
+
+class NotTheOwner:
+    def corrupt(self, counter: object, budget: object) -> None:
+        counter._wear_seconds = 0.0        # line 6: durable-state-write
+        budget._consumed -= 3600.0         # line 7: durable-state-write
+
+
+def module_level(soa: object, store: object) -> None:
+    soa._assignment = None                 # line 11: durable-state-write
+    store._times = []                      # line 12: durable-state-write
+    del soa._grants                        # line 13: durable-state-write

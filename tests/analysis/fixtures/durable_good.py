@@ -1,0 +1,21 @@
+"""Known-good fixture: durable fields touched only through the owner."""
+
+
+class Owner:
+    def __init__(self) -> None:
+        self._wear_seconds = 0.0           # self-write: owner's business
+        self._consumed = 0.0
+
+    def accumulate(self, dt: float) -> None:
+        self._wear_seconds += dt
+
+    def state_dict(self) -> dict[str, float]:
+        return {"wear_seconds": self._wear_seconds}
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        self._wear_seconds = float(state["wear_seconds"])
+
+
+def well_behaved(counter: Owner) -> None:
+    counter.accumulate(10.0)               # accounting API: fine
+    counter.load_state_dict(counter.state_dict())

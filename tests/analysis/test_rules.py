@@ -42,6 +42,35 @@ class TestPowerCacheWrite:
         assert [d.rule_id for d in result.diagnostics] == ["power-cache-write"]
 
 
+class TestDurableStateWrite:
+    def test_bad_fixture_exact_lines(self):
+        diags = lint_fixture("durable_bad.py")
+        assert rule_lines(diags, "durable-state-write") == [6, 7, 11, 12, 13]
+        fields = [d.message.split("'")[1] for d in diags
+                  if d.rule_id == "durable-state-write"]
+        assert fields == ["_wear_seconds", "_consumed", "_assignment",
+                          "_times", "_grants"]
+
+    def test_good_fixture_clean(self):
+        assert rule_lines(lint_fixture("durable_good.py"),
+                          "durable-state-write") == []
+
+    def test_extra_fields_via_config(self):
+        source = "obj._my_ledger = {}\n"
+        config = LintConfig(
+            durable_fields=frozenset({"_my_ledger"}),
+            select=frozenset({"durable-state-write"}))
+        result = lint_source(source, config=config)
+        assert [d.rule_id for d in result.diagnostics] == \
+            ["durable-state-write"]
+
+    def test_pragma_silences(self):
+        source = ("obj._grants = {}  "
+                  "# oclint: disable=durable-state-write\n")
+        config = LintConfig(select=frozenset({"durable-state-write"}))
+        assert lint_source(source, config=config).diagnostics == []
+
+
 class TestNondeterminism:
     def test_bad_fixture_exact_lines(self):
         diags = lint_fixture("determinism_bad.py")

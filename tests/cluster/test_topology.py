@@ -226,3 +226,55 @@ class TestRackAndDatacenter:
         rack.add_server(make_server())
         dc.add_rack(rack)
         assert dc.total_power_watts() == pytest.approx(rack.power_watts())
+
+
+class TestOfflineServer:
+    def build_loaded_rack(self):
+        rack = Rack("r", 5000.0)
+        servers = [make_server(f"s{i}") for i in range(3)]
+        for i, server in enumerate(servers):
+            rack.add_server(server)
+            vm = VirtualMachine(4, utilization=0.5 + 0.1 * i)
+            server.place_vm(vm)
+            server.set_vm_frequency(vm, 4.0)
+        return rack, servers
+
+    def test_offline_server_draws_no_power(self):
+        rack, servers = self.build_loaded_rack()
+        servers[0].offline = True
+        assert servers[0].power_watts() == 0.0
+        assert servers[0].recompute_power_watts() == 0.0
+
+    def test_rack_aggregate_tracks_offline_exactly(self):
+        rack, servers = self.build_loaded_rack()
+        before = rack.power_watts()
+        contribution = servers[0].power_watts()
+        servers[0].offline = True
+        assert rack.power_watts() == pytest.approx(before - contribution)
+        # Incremental cache and full recompute agree in both states.
+        assert rack.power_watts() == pytest.approx(
+            rack.recompute_power_watts())
+        servers[0].offline = False
+        assert rack.power_watts() == pytest.approx(before)
+        assert rack.power_watts() == pytest.approx(
+            rack.recompute_power_watts())
+
+    def test_offline_is_idempotent(self):
+        rack, servers = self.build_loaded_rack()
+        before = rack.power_watts()
+        servers[0].offline = True
+        servers[0].offline = True  # no double-subtraction
+        servers[0].offline = False
+        assert rack.power_watts() == pytest.approx(before)
+
+    def test_advance_is_noop_while_offline(self):
+        rack, servers = self.build_loaded_rack()
+        server = servers[0]
+        core = server.vm_cores(next(iter(server.vms.values())))[0]
+        server.offline = True
+        server.advance(100.0)
+        assert core.busy_seconds == 0.0
+        assert core.overclock_seconds == 0.0
+        server.offline = False
+        server.advance(10.0)
+        assert core.busy_seconds == pytest.approx(5.0)

@@ -67,9 +67,83 @@ class TestFaultedChannel:
         assert channel.pump(100.0) == 1
         assert order == ["fast", "slow"]
 
+    def test_equal_delay_pushes_deliver_in_send_order(self):
+        # Ties on deliver_at must break by send order (stable sort), so
+        # the later of two budget pushes always wins at the receiver.
+        channel = MessageChannel(lambda e: MessageFate(delay_s=40.0))
+        order = []
+        channel.send(envelope(sent_at=0.0), lambda at: order.append("first"))
+        channel.send(envelope(sent_at=0.0), lambda at: order.append("second"))
+        assert channel.pump(100.0) == 2
+        assert order == ["first", "second"]
+
     def test_request_fails_on_drop_and_delay(self):
         dropped = MessageChannel(lambda e: MessageFate(dropped=True))
         assert dropped.request(envelope("profile_pull"), lambda: 1) is None
         delayed = MessageChannel(lambda e: MessageFate(delay_s=1.0))
         assert delayed.request(envelope("profile_pull"), lambda: 1) is None
         assert dropped.dropped == 1 and delayed.dropped == 1
+
+
+class TestDelayedDeliveryAcrossRestart:
+    """Delayed budget pushes vs the receiving sOA's own lifecycle: the
+    channel holds messages regardless of receiver state, and a restarted
+    sOA applies in-flight pushes in send order when they drain."""
+
+    def build_soa(self):
+        import numpy as np
+
+        from repro.cluster.power import DEFAULT_POWER_MODEL
+        from repro.cluster.topology import Datacenter, Rack, Server
+        from repro.core.budgets import BudgetAssignment
+        from repro.core.platform import SmartOClockPlatform
+
+        rack = Rack("r0", 3000.0)
+        rack.add_server(Server("s0", DEFAULT_POWER_MODEL))
+        dc = Datacenter()
+        dc.add_rack(rack)
+        platform = SmartOClockPlatform(dc)
+        soa = platform.soas["s0"]
+
+        def assignment(watts):
+            return BudgetAssignment(
+                slot_s=300.0, budgets={"s0": np.array([watts])})
+
+        return soa, assignment
+
+    def test_pushes_survive_receiver_restart_between_sends(self):
+        soa, assignment = self.build_soa()
+        first, second = assignment(500.0), assignment(700.0)
+        channel = MessageChannel(lambda e: MessageFate(delay_s=40.0))
+        applied = []
+
+        def push(tag, a):
+            def deliver(at):
+                soa.receive_budget_push(a, now=at)
+                applied.append(tag)
+            channel.send(envelope(sent_at=0.0), deliver)
+
+        push("first", first)
+        # The sOA process dies and restores while both pushes are still
+        # in flight; the channel neither loses nor reorders them.
+        soa.crash(5.0)
+        soa.restart(10.0, None)
+        push("second", second)
+        assert channel.in_flight == 2
+        assert channel.pump(50.0) == 2
+        assert applied == ["first", "second"]
+        # Send order decided the final state: the later push sticks.
+        assert soa._assignment is second
+        assert soa._assignment_received_at == 50.0
+
+    def test_push_delivered_while_receiver_dead_is_lost(self):
+        soa, assignment = self.build_soa()
+        channel = MessageChannel(lambda e: MessageFate(delay_s=40.0))
+        channel.send(envelope(sent_at=0.0),
+                     lambda at: soa.receive_budget_push(assignment(500.0),
+                                                        now=at))
+        soa.crash(5.0)
+        channel.pump(50.0)  # drains to a dead process: silently lost
+        assert soa._assignment is None
+        soa.restart(60.0, None)
+        assert soa._assignment is None

@@ -136,9 +136,17 @@ class TestBuildTemplate:
             build_template("Bogus", times, values)
 
     def test_irregular_sampling_rejected(self):
-        times = np.array([0.0, 300.0, 900.0])
+        # 700 is not on the 300-second grid: genuinely irregular.
+        times = np.array([0.0, 300.0, 700.0])
         with pytest.raises(ValueError, match="regular"):
             build_template("FlatMed", times, np.ones(3))
+
+    def test_gapped_history_on_grid_accepted(self):
+        """Gaps (dropped telemetry, server downtime) are fine as long
+        as every sample sits on the base sampling grid."""
+        times = np.array([0.0, 300.0, 900.0, 1200.0])
+        template = build_template("DailyMed", times, np.ones(4))
+        assert template.predict(600.0) == 1.0
 
 
 class TestAccuracyOrdering:

@@ -1,0 +1,215 @@
+"""Checkpoint/restore of sOA durable state: store semantics, grant
+revocation rules, stale-margin re-derivation, and the bit-identical
+round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.platform import SmartOClockPlatform
+from repro.core.workload_intelligence import MetricsTriggerPolicy
+from repro.recovery.checkpoint import DurableStore, RestoreReport, SoaCheckpoint
+
+TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
+WEEK = 7 * 24 * 3600.0
+
+
+def build(config=None, n_servers=3, rack_limit=3000.0):
+    rack = Rack("r0", rack_limit)
+    servers = [Server(f"s{i}", DEFAULT_POWER_MODEL)
+               for i in range(n_servers)]
+    for s in servers:
+        rack.add_server(s)
+    dc = Datacenter()
+    dc.add_rack(rack)
+    return SmartOClockPlatform(dc, config=config), servers
+
+
+def overclocked_platform(config=None, utilization=0.8):
+    """A platform whose s0 holds one active grant after the first tick."""
+    platform, servers = build(config=config)
+    vm = VirtualMachine(8, utilization=utilization)
+    servers[0].place_vm(vm)
+    service = platform.register_service(
+        "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+    platform.attach_vm("svc", vm)
+    service.observe(0.0, 9.5, 10.0)
+    platform.tick(10.0, dt=10.0)
+    soa = platform.soas["s0"]
+    assert soa.is_overclocking(vm.vm_id)
+    return platform, soa, vm
+
+
+def checkpoint(server_id="s0", taken_at=100.0, marker=1.0):
+    return SoaCheckpoint(server_id=server_id, taken_at=taken_at,
+                         payload={"marker": marker})
+
+
+class TestDurableStore:
+    def test_save_load_roundtrip(self):
+        store = DurableStore()
+        assert not store.has_checkpoint("s0")
+        assert store.load("s0") is None
+        assert store.checkpoints_loaded == 0  # misses are not loads
+        cp = checkpoint()
+        store.save(cp)
+        assert store.has_checkpoint("s0")
+        assert store.load("s0") is cp
+        assert store.checkpoints_saved == 1
+        assert store.checkpoints_loaded == 1
+
+    def test_latest_checkpoint_wins(self):
+        store = DurableStore()
+        store.save(checkpoint(taken_at=100.0, marker=1.0))
+        newer = checkpoint(taken_at=200.0, marker=2.0)
+        store.save(newer)
+        assert store.load("s0") is newer
+        assert store.checkpoints_saved == 2
+
+    def test_servers_do_not_share_slots(self):
+        store = DurableStore()
+        store.save(checkpoint("s0"))
+        assert not store.has_checkpoint("s1")
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert checkpoint().fingerprint() == checkpoint().fingerprint()
+
+    def test_payload_sensitivity(self):
+        assert checkpoint(marker=1.0).fingerprint() != \
+            checkpoint(marker=2.0).fingerprint()
+
+    def test_timestamp_sensitivity(self):
+        assert checkpoint(taken_at=1.0).fingerprint() != \
+            checkpoint(taken_at=2.0).fingerprint()
+
+
+class TestRestoreReport:
+    def report(self, **kwargs):
+        defaults = dict(server_id="s0", restored_at=10.0,
+                        checkpoint_taken_at=5.0, grants_kept=0,
+                        grants_revoked=0, assignment_age_s=None,
+                        stale_margin=0.0, checkpoint_budget_watts=None,
+                        restored_budget_watts=None)
+        defaults.update(kwargs)
+        return RestoreReport(**defaults)
+
+    def test_cold_start(self):
+        assert self.report(checkpoint_taken_at=None).cold_start
+        assert not self.report().cold_start
+
+    def test_overgranted_requires_budget_excess(self):
+        assert not self.report().overgranted  # no budgets restored
+        assert not self.report(checkpoint_budget_watts=100.0,
+                               restored_budget_watts=95.0).overgranted
+        assert self.report(checkpoint_budget_watts=100.0,
+                           restored_budget_watts=100.1).overgranted
+
+
+class TestSoaRestore:
+    def test_valid_grant_survives_restart(self):
+        platform, soa, vm = overclocked_platform()
+        cp = soa.build_checkpoint(10.0)
+        soa.crash(15.0)
+        assert not soa.alive and soa.active_grants == 0
+        report = soa.restart(20.0, cp)
+        assert soa.alive
+        assert report.grants_kept == 1 and report.grants_revoked == 0
+        assert soa.is_overclocking(vm.vm_id)
+        assert vm.freq_ghz > TURBO
+
+    def test_unprovable_naive_grant_is_revoked(self):
+        # NaiveOClock grants carry no deadline (granted_until=None): a
+        # restored ledger cannot prove them valid, so they are revoked
+        # and the VM is forced back to turbo.
+        naive = SmartOClockConfig().as_naive()
+        platform, soa, vm = overclocked_platform(config=naive)
+        cp = soa.build_checkpoint(10.0)
+        soa.crash(15.0)
+        report = soa.restart(20.0, cp)
+        assert report.grants_kept == 0 and report.grants_revoked == 1
+        assert not soa.is_overclocking(vm.vm_id)
+        assert vm.freq_ghz == TURBO
+
+    def test_grant_for_departed_vm_is_revoked(self):
+        platform, soa, vm = overclocked_platform()
+        cp = soa.build_checkpoint(10.0)
+        soa.crash(15.0)
+        soa.server.remove_vm(vm)
+        report = soa.restart(20.0, cp)
+        assert report.grants_kept == 0 and report.grants_revoked == 1
+
+    def test_expired_grant_is_revoked(self):
+        platform, soa, vm = overclocked_platform()
+        cp = soa.build_checkpoint(10.0)
+        soa.crash(15.0)
+        deadline = cp.payload["grants"][str(vm.vm_id)]["granted_until"]
+        report = soa.restart(deadline + 1.0, cp)
+        assert report.grants_kept == 0 and report.grants_revoked == 1
+        assert vm.freq_ghz == TURBO
+
+    def test_cold_start_without_checkpoint(self):
+        platform, soa, vm = overclocked_platform()
+        soa.crash(15.0)
+        report = soa.restart(20.0, None)
+        assert report.cold_start
+        assert soa.alive and soa.active_grants == 0
+        assert soa._assignment is None
+
+    def test_restart_clears_stale_quarantine_projection(self):
+        platform, soa, vm = overclocked_platform()
+        soa.quarantined_until = 1e9
+        soa.crash(15.0)
+        soa.restart(20.0, None)
+        # The risk controller re-imposes real quarantines; a restart must
+        # not resurrect the cached projection on its own.
+        assert soa.quarantined_until is None
+
+    def test_restored_assignment_rederives_stale_margin(self):
+        platform, soa, vm = overclocked_platform()
+        assignment = platform.goas["r0"].recompute_budgets(10.0)
+        assert assignment is not None
+        cp = soa.build_checkpoint(10.0)
+        soa.crash(15.0)
+        # The outage outlasts the staleness grace: the assignment comes
+        # back pre-derated, never above the checkpointed budget.
+        restore_at = 10.0 + 2.0 * WEEK
+        report = soa.restart(restore_at, cp)
+        assert report.assignment_age_s == pytest.approx(2.0 * WEEK)
+        assert report.stale_margin > 0.0
+        assert report.checkpoint_budget_watts is not None
+        assert report.restored_budget_watts is not None
+        assert report.restored_budget_watts < report.checkpoint_budget_watts
+        assert not report.overgranted
+
+
+class TestRoundTripProperty:
+    @given(n_ticks=st.integers(min_value=1, max_value=25),
+           utilization=st.floats(min_value=0.2, max_value=1.0),
+           overclock=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_checkpoint_restore_checkpoint_bit_identical(
+            self, n_ticks, utilization, overclock):
+        platform, servers = build()
+        vm = VirtualMachine(8, utilization=utilization)
+        servers[0].place_vm(vm)
+        service = platform.register_service(
+            "svc", metrics_policy=MetricsTriggerPolicy(consecutive=1))
+        platform.attach_vm("svc", vm)
+        if overclock:
+            service.observe(0.0, 9.5, 10.0)
+        now = 0.0
+        for i in range(n_ticks):
+            now = i * 10.0
+            platform.tick(now, dt=10.0)
+        soa = platform.soas["s0"]
+        before = soa.build_checkpoint(now)
+        soa.crash(now)
+        soa.restart(now, before)
+        after = soa.build_checkpoint(now)
+        assert before.payload == after.payload
+        assert before.fingerprint() == after.fingerprint()

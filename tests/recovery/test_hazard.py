@@ -1,0 +1,84 @@
+"""HazardModel: wear/voltage-driven failure rates."""
+
+import math
+
+import pytest
+
+from repro.reliability.hazard import (
+    DEFAULT_HAZARD_MODEL,
+    SECONDS_PER_YEAR,
+    HazardModel,
+)
+
+
+class TestValidation:
+    def test_rejects_negative_base_rate(self):
+        with pytest.raises(ValueError, match="base_failures_per_year"):
+            HazardModel(base_failures_per_year=-1.0)
+        # Zero is legal: it disables the hazard entirely.
+        assert HazardModel(base_failures_per_year=0.0) \
+            .tick_failure_probability(5.0, 1.75, 10.0) == 0.0
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="voltage_weight"):
+            HazardModel(voltage_weight=-1.0)
+        with pytest.raises(ValueError, match="wear_coupling"):
+            HazardModel(wear_coupling=-0.5)
+
+
+class TestFailureRate:
+    def test_reference_point_matches_base_rate(self):
+        model = HazardModel(base_failures_per_year=2.0)
+        ref = model.aging.reference_volts
+        assert model.failure_rate_per_s(0.0, ref) == \
+            pytest.approx(2.0 / SECONDS_PER_YEAR)
+
+    def test_monotone_in_voltage(self):
+        model = DEFAULT_HAZARD_MODEL
+        ref = model.aging.reference_volts
+        rates = [model.failure_rate_per_s(0.5, ref + dv)
+                 for dv in (0.0, 0.2, 0.5, 0.7)]
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]
+
+    def test_monotone_in_wear(self):
+        model = HazardModel(wear_coupling=2.0)
+        volts = model.aging.reference_volts
+        rates = [model.failure_rate_per_s(w, volts)
+                 for w in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert rates == sorted(rates)
+        # Wear below the reference rate is not penalized...
+        assert rates[0] == rates[2]
+        # ...but burning lifetime is.
+        assert rates[3] > rates[2]
+
+    def test_voltage_weight_sharpens_acceleration(self):
+        volts = DEFAULT_HAZARD_MODEL.aging.reference_volts + 0.7
+        flat = HazardModel(voltage_weight=1.0)
+        sharp = HazardModel(voltage_weight=2.0)
+        ratio = (sharp.failure_rate_per_s(0.0, volts)
+                 / flat.failure_rate_per_s(0.0, volts))
+        accel = flat.aging.voltage_acceleration(volts)
+        assert ratio == pytest.approx(accel)
+
+
+class TestTickProbability:
+    def test_probability_bounds(self):
+        model = HazardModel(base_failures_per_year=1e9)
+        prob = model.tick_failure_probability(10.0, 1.75, 10.0)
+        assert 0.0 <= prob <= 1.0
+
+    def test_matches_exponential_cdf(self):
+        model = HazardModel(base_failures_per_year=50.0)
+        volts = model.aging.reference_volts + 0.3
+        rate = model.failure_rate_per_s(0.8, volts)
+        prob = model.tick_failure_probability(0.8, volts, 10.0)
+        assert prob == pytest.approx(1.0 - math.exp(-rate * 10.0))
+
+    def test_zero_dt_never_fails(self):
+        assert DEFAULT_HAZARD_MODEL.tick_failure_probability(
+            5.0, 1.75, 0.0) == 0.0
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            DEFAULT_HAZARD_MODEL.tick_failure_probability(0.0, 1.05, -1.0)

@@ -1,0 +1,101 @@
+"""QuarantineController: crash-window trips, cooldowns, wear floor."""
+
+import pytest
+
+from repro.core.config import SmartOClockConfig
+from repro.recovery.quarantine import QuarantineController, QuarantinePolicy
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValueError, match="crash_threshold"):
+            QuarantinePolicy(crash_threshold=0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="crash_window_s"):
+            QuarantinePolicy(crash_window_s=0.0)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ValueError, match="cooldown_s"):
+            QuarantinePolicy(cooldown_s=-1.0)
+
+    def test_from_config_maps_all_knobs(self):
+        config = SmartOClockConfig(
+            quarantine_crash_threshold=3, quarantine_window_s=600.0,
+            quarantine_cooldown_s=120.0, quarantine_wear_floor_s=90.0)
+        policy = QuarantinePolicy.from_config(config)
+        assert policy == QuarantinePolicy(
+            crash_threshold=3, crash_window_s=600.0,
+            cooldown_s=120.0, wear_floor_s=90.0)
+
+
+class TestCrashTrigger:
+    def controller(self, **kwargs):
+        defaults = dict(crash_threshold=2, crash_window_s=1000.0,
+                        cooldown_s=500.0)
+        defaults.update(kwargs)
+        return QuarantineController(policy=QuarantinePolicy(**defaults))
+
+    def test_single_crash_below_threshold(self):
+        controller = self.controller()
+        assert not controller.record_crash("s0", 100.0)
+        assert not controller.active("s0", 100.0)
+        assert controller.release_at("s0") is None
+        assert controller.quarantines == 0
+
+    def test_repeated_crashes_within_window_trip(self):
+        controller = self.controller()
+        controller.record_crash("s0", 100.0)
+        assert controller.record_crash("s0", 300.0)
+        assert controller.active("s0", 300.0)
+        assert controller.release_at("s0") == 800.0  # 300 + cooldown
+        assert controller.quarantines == 1
+
+    def test_crashes_outside_window_do_not_trip(self):
+        controller = self.controller()
+        controller.record_crash("s0", 100.0)
+        assert not controller.record_crash("s0", 2000.0)  # first aged out
+        assert not controller.active("s0", 2000.0)
+
+    def test_cooldown_expires(self):
+        controller = self.controller()
+        controller.record_crash("s0", 0.0)
+        controller.record_crash("s0", 10.0)
+        assert controller.active("s0", 509.0)
+        assert not controller.active("s0", 510.0)
+
+    def test_retrip_extends_release(self):
+        controller = self.controller()
+        controller.record_crash("s0", 0.0)
+        controller.record_crash("s0", 10.0)       # release at 510
+        controller.record_crash("s0", 100.0)      # release at 600
+        assert controller.release_at("s0") == 600.0
+        assert controller.quarantines == 2
+
+    def test_servers_are_independent(self):
+        controller = self.controller()
+        controller.record_crash("s0", 0.0)
+        controller.record_crash("s0", 10.0)
+        assert controller.active("s0", 20.0)
+        assert not controller.active("s1", 20.0)
+
+
+class TestWearTrigger:
+    def test_disabled_by_default(self):
+        controller = QuarantineController()
+        assert not controller.check_wear("s0", 0.0, 100.0)
+        assert not controller.active("s0", 100.0)
+
+    def test_floor_breach_quarantines(self):
+        policy = QuarantinePolicy(wear_floor_s=60.0, cooldown_s=500.0)
+        controller = QuarantineController(policy=policy)
+        assert not controller.check_wear("s0", 61.0, 100.0)
+        assert controller.check_wear("s0", 59.0, 100.0)
+        assert controller.release_at("s0") == 600.0
+
+    def test_no_double_quarantine_while_active(self):
+        policy = QuarantinePolicy(wear_floor_s=60.0, cooldown_s=500.0)
+        controller = QuarantineController(policy=policy)
+        assert controller.check_wear("s0", 0.0, 100.0)
+        assert not controller.check_wear("s0", 0.0, 200.0)
+        assert controller.quarantines == 1
