@@ -1,0 +1,69 @@
+"""Macro-benchmark: vectorized Table-I sweep vs the scalar reference
+(ISSUE 5 tentpole).
+
+The scalar oracle (``simulate_rack_reference``) walks the trace one
+5-minute tick at a time; the fast path plans week/segment-sized NumPy
+blocks and falls back to scalar ticks only around warnings/caps.  Both
+paths are *bit-identical* (see tests/experiments/test_fastpath.py), so
+this benchmark times the same ``table1`` sweep three ways — scalar,
+vectorized, and vectorized through the process-pool harness — asserts
+all three produce equal scores, and records the speedup.
+
+The CI gate is 3x (shared runners are noisy); the acceptance target for
+the committed ``latest_results.json`` is 5x.
+"""
+
+import time
+
+from repro.experiments.largescale import (
+    cluster_class_fleets,
+    format_table1,
+    table1,
+)
+
+#: Same generator/seed family as the shared ``table1_results`` CI fleet,
+#: at a third of the racks: the scalar reference is what's being timed,
+#: and 18 racks of it would dominate the whole benchmark session.
+N_RACKS = 2
+WEEKS = 3
+SEED = 1
+
+
+def test_vectorized_sweep_speedup(record_result):
+    fleets = cluster_class_fleets(n_racks=N_RACKS, weeks=WEEKS, seed=SEED)
+
+    start = time.perf_counter()
+    vectorized = table1(fleets, fast=True, workers=1)
+    vectorized_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference = table1(fleets, fast=False, workers=1)
+    reference_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = table1(fleets, fast=True, workers=2)
+    pooled_s = time.perf_counter() - start
+
+    # All three paths must agree exactly — same PolicyScores, same
+    # rendered table — before any timing is worth recording.
+    assert vectorized == reference
+    assert pooled == vectorized
+    assert format_table1(pooled) == format_table1(reference)
+
+    speedup = reference_s / vectorized_s
+    n_racks_total = sum(len(f.racks) for f in fleets.values())
+    print(f"\nTable-I sweep, {n_racks_total} racks x 5 policies x "
+          f"{WEEKS} weeks: scalar {reference_s:.2f} s, "
+          f"vectorized {vectorized_s:.2f} s ({speedup:.1f}x), "
+          f"2-worker pool {pooled_s:.2f} s")
+    record_result("perf_largescale",
+                  reference_s=reference_s,
+                  vectorized_s=vectorized_s,
+                  speedup=speedup,
+                  pool_workers=2,
+                  pooled_s=pooled_s,
+                  racks=n_racks_total,
+                  weeks=WEEKS)
+    # CI floor (acceptance target is 5x on a quiet machine; shared
+    # runners get the conservative gate).
+    assert speedup >= 3.0

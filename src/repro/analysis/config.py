@@ -16,6 +16,7 @@ from typing import Optional
 __all__ = [
     "DEFAULT_DURABLE_FIELDS",
     "DEFAULT_ENGINE_INTERNALS",
+    "DEFAULT_HOT_PATH_MODULES",
     "DEFAULT_POWER_FIELDS",
     "LintConfig",
     "load_config",
@@ -74,6 +75,11 @@ DEFAULT_ENGINE_INTERNALS = frozenset({
 # (the engine implementation itself).
 DEFAULT_ENGINE_MODULES = ("sim/engine.py",)
 
+# Module path suffixes tagged *hot path*: per-tick inner loops whose
+# throughput the vectorized fast path depends on.  The
+# tick-loop-allocation rule flags per-iteration NumPy allocations there.
+DEFAULT_HOT_PATH_MODULES = ("experiments/largescale.py",)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -91,6 +97,7 @@ class LintConfig:
     durable_fields: frozenset[str] = DEFAULT_DURABLE_FIELDS
     engine_internals: frozenset[str] = DEFAULT_ENGINE_INTERNALS
     engine_modules: tuple[str, ...] = DEFAULT_ENGINE_MODULES
+    hot_path_modules: tuple[str, ...] = DEFAULT_HOT_PATH_MODULES
     determinism_modules: Optional[tuple[str, ...]] = None
 
     def enabled(self, rule_id: str) -> bool:
@@ -146,6 +153,9 @@ def load_config(pyproject: Optional[Path] = None,
     if "engine-modules" in section:
         updates["engine_modules"] = _as_str_tuple(
             section["engine-modules"], "engine-modules")
+    if "hot-path-modules" in section:
+        updates["hot_path_modules"] = _as_str_tuple(
+            section["hot-path-modules"], "hot-path-modules")
     if "determinism-modules" in section:
         updates["determinism_modules"] = _as_str_tuple(
             section["determinism-modules"], "determinism-modules")

@@ -6,6 +6,7 @@ from repro.analysis.rules.determinism import NondeterminismRule
 from repro.analysis.rules.durable import DurableStateWriteRule
 from repro.analysis.rules.handlers import HandlerHygieneRule
 from repro.analysis.rules.power import PowerCacheWriteRule
+from repro.analysis.rules.tickloop import TickLoopAllocationRule
 from repro.analysis.rules.units import UnitMismatchRule
 from repro.analysis.rules.untyped import UntypedDefRule
 
@@ -14,6 +15,7 @@ __all__ = [
     "HandlerHygieneRule",
     "NondeterminismRule",
     "PowerCacheWriteRule",
+    "TickLoopAllocationRule",
     "UnitMismatchRule",
     "UntypedDefRule",
 ]

@@ -117,7 +117,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     )
     fleets = cluster_class_fleets(n_racks=args.racks, weeks=args.weeks,
                                   seed=args.seed)
-    print(format_table1(table1(fleets)))
+    print(format_table1(table1(fleets, workers=args.workers)))
     return 0
 
 
@@ -234,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
                            default=30 if name != "table1" else 4)
         if name == "table1":
             p.add_argument("--weeks", type=int, default=2)
+            p.add_argument(
+                "--workers", type=int, default=None, metavar="N",
+                help="process-pool size for the (rack, policy) sweep "
+                     "(default: all CPUs; 1 = serial, byte-identical "
+                     "output either way)")
         if name == "fig7":
             p.add_argument("--days", type=int, default=5)
         if name == "cluster":

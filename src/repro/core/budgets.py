@@ -95,18 +95,20 @@ def compute_heterogeneous_budgets(
 
     budgets = np.empty_like(regular)
     n = len(profiles)
-    for s in range(n_slots):
-        if headroom[s] <= 0:
-            # Overcommitted: scale regular power down proportionally.
-            budgets[:, s] = (regular[:, s] * rack_limit_watts
-                             / total_regular[s])
-        elif total_need[s] > 0:
-            even = even_headroom_fraction * headroom[s]
-            by_need = headroom[s] - even
-            budgets[:, s] = (regular[:, s] + even / n
-                             + by_need * need[:, s] / total_need[s])
-        else:
-            budgets[:, s] = regular[:, s] + headroom[s] / n
+    over = headroom <= 0
+    needy = ~over & (total_need > 0)
+    idle = ~over & ~needy
+    if np.any(over):
+        # Overcommitted: scale regular power down proportionally.
+        budgets[:, over] = (regular[:, over] * rack_limit_watts
+                            / total_regular[over])
+    if np.any(needy):
+        even = even_headroom_fraction * headroom[needy]
+        by_need = headroom[needy] - even
+        budgets[:, needy] = (regular[:, needy] + even / n
+                             + by_need * need[:, needy] / total_need[needy])
+    if np.any(idle):
+        budgets[:, idle] = regular[:, idle] + headroom[idle] / n
 
     return BudgetAssignment(
         slot_s=slot_s,

@@ -16,17 +16,42 @@ Capping semantics (one tick):
    is lost — not a success), and non-overclocked bystanders suffer the
    frequency reduction the throttling implies (P ≈ k·f² near the operating
    point → Δf/f ≈ ΔP / 2P_dyn).
+
+Two implementations share those semantics (DESIGN.md "Performance
+architecture"):
+
+* :func:`simulate_rack_reference` — the scalar oracle: one Python
+  iteration per tick, exactly the semantics above.
+* :func:`simulate_rack` (default ``fast=True``) — the vectorized fast
+  path: policies pre-plan segments of decisions
+  (:meth:`~repro.core.policies.TracePolicy.plan_segment`), the engine
+  computes whole segments with NumPy and scans for the first tick that
+  crosses ``warning_watts`` (or where a stateful policy could diverge);
+  only that tick runs through the scalar tick body, then the engine
+  resumes vectorized.  Results are **bit-identical** to the reference —
+  float accumulation happens in the same per-tick order — and the
+  property tests in ``tests/experiments/test_fastpath.py`` enforce it.
+
+``compare_policies``/``table1`` additionally fan (rack, policy) work
+items over a process pool (:mod:`repro.experiments.parallel`) via the
+``workers=`` knob; merged output is byte-identical to the serial path.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
-from repro.core.policies import TickContext, TracePolicy, make_policy
+from repro.core.policies import (
+    RackWeekView,
+    SegmentPlan,
+    TickContext,
+    TracePolicy,
+)
 from repro.traces.schema import RackTrace
 from repro.traces.synthetic import FleetConfig, SyntheticFleet, generate_fleet
 
@@ -34,12 +59,24 @@ __all__ = [
     "RackSimResult",
     "PolicyScore",
     "simulate_rack",
+    "simulate_rack_reference",
     "compare_policies",
     "cluster_class_fleets",
     "table1",
+    "format_table1",
 ]
 
 SECONDS_PER_WEEK = 7 * 86400.0
+
+#: Planning window (ticks) for stateful policies.  Tick-stateless
+#: policies plan whole weeks at once; stateful ones re-plan after every
+#: scalar-fallback tick, so the window bounds wasted planning work.
+_FAST_LOOKAHEAD = 512
+
+#: Policy column order of Table I (also the default for
+#: :func:`compare_policies`).
+TABLE1_POLICIES = ("Central", "NaiveOClock", "NoFeedback", "NoWarning",
+                   "SmartOClock")
 
 
 @dataclass
@@ -126,12 +163,27 @@ def _throttle_cuts(tick_power: np.ndarray, boost_watts: np.ndarray,
     return power_no_oc * (required / total)
 
 
-def simulate_rack(rack: RackTrace, policy: TracePolicy, *,
-                  power_model: PowerModel = DEFAULT_POWER_MODEL,
-                  warning_fraction: float = 0.95,
-                  target_freq_ghz: float = 4.0) -> RackSimResult:
-    """Run ``policy`` over ``rack``'s trace; scores weeks 2..N (week 1 is
-    the policy's first history window)."""
+@dataclass
+class _RackSetup:
+    """Validated inputs and derived constants shared by both paths."""
+
+    times: np.ndarray
+    power: np.ndarray    # (servers, ticks)
+    util: np.ndarray     # (servers, ticks)
+    demand: np.ndarray   # (servers, ticks) int
+    n_servers: int
+    limit: float
+    warning_watts: float
+    ratio: float
+    delta_full: float
+    idle: float
+    weeks: int
+    ticks_per_week: int
+
+
+def _prepare(rack: RackTrace, policy: TracePolicy,
+             power_model: PowerModel, warning_fraction: float,
+             target_freq_ghz: float) -> tuple[_RackSetup, RackSimResult]:
     n_servers = len(rack.servers)
     if policy.n_servers != n_servers:
         raise ValueError(
@@ -143,103 +195,400 @@ def simulate_rack(rack: RackTrace, policy: TracePolicy, *,
     util = np.stack([s.utilization for s in rack.servers])
     demand = np.stack([s.oc_cores for s in rack.servers])
     limit = rack.power_limit_watts
-    plan = power_model.plan
-    ratio = target_freq_ghz / plan.turbo_ghz
-    delta_full = power_model.overclock_core_delta(1.0, target_freq_ghz)
-    idle = power_model.idle_watts
-    warning_watts = warning_fraction * limit
-
-    result = RackSimResult(rack_id=rack.rack_id, policy=policy.name)
-    weeks = int(np.floor((times[-1] - times[0]) / SECONDS_PER_WEEK + 0.5))
+    ticks_per_week = int(round(SECONDS_PER_WEEK / interval))
+    # Weeks come from the tick grid, not np.floor(span/WEEK + 0.5): a
+    # trace a few ticks past (or short of) a whole week boundary keeps
+    # its partial final window as an evaluation week instead of silently
+    # dropping those ticks.  History windows stay full weeks either way.
+    weeks = -(-len(times) // ticks_per_week)  # ceil division
     if weeks < 2:
         raise ValueError(
             "need at least 2 weeks of trace (history + evaluation)")
-    ticks_per_week = int(round(SECONDS_PER_WEEK / interval))
+    setup = _RackSetup(
+        times=times, power=power, util=util, demand=demand,
+        n_servers=n_servers, limit=limit,
+        warning_watts=warning_fraction * limit,
+        ratio=target_freq_ghz / power_model.plan.turbo_ghz,
+        delta_full=power_model.overclock_core_delta(1.0, target_freq_ghz),
+        idle=power_model.idle_watts,
+        weeks=weeks, ticks_per_week=ticks_per_week)
+    return setup, RackSimResult(rack_id=rack.rack_id, policy=policy.name)
 
+
+def _apply_tick(result: RackSimResult, policy: TracePolicy,
+                ctx: TickContext, decided: np.ndarray,
+                recovery_remaining: int, ones_buf: np.ndarray,
+                ratio: float, idle: float) -> int:
+    """One tick of the full capping semantics; returns the new recovery
+    counter.  Both the reference loop and the fast path's fallback run
+    every non-planned tick through this single body, so warning/cap
+    handling cannot diverge between them by construction."""
+    granted = np.maximum(np.minimum(decided, ctx.demand_cores), 0)
+    raw_extra = granted * ctx.delta_full_watts * ctx.oracle_util
+    # Local feedback enforcement (§IV-D): an sOA holds its server's
+    # draw at its effective budget, partially de-boosting its VMs
+    # when the baseline came in above prediction.
+    enforcement = policy.enforcement_budget_at(ctx)
+    if enforcement is not None:
+        allowed_extra = np.clip(enforcement - ctx.oracle_power,
+                                0.0, raw_extra)
+    else:
+        allowed_extra = raw_extra
+    np.copyto(ones_buf, 1.0)
+    boost_frac = np.divide(allowed_extra, raw_extra,
+                           out=ones_buf, where=raw_extra > 0)
+    tick_power = ctx.oracle_power + allowed_extra
+    total = float(np.sum(tick_power))
+    result.ticks += 1
+    d = int(np.sum(ctx.demand_cores))
+    g = int(np.sum(granted))
+    result.demanded_core_ticks += d
+    result.granted_core_ticks += g
+
+    if recovery_remaining > 0:
+        # The rack is still recovering from a capping event: the
+        # capped state persists, nothing boosts this tick.
+        result.perf_sum += float(d)
+        return recovery_remaining - 1
+
+    if total >= ctx.warning_watts:
+        result.warnings += 1
+        policy.on_warning(ctx)
+
+    if total > ctx.limit_watts:
+        result.cap_events += 1
+        policy.on_cap(ctx)
+        power_no_oc = tick_power - allowed_extra
+        cuts = _throttle_cuts(
+            tick_power, allowed_extra, ctx.limit_watts,
+            fair=policy.capping_mode == "fair")
+        dynamic = np.maximum(power_no_oc - idle, 1e-6)
+        freq_cut = np.clip(cuts / (2.0 * dynamic), 0.0, 0.5)
+        # A capping event is rack-wide: the hardware response
+        # cancels every boost on the rack for the tick (the paper's
+        # §III: capping causes 30-50 % degradation and "diminishes
+        # the performance benefits").  Throttled servers also run
+        # below turbo.
+        result.perf_sum += float(
+            np.sum(ctx.demand_cores * (1.0 - freq_cut)))
+        # Penalty on non-overclocked VMs (paper Table I): the
+        # power-weighted mean frequency cut across bystander
+        # servers — power-hungry servers host more active work, so
+        # a cut there hurts proportionally more VMs (§III Q4).
+        bystanders = granted == 0
+        if np.any(bystanders):
+            weights = power_no_oc[bystanders]
+            result.noc_penalty_sum += float(
+                np.average(freq_cut[bystanders], weights=weights))
+            result.noc_penalty_events += 1
+        return CAP_RECOVERY_TICKS
+
+    # Fractional success: a grant the feedback loop held below
+    # the full boost delivered only part of the speedup.
+    result.successful_core_ticks += float(
+        np.sum(granted * boost_frac))
+    result.perf_sum += float(np.sum(
+        granted * (1.0 + boost_frac * (ratio - 1.0))
+        + (ctx.demand_cores - granted)))
+    return 0
+
+
+def simulate_rack_reference(rack: RackTrace, policy: TracePolicy, *,
+                            power_model: PowerModel = DEFAULT_POWER_MODEL,
+                            warning_fraction: float = 0.95,
+                            target_freq_ghz: float = 4.0) -> RackSimResult:
+    """Scalar oracle: run ``policy`` over ``rack`` one tick at a time.
+
+    Scores weeks 2..N (week 1 is the policy's first history window).
+    This is the semantic reference for :func:`simulate_rack`; keep it a
+    plain per-tick loop."""
+    setup, result = _prepare(rack, policy, power_model, warning_fraction,
+                             target_freq_ghz)
+    times, power, util, demand = (setup.times, setup.power, setup.util,
+                                  setup.demand)
+    tpw = setup.ticks_per_week
+    ones_buf = np.ones(setup.n_servers)
     recovery_remaining = 0
-    for week in range(1, weeks):
-        h = slice((week - 1) * ticks_per_week, week * ticks_per_week)
-        policy.begin_week(times[h], power[:, h], demand[:, h], limit)
-        for i in range(week * ticks_per_week,
-                       min((week + 1) * ticks_per_week, len(times))):
+    for week in range(1, setup.weeks):
+        h = slice((week - 1) * tpw, week * tpw)
+        policy.begin_week(times[h], power[:, h], demand[:, h], setup.limit)
+        for i in range(week * tpw, min((week + 1) * tpw, len(times))):
             ctx = TickContext(
-                index=i, time=float(times[i]), limit_watts=limit,
-                warning_watts=warning_watts,
+                index=i, time=float(times[i]), limit_watts=setup.limit,
+                warning_watts=setup.warning_watts,
                 observed_power=power[:, i - 1],
                 observed_util=util[:, i - 1],
                 oracle_power=power[:, i],
                 oracle_util=util[:, i],
                 demand_cores=demand[:, i],
-                delta_full_watts=delta_full)
-            granted = np.minimum(policy.decide(ctx), demand[:, i])
-            granted = np.maximum(granted, 0)
-            raw_extra = granted * delta_full * util[:, i]
-            # Local feedback enforcement (§IV-D): an sOA holds its server's
-            # draw at its effective budget, partially de-boosting its VMs
-            # when the baseline came in above prediction.
-            enforcement = policy.enforcement_budget_at(ctx)
-            if enforcement is not None:
-                allowed_extra = np.clip(enforcement - power[:, i],
-                                        0.0, raw_extra)
-            else:
-                allowed_extra = raw_extra
-            boost_frac = np.divide(allowed_extra, raw_extra,
-                                   out=np.ones_like(raw_extra),
-                                   where=raw_extra > 0)
-            tick_power = power[:, i] + allowed_extra
-            total = float(np.sum(tick_power))
-            result.ticks += 1
-            d = int(np.sum(demand[:, i]))
-            g = int(np.sum(granted))
-            result.demanded_core_ticks += d
-            result.granted_core_ticks += g
+                delta_full_watts=setup.delta_full)
+            recovery_remaining = _apply_tick(
+                result, policy, ctx, policy.decide(ctx),
+                recovery_remaining, ones_buf, setup.ratio, setup.idle)
+    return result
 
-            if recovery_remaining > 0:
-                # The rack is still recovering from a capping event: the
-                # capped state persists, nothing boosts this tick.
-                recovery_remaining -= 1
-                result.perf_sum += float(d)
-                continue
 
-            if total >= warning_watts:
-                result.warnings += 1
-                policy.on_warning(ctx)
+@dataclass
+class _Block:
+    """A built segment: vectorized per-tick accounting plus the event
+    scan.  Float contributions are kept as Python-float lists so the
+    consumer accumulates them in exactly the scalar order (bit-identical
+    sums); integer totals are summed in bulk (exact either way)."""
 
-            if total > limit:
-                result.cap_events += 1
-                recovery_remaining = CAP_RECOVERY_TICKS
-                policy.on_cap(ctx)
-                power_no_oc = tick_power - allowed_extra
-                cuts = _throttle_cuts(
-                    tick_power, allowed_extra, limit,
-                    fair=policy.capping_mode == "fair")
-                dynamic = np.maximum(power_no_oc - idle, 1e-6)
-                freq_cut = np.clip(cuts / (2.0 * dynamic), 0.0, 0.5)
-                # A capping event is rack-wide: the hardware response
-                # cancels every boost on the rack for the tick (the paper's
-                # §III: capping causes 30-50 % degradation and "diminishes
-                # the performance benefits").  Throttled servers also run
-                # below turbo.
-                result.perf_sum += float(
-                    np.sum(demand[:, i] * (1.0 - freq_cut)))
-                # Penalty on non-overclocked VMs (paper Table I): the
-                # power-weighted mean frequency cut across bystander
-                # servers — power-hungry servers host more active work, so
-                # a cut there hurts proportionally more VMs (§III Q4).
-                bystanders = granted == 0
-                if np.any(bystanders):
-                    weights = power_no_oc[bystanders]
-                    result.noc_penalty_sum += float(
-                        np.average(freq_cut[bystanders], weights=weights))
-                    result.noc_penalty_events += 1
-            else:
-                # Fractional success: a grant the feedback loop held below
-                # the full boost delivered only part of the speedup.
-                result.successful_core_ticks += float(
-                    np.sum(granted * boost_frac))
-                result.perf_sum += float(np.sum(
-                    granted * (1.0 + boost_frac * (ratio - 1.0))
-                    + (demand[:, i] - granted)))
+    start: int   # view-relative first tick
+    stop: int    # view-relative end (exclusive)
+    d_arr: np.ndarray        # per-tick demanded cores (int)
+    g_arr: np.ndarray        # per-tick granted cores (int)
+    d_list: list             # d_arr as Python ints (recovery perf adds)
+    succ_list: list          # per-tick successful core-ticks
+    perf_list: list          # per-tick perf contributions (success case)
+    events: list             # block-relative ticks needing scalar fallback
+    warn_prefix: np.ndarray  # prefix counts of warning-threshold crossings
+    commit: Optional[object]  # SegmentPlan.commit
+
+    def next_event(self, rel: int) -> int:
+        """First event tick at view-relative position >= ``rel``, or
+        ``stop`` when the rest of the block is quiet."""
+        j = bisect.bisect_left(self.events, rel - self.start)
+        if j < len(self.events):
+            return self.start + int(self.events[j])
+        return self.stop
+
+    def d_total(self, a: int, b: int) -> int:
+        return int(np.sum(self.d_arr[a:b]))
+
+    def g_total(self, a: int, b: int) -> int:
+        return int(np.sum(self.g_arr[a:b]))
+
+
+def _build_block(view: RackWeekView, plan: SegmentPlan,
+                 ratio: float, warning_inert: bool) -> _Block:
+    """Vectorize the accounting of one planned segment.
+
+    Every elementwise expression mirrors :func:`_apply_tick` on 2-D
+    arrays (ticks × servers); row reductions are bit-equal to the 1-D
+    sums of the scalar path, so per-tick contributions match bitwise."""
+    sl = slice(plan.start, plan.stop)
+    demand = view.demand[sl]
+    granted = np.maximum(np.minimum(plan.granted, demand), 0)
+    raw_extra = granted * view.delta_full_watts * view.oracle_util[sl]
+    if plan.enforcement is not None:
+        allowed_extra = np.clip(plan.enforcement - view.oracle_power[sl],
+                                0.0, raw_extra)
+    else:
+        allowed_extra = raw_extra
+    boost_frac = np.divide(allowed_extra, raw_extra,
+                           out=np.ones_like(raw_extra),
+                           where=raw_extra > 0)
+    tick_power = view.oracle_power[sl] + allowed_extra
+    totals = np.sum(tick_power, axis=1)
+    # Event ticks leave the segment for the scalar fallback.  Capping
+    # always does (on_cap, throttle accounting, recovery); a warning
+    # crossing only needs the fallback when the policy's on_warning hook
+    # does something — warning-inert policies count warnings in bulk via
+    # the prefix sums below and keep those ticks vectorized.
+    warn = totals >= view.warning_watts
+    if warning_inert:
+        events = np.flatnonzero(totals > view.limit_watts).tolist()
+    else:
+        events = np.flatnonzero(warn
+                                | (totals > view.limit_watts)).tolist()
+    warn_prefix = np.concatenate(
+        ([0], np.cumsum(warn, dtype=np.int64)))
+    succ = np.sum(granted * boost_frac, axis=1)
+    perf = np.sum(granted * (1.0 + boost_frac * (ratio - 1.0))
+                  + (demand - granted), axis=1)
+    d_arr = np.sum(demand, axis=1)
+    return _Block(start=plan.start, stop=plan.stop,
+                  d_arr=d_arr, g_arr=np.sum(granted, axis=1),
+                  d_list=d_arr.tolist(), succ_list=succ.tolist(),
+                  perf_list=perf.tolist(), events=events,
+                  warn_prefix=warn_prefix, commit=plan.commit)
+
+
+def _fast_tick(view: RackWeekView, policy: TracePolicy,
+               result: RackSimResult, rel: int, recovery_remaining: int,
+               ones_buf: np.ndarray, ratio: float, idle: float) -> int:
+    """Scalar fallback for one tick of the fast path: rebuild the
+    TickContext from the tick-major rows and run the shared tick body."""
+    ctx = TickContext(
+        index=int(view.indices[rel]), time=float(view.times[rel]),
+        limit_watts=view.limit_watts, warning_watts=view.warning_watts,
+        observed_power=view.observed_power[rel],
+        observed_util=view.observed_util[rel],
+        oracle_power=view.oracle_power[rel],
+        oracle_util=view.oracle_util[rel],
+        demand_cores=view.demand[rel],
+        delta_full_watts=view.delta_full_watts)
+    decided = policy.fast_decide(view, rel, ctx)
+    return _apply_tick(result, policy, ctx, decided, recovery_remaining,
+                       ones_buf, ratio, idle)
+
+
+def _consume_block(result: RackSimResult, block: _Block, rel: int,
+                   recovery_remaining: int) -> tuple[int, int]:
+    """Account planned ticks from ``rel`` until the block ends or an
+    event tick is reached (returned ``rel`` points at it).  Recovery
+    ticks are consumed unconditionally — the scalar path skips their
+    warning/cap checks — and committed state mutations are replayed
+    after every chunk, before any fallback tick can observe them."""
+    stop = block.stop
+    while rel < stop:
+        if recovery_remaining > 0:
+            take = min(recovery_remaining, stop - rel)
+            a = rel - block.start
+            b = a + take
+            result.ticks += take
+            result.demanded_core_ticks += block.d_total(a, b)
+            result.granted_core_ticks += block.g_total(a, b)
+            perf = result.perf_sum
+            d_list = block.d_list
+            for k in range(a, b):
+                perf += float(d_list[k])
+            result.perf_sum = perf
+            recovery_remaining -= take
+            rel += take
+            if block.commit is not None:
+                block.commit(rel - block.start)
+            continue
+        event = block.next_event(rel)
+        if event == rel:
+            break  # caller routes the event tick through _fast_tick
+        a = rel - block.start
+        b = event - block.start
+        result.ticks += event - rel
+        result.warnings += int(block.warn_prefix[b] - block.warn_prefix[a])
+        result.demanded_core_ticks += block.d_total(a, b)
+        result.granted_core_ticks += block.g_total(a, b)
+        succ = result.successful_core_ticks
+        perf = result.perf_sum
+        succ_list = block.succ_list
+        perf_list = block.perf_list
+        for k in range(a, b):
+            succ += succ_list[k]
+            perf += perf_list[k]
+        result.successful_core_ticks = succ
+        result.perf_sum = perf
+        rel = event
+        if block.commit is not None:
+            block.commit(rel - block.start)
+        if rel < stop:
+            break  # stopped at an event tick
+    return rel, recovery_remaining
+
+
+def _run_week_fast(view: RackWeekView, policy: TracePolicy,
+                   result: RackSimResult, recovery_remaining: int,
+                   has_fast: bool, warning_inert: bool,
+                   ones_buf: np.ndarray, ratio: float, idle: float) -> int:
+    n = view.n_ticks
+    stateless = policy.tick_stateless
+    block: Optional[_Block] = None
+    rel = 0
+    # Re-planning after every diverging tick is wasted work during
+    # active exploration phases (the next tick usually diverges too):
+    # after a failed plan, run a geometrically growing number of scalar
+    # ticks before trying again.  Purely a scheduling heuristic — the
+    # scalar fallback is always correct.
+    cooldown = 0
+    next_cooldown = 1
+    while rel < n:
+        if block is None or rel >= block.stop:
+            block = None
+            if has_fast and cooldown == 0:
+                end = n if stateless else min(n, rel + _FAST_LOOKAHEAD)
+                plan = policy.plan_segment(view, rel, end)
+                if plan is not None and plan.stop > rel:
+                    block = _build_block(view, plan, ratio,
+                                         warning_inert
+                                         or plan.warning_inert)
+                    next_cooldown = 1
+                else:
+                    cooldown = next_cooldown
+                    next_cooldown = min(next_cooldown * 2, 32)
+            elif cooldown > 0:
+                cooldown -= 1
+        if block is None or rel >= block.stop:
+            recovery_remaining = _fast_tick(
+                view, policy, result, rel, recovery_remaining,
+                ones_buf, ratio, idle)
+            rel += 1
+            if not stateless:
+                block = None  # the fallback tick may have mutated state
+            continue
+        rel, recovery_remaining = _consume_block(
+            result, block, rel, recovery_remaining)
+        if rel < block.stop:
+            # Event tick inside the planned segment: run it scalar
+            # (warning/cap hooks included), then re-plan for stateful
+            # policies whose hook may have shifted state.
+            recovery_remaining = _fast_tick(
+                view, policy, result, rel, recovery_remaining,
+                ones_buf, ratio, idle)
+            rel += 1
+            if not stateless:
+                block = None
+    return recovery_remaining
+
+
+def simulate_rack(rack: RackTrace, policy: TracePolicy, *,
+                  power_model: PowerModel = DEFAULT_POWER_MODEL,
+                  warning_fraction: float = 0.95,
+                  target_freq_ghz: float = 4.0,
+                  fast: bool = True) -> RackSimResult:
+    """Run ``policy`` over ``rack``'s trace; scores weeks 2..N (week 1 is
+    the policy's first history window).
+
+    ``fast=True`` (default) runs the vectorized fast path — bit-identical
+    counters to :func:`simulate_rack_reference`, which ``fast=False``
+    selects explicitly."""
+    if not fast:
+        return simulate_rack_reference(
+            rack, policy, power_model=power_model,
+            warning_fraction=warning_fraction,
+            target_freq_ghz=target_freq_ghz)
+    setup, result = _prepare(rack, policy, power_model, warning_fraction,
+                             target_freq_ghz)
+    # Tick-major (C-contiguous) copies: row k is tick k's server vector,
+    # carrying bitwise the same values as the scalar path's column
+    # slices — elementwise NumPy ops and row/column sums are bit-stable
+    # across layouts.
+    power_t = np.ascontiguousarray(setup.power.T)
+    util_t = np.ascontiguousarray(setup.util.T)
+    demand_t = np.ascontiguousarray(setup.demand.T)
+    power_sums = np.sum(power_t, axis=1)
+    all_indices = np.arange(len(setup.times), dtype=np.int64)
+    ones_buf = np.ones(setup.n_servers)
+    tpw = setup.ticks_per_week
+    # Belt and braces: only honor the declaration when on_warning really
+    # is the base no-op, so a subclass that overrides the hook without
+    # flipping the flag degrades to correct-but-slower.
+    warning_inert = (policy.warning_inert
+                     and type(policy).on_warning is TracePolicy.on_warning)
+    recovery_remaining = 0
+    for week in range(1, setup.weeks):
+        h = slice((week - 1) * tpw, week * tpw)
+        policy.begin_week(setup.times[h], setup.power[:, h],
+                          setup.demand[:, h], setup.limit)
+        w0 = week * tpw
+        w1 = min((week + 1) * tpw, len(setup.times))
+        view = RackWeekView(
+            indices=all_indices[w0:w1],
+            times=setup.times[w0:w1],
+            observed_power=power_t[w0 - 1:w1 - 1],
+            observed_util=util_t[w0 - 1:w1 - 1],
+            oracle_power=power_t[w0:w1],
+            oracle_util=util_t[w0:w1],
+            demand=demand_t[w0:w1],
+            observed_power_sums=power_sums[w0 - 1:w1 - 1],
+            oracle_power_sums=power_sums[w0:w1],
+            limit_watts=setup.limit,
+            warning_watts=setup.warning_watts,
+            delta_full_watts=setup.delta_full)
+        has_fast = policy.begin_week_fast(view)
+        recovery_remaining = _run_week_fast(
+            view, policy, result, recovery_remaining, has_fast,
+            warning_inert, ones_buf, setup.ratio, setup.idle)
     return result
 
 
@@ -260,19 +609,12 @@ class PolicyScore:
                 f"{self.normalized_performance:>12.3f}")
 
 
-def compare_policies(fleet: SyntheticFleet,
-                     policy_names: Sequence[str] = (
-                         "Central", "NaiveOClock", "NoFeedback",
-                         "NoWarning", "SmartOClock"), *,
-                     power_model: PowerModel = DEFAULT_POWER_MODEL
-                     ) -> dict[str, PolicyScore]:
-    """Run every policy over every rack of a fleet and aggregate."""
-    raw: dict[str, list[RackSimResult]] = {name: [] for name in policy_names}
-    for rack in fleet.racks:
-        for name in policy_names:
-            policy = make_policy(name, len(rack.servers))
-            raw[name].append(simulate_rack(rack, policy,
-                                           power_model=power_model))
+def _aggregate_scores(
+        raw: dict[str, list[RackSimResult]]) -> dict[str, PolicyScore]:
+    """Fold per-rack results (in rack order) into Table-I rows.  Both the
+    serial and the process-pool sweeps feed this with identically-ordered
+    lists, which keeps the float sums — and hence the output — byte-
+    identical across ``workers`` settings."""
     central_caps = None
     if "Central" in raw:
         central_caps = max(1, sum(r.cap_events for r in raw["Central"]))
@@ -295,6 +637,28 @@ def compare_policies(fleet: SyntheticFleet,
     return scores
 
 
+def compare_policies(fleet: SyntheticFleet,
+                     policy_names: Sequence[str] = TABLE1_POLICIES, *,
+                     power_model: PowerModel = DEFAULT_POWER_MODEL,
+                     workers: Optional[int] = 1,
+                     fast: bool = True) -> dict[str, PolicyScore]:
+    """Run every policy over every rack of a fleet and aggregate.
+
+    ``workers=1`` runs serially in-process; ``workers=N`` (or None →
+    ``os.cpu_count()``) fans the (rack, policy) grid over a process pool
+    with byte-identical output (see :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import run_rack_policy_jobs
+    names = tuple(policy_names)
+    per_rack = run_rack_policy_jobs(fleet.racks, names,
+                                    power_model=power_model,
+                                    workers=workers, fast=fast)
+    raw: dict[str, list[RackSimResult]] = {name: [] for name in names}
+    for rack_results in per_rack:
+        for name in names:
+            raw[name].append(rack_results[name])
+    return _aggregate_scores(raw)
+
+
 def cluster_class_fleets(*, n_racks: int = 12, weeks: int = 2,
                          seed: int = 42) -> dict[str, SyntheticFleet]:
     """Three fleets matching Table I's High/Medium/Low-power classes."""
@@ -314,11 +678,30 @@ def cluster_class_fleets(*, n_racks: int = 12, weeks: int = 2,
 
 
 def table1(fleets: dict[str, SyntheticFleet], *,
-           power_model: PowerModel = DEFAULT_POWER_MODEL
-           ) -> dict[str, dict[str, PolicyScore]]:
-    """Full Table I: per cluster class, per policy."""
-    return {name: compare_policies(fleet, power_model=power_model)
-            for name, fleet in fleets.items()}
+           power_model: PowerModel = DEFAULT_POWER_MODEL,
+           workers: Optional[int] = 1,
+           fast: bool = True) -> dict[str, dict[str, PolicyScore]]:
+    """Full Table I: per cluster class, per policy.
+
+    With ``workers`` > 1 the whole (fleet, rack, policy) grid shares one
+    process pool; per-fleet aggregation runs in the same order as the
+    serial path, so output is byte-identical to ``workers=1``."""
+    from repro.experiments.parallel import run_rack_policy_jobs
+    racks = [rack for fleet in fleets.values() for rack in fleet.racks]
+    per_rack = run_rack_policy_jobs(racks, TABLE1_POLICIES,
+                                    power_model=power_model,
+                                    workers=workers, fast=fast)
+    results: dict[str, dict[str, PolicyScore]] = {}
+    offset = 0
+    for name, fleet in fleets.items():
+        raw: dict[str, list[RackSimResult]] = {
+            p: [] for p in TABLE1_POLICIES}
+        for r in range(len(fleet.racks)):
+            for p in TABLE1_POLICIES:
+                raw[p].append(per_rack[offset + r][p])
+        offset += len(fleet.racks)
+        results[name] = _aggregate_scores(raw)
+    return results
 
 
 def format_table1(results: dict[str, dict[str, PolicyScore]]) -> str:
@@ -327,8 +710,7 @@ def format_table1(results: dict[str, dict[str, PolicyScore]]) -> str:
              f"{'CapPenalty':>10} {'NormPerf':>12}"]
     for cluster, scores in results.items():
         lines.append(f"--- {cluster} ---")
-        for name in ("Central", "NaiveOClock", "NoFeedback", "NoWarning",
-                     "SmartOClock"):
+        for name in TABLE1_POLICIES:
             if name in scores:
                 lines.append(scores[name].row())
     return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Process-parallel sweep of (rack, policy) simulation work items.
+
+Sharding layer for :func:`repro.experiments.largescale.compare_policies`
+and :func:`~repro.experiments.largescale.table1`.  Design constraints
+(DESIGN.md "Performance architecture"):
+
+* **Spawn-safe** — the pool always uses the ``spawn`` start method (the
+  only one portable across platforms and safe with threaded parents),
+  so the worker is a module-level function and every payload pickles.
+* **Deterministic merge** — results are written into a slot keyed by the
+  submitted job, never appended in completion order; downstream
+  aggregation therefore folds floats in exactly the serial order and the
+  output is byte-identical to ``workers=1``.
+* **Chunked trace shipping** — at most ``max_inflight`` jobs (default
+  ``4 × workers``) have their rack traces pickled and queued at once, so
+  sweeping hundreds of racks doesn't hold the whole fleet in worker
+  pipes simultaneously.
+* ``workers=1`` short-circuits to a plain in-process loop — no pool, no
+  pickling — which is also the serial path the byte-identity tests
+  compare against.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
+from repro.traces.schema import RackTrace
+
+if TYPE_CHECKING:
+    from repro.experiments.largescale import RackSimResult
+
+__all__ = ["RackPolicyJob", "resolve_workers", "run_rack_policy_jobs"]
+
+
+@dataclass(frozen=True)
+class RackPolicyJob:
+    """One unit of work: one policy simulated over one rack."""
+
+    rack_index: int
+    policy: str
+    rack: RackTrace
+    power_model: PowerModel
+    fast: bool
+
+
+def _run_job(job: RackPolicyJob) -> "tuple[int, str, RackSimResult]":
+    # Module-level so the spawn start method can pickle it by reference.
+    from repro.core.policies import make_policy
+    from repro.experiments.largescale import simulate_rack
+
+    policy = make_policy(job.policy, len(job.rack.servers))
+    result = simulate_rack(job.rack, policy, power_model=job.power_model,
+                           fast=job.fast)
+    return job.rack_index, job.policy, result
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None`` → ``os.cpu_count()``; explicit values must be >= 1."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def run_rack_policy_jobs(
+        racks: Sequence[RackTrace], policy_names: Sequence[str], *,
+        power_model: PowerModel = DEFAULT_POWER_MODEL,
+        workers: Optional[int] = 1, fast: bool = True,
+        max_inflight: Optional[int] = None,
+) -> "list[dict[str, RackSimResult]]":
+    """Simulate every (rack, policy) pair.
+
+    Returns one ``{policy: RackSimResult}`` dict per rack, in input rack
+    order, regardless of worker completion order."""
+    from repro.core.policies import make_policy
+    from repro.experiments.largescale import simulate_rack
+
+    names = tuple(policy_names)
+    n_workers = resolve_workers(workers)
+    merged: "list[dict[str, RackSimResult]]" = [{} for _ in racks]
+
+    if n_workers == 1:
+        for rack_index, rack in enumerate(racks):
+            for name in names:
+                policy = make_policy(name, len(rack.servers))
+                merged[rack_index][name] = simulate_rack(
+                    rack, policy, power_model=power_model, fast=fast)
+        return merged
+
+    window = max_inflight if max_inflight is not None else 4 * n_workers
+    if window < 1:
+        raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+    jobs = (RackPolicyJob(rack_index=r, policy=name, rack=rack,
+                          power_model=power_model, fast=fast)
+            for r, rack in enumerate(racks)
+            for name in names)
+
+    def drain(done: "set[Future[tuple[int, str, RackSimResult]]]") -> None:
+        for fut in done:
+            rack_index, policy_name, result = fut.result()
+            merged[rack_index][policy_name] = result
+
+    with ProcessPoolExecutor(max_workers=n_workers,
+                             mp_context=get_context("spawn")) as pool:
+        pending: "set[Future[tuple[int, str, RackSimResult]]]" = set()
+        for job in jobs:
+            while len(pending) >= window:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                drain(done)
+            pending.add(pool.submit(_run_job, job))
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            drain(done)
+    return merged

@@ -34,6 +34,7 @@ __all__ = [
     "DailyMedTemplate",
     "DailyMaxTemplate",
     "build_template",
+    "predict_series_batch",
 ]
 
 SECONDS_PER_DAY = 86400.0
@@ -77,29 +78,39 @@ class PowerTemplate:
         raise NotImplementedError
 
     def predict_series(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized prediction; must equal ``[predict(t) for t in times]``
+        bitwise (the fast simulation path depends on that identity — see
+        DESIGN.md "Performance architecture").  Subclasses override with a
+        NumPy gather; this base fallback is the per-element definition."""
         return np.array([self.predict(float(t)) for t in times])
 
 
-class FlatMedTemplate(PowerTemplate):
+class _FlatTemplate(PowerTemplate):
+    """Shared constant-prediction behaviour of the Flat* strategies."""
+
+    value: float
+
+    def predict(self, t: float) -> float:
+        return self.value
+
+    def predict_series(self, times: Sequence[float]) -> np.ndarray:
+        return np.full(len(times), self.value)
+
+
+class FlatMedTemplate(_FlatTemplate):
     kind = TemplateKind.FLAT_MED
 
     def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
         _validate_history(np.asarray(times), np.asarray(values))
         self.value = float(np.median(values))
 
-    def predict(self, t: float) -> float:
-        return self.value
 
-
-class FlatMaxTemplate(PowerTemplate):
+class FlatMaxTemplate(_FlatTemplate):
     kind = TemplateKind.FLAT_MAX
 
     def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
         _validate_history(np.asarray(times), np.asarray(values))
         self.value = float(np.max(values))
-
-    def predict(self, t: float) -> float:
-        return self.value
 
 
 class WeeklyTemplate(PowerTemplate):
@@ -130,6 +141,15 @@ class WeeklyTemplate(PowerTemplate):
         slot = int(round((t % SECONDS_PER_WEEK) / self.interval))
         return float(self._series[slot % self._slots_per_week])
 
+    def predict_series(self, times: Sequence[float]) -> np.ndarray:
+        # Same slot arithmetic as predict(): np.round and Python round()
+        # both round half to even, and % / division match IEEE-wise on
+        # non-negative times, so the gather is bitwise identical.
+        t = np.asarray(times, dtype=float)
+        slots = np.round((t % SECONDS_PER_WEEK) / self.interval).astype(
+            np.int64) % self._slots_per_week
+        return self._series[slots]
+
 
 class _DailyAggregateTemplate(PowerTemplate):
     """Per-slot-of-day aggregation across weekdays (+ weekend template)."""
@@ -156,18 +176,34 @@ class _DailyAggregateTemplate(PowerTemplate):
 
     def _aggregate_slots(self, slots: np.ndarray, values: np.ndarray,
                          aggregate: str) -> np.ndarray:
+        if aggregate not in ("median", "max"):
+            raise ValueError(f"unknown aggregate {aggregate!r}")
         series = np.empty(self._slots_per_day)
+        counts = np.bincount(slots, minlength=self._slots_per_day) \
+            if len(slots) else np.zeros(self._slots_per_day, dtype=np.int64)
+        # Group samples by slot once (stable sort) instead of scanning a
+        # boolean mask per slot.  Median/max depend only on each slot's
+        # multiset of samples, so the grouped reductions are bitwise
+        # identical to the per-slot ``values[slots == s]`` form.
+        order = np.argsort(slots, kind="stable")
+        grouped = values[order]
+        if len(values) and np.all(counts == counts[0]):
+            # Complete history: every slot has the same number of
+            # samples — one axis-reduction for the whole series.
+            table = grouped.reshape(self._slots_per_day, counts[0])
+            if aggregate == "median":
+                return np.median(table, axis=1)
+            return np.max(table, axis=1)
         overall = float(np.median(values)) if len(values) else 0.0
+        bounds = np.concatenate(([0], np.cumsum(counts)))
         for s in range(self._slots_per_day):
-            mask = slots == s
-            if not np.any(mask):
+            group = grouped[bounds[s]:bounds[s + 1]]
+            if len(group) == 0:
                 series[s] = overall  # slot unseen in history
             elif aggregate == "median":
-                series[s] = float(np.median(values[mask]))
-            elif aggregate == "max":
-                series[s] = float(np.max(values[mask]))
+                series[s] = float(np.median(group))
             else:
-                raise ValueError(f"unknown aggregate {aggregate!r}")
+                series[s] = float(np.max(group))
         return series
 
     def predict(self, t: float) -> float:
@@ -176,6 +212,13 @@ class _DailyAggregateTemplate(PowerTemplate):
         is_weekday = (int(t // SECONDS_PER_DAY) % 7) < 5
         series = self._weekday if is_weekday else self._weekend
         return float(series[slot])
+
+    def predict_series(self, times: Sequence[float]) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        slots = np.round((t % SECONDS_PER_DAY) / self.interval).astype(
+            np.int64) % self._slots_per_day
+        weekday = ((t // SECONDS_PER_DAY).astype(np.int64) % 7) < 5
+        return np.where(weekday, self._weekday[slots], self._weekend[slots])
 
 
 class DailyMedTemplate(_DailyAggregateTemplate):
@@ -208,3 +251,27 @@ def build_template(kind: TemplateKind | str, times: np.ndarray,
     """Build a template of ``kind`` from one-or-more weeks of history."""
     kind = TemplateKind(kind)
     return _BUILDERS[kind](times, values)
+
+
+def predict_series_batch(templates: Sequence[PowerTemplate],
+                         times: Sequence[float]) -> np.ndarray:
+    """``(len(times), len(templates))`` matrix of per-template series.
+
+    Bitwise equal to stacking ``tpl.predict_series(times)`` per column;
+    when every template is the same daily-aggregate type at one interval
+    (the per-server-fleet common case), the slot/weekday index arithmetic
+    is computed once and shared across all columns instead of once per
+    template."""
+    t = np.asarray(times, dtype=float)
+    first = templates[0]
+    if (isinstance(first, _DailyAggregateTemplate)
+            and all(type(tpl) is type(first)
+                    and tpl.interval == first.interval
+                    for tpl in templates)):
+        slots = np.round((t % SECONDS_PER_DAY) / first.interval).astype(
+            np.int64) % first._slots_per_day
+        weekday = ((t // SECONDS_PER_DAY).astype(np.int64) % 7) < 5
+        return np.stack(
+            [np.where(weekday, tpl._weekday[slots], tpl._weekend[slots])
+             for tpl in templates], axis=1)
+    return np.stack([tpl.predict_series(t) for tpl in templates], axis=1)

@@ -41,17 +41,26 @@ class Event:
     holder may perform is :meth:`cancel`.
     """
 
-    __slots__ = ("callback", "time", "_cancelled", "fired")
+    __slots__ = ("callback", "time", "_cancelled", "fired", "_engine")
 
-    def __init__(self, callback: Callable[[], None], time: float) -> None:
+    def __init__(self, callback: Callable[[], None], time: float,
+                 engine: Optional["SimulationEngine"] = None) -> None:
         self.callback = callback
         self.time = time
         self._cancelled = False
         self.fired = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        # A first cancel of a still-pending event turns its queue entry
+        # into a tombstone: let the engine update its live count and
+        # decide whether the heap needs compacting.
+        if not self.fired and self._engine is not None:
+            self._engine._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -69,11 +78,16 @@ class SimulationEngine:
     [5.0]
     """
 
+    #: Compaction only kicks in above this queue size: re-heapifying a
+    #: handful of entries costs more bookkeeping than the tombstones do.
+    _COMPACT_MIN_QUEUE = 32
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[_QueueEntry] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._live = 0
         self._running = False
         self._stopped = False
 
@@ -88,9 +102,27 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._queue
-                   if entry.event is not None and not entry.event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on schedule/cancel/fire, instead of a
+        scan over the queue (which made per-tick health checks quadratic
+        on long runs with many cancellations)."""
+        return self._live
+
+    def _on_cancel(self) -> None:
+        """A pending event was cancelled: account for the tombstone and
+        compact the heap once tombstones outnumber live entries (keeps
+        long recovery/fault runs from accumulating dead entries)."""
+        self._live -= 1
+        if (len(self._queue) >= self._COMPACT_MIN_QUEUE
+                and len(self._queue) - self._live > len(self._queue) // 2):
+            # Entries are totally ordered (time, priority, unique
+            # sequence), so rebuilding the heap preserves the exact
+            # firing order of the survivors.
+            self._queue = [entry for entry in self._queue
+                           if entry.event is not None
+                           and not entry.event.cancelled]
+            heapq.heapify(self._queue)
 
     def schedule(self, time: float, callback: Callable[[], None],
                  priority: int = 0) -> Event:
@@ -102,9 +134,10 @@ class SimulationEngine:
         if time < self._now:
             raise ValueError(
                 f"cannot schedule event at t={time} before now={self._now}")
-        event = Event(callback, time)
+        event = Event(callback, time, engine=self)
         entry = _QueueEntry(time, priority, next(self._sequence), event)
         heapq.heappush(self._queue, entry)
+        self._live += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callable[[], None],
@@ -144,6 +177,7 @@ class SimulationEngine:
         event = entry.event
         self._now = entry.time
         self._events_processed += 1
+        self._live -= 1
         event.fired = True
         event.callback()
         return True

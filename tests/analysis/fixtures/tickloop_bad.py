@@ -1,0 +1,19 @@
+"""Known-bad fixture: per-iteration NumPy allocations in tick loops."""
+
+import numpy as np
+from numpy import zeros
+
+
+def per_tick_churn(power: np.ndarray, ticks: int) -> float:
+    total = 0.0
+    for _ in range(ticks):
+        buf = np.ones(power.shape[0])           # line 10: tick-loop-allocation
+        ratio = np.asarray(power, dtype=float)  # line 11: tick-loop-allocation
+        scratch = zeros(power.shape[0])         # line 12: tick-loop-allocation
+        total += float(np.sum(buf * ratio) + scratch[0])
+    tick = 0
+    while tick < ticks:
+        parts = np.stack([power, power])        # line 16: tick-loop-allocation
+        total += float(parts.sum())
+        tick += 1
+    return total

@@ -1,0 +1,22 @@
+"""Known-good fixture: buffers hoisted, loops reuse them in place."""
+
+import numpy as np
+
+
+def hoisted_buffers(power: np.ndarray, ticks: int) -> float:
+    buf = np.ones(power.shape[0])
+    ratio = np.asarray(power, dtype=float)
+    total = 0.0
+    for _ in range(ticks):
+        np.copyto(buf, 1.0)
+        np.divide(ratio, buf, out=buf, where=buf > 0)
+        total += float(np.sum(buf))
+    return total
+
+
+def sanctioned_per_plan(power: np.ndarray, plans: int) -> float:
+    total = 0.0
+    for _ in range(plans):
+        block = np.zeros(power.shape[0])  # oclint: disable=tick-loop-allocation
+        total += float(block.sum())
+    return total

@@ -153,6 +153,37 @@ class TestUntypedDef:
         assert result.diagnostics == []
 
 
+class TestTickLoopAllocation:
+    def test_bad_fixture_exact_lines(self):
+        diags = lint_fixture("tickloop_bad.py",
+                             hot_path_modules=("tickloop_bad.py",))
+        assert rule_lines(diags, "tick-loop-allocation") == [10, 11, 12, 16]
+        names = [d.message.split("(")[0].split("np.")[1]
+                 for d in diags if d.rule_id == "tick-loop-allocation"]
+        assert names == ["ones", "asarray", "zeros", "stack"]
+
+    def test_good_fixture_clean(self):
+        diags = lint_fixture("tickloop_good.py",
+                             hot_path_modules=("tickloop_good.py",))
+        assert rule_lines(diags, "tick-loop-allocation") == []
+
+    def test_untagged_module_exempt(self):
+        # Same bad code outside a hot-path module: no diagnostics.
+        diags = lint_fixture("tickloop_bad.py",
+                             hot_path_modules=("experiments/largescale.py",))
+        assert rule_lines(diags, "tick-loop-allocation") == []
+
+    def test_allocation_outside_loop_clean(self):
+        source = ("import numpy as np\n"
+                  "buf = np.zeros(4)\n"
+                  "for i in range(3):\n"
+                  "    np.copyto(buf, float(i))\n")
+        config = LintConfig(select=frozenset({"tick-loop-allocation"}),
+                            hot_path_modules=("hot.py",))
+        result = lint_source(source, path="src/repro/hot.py", config=config)
+        assert result.diagnostics == []
+
+
 class TestBadFixturesExitNonzero:
     """Acceptance: ``repro lint`` exits non-zero on every bad fixture and
     0 on every good one."""

@@ -1,0 +1,80 @@
+"""Parallel sweep harness: sharded runs must be byte-identical to serial.
+
+The process-pool tests here spawn real worker processes (the ``spawn``
+start method — the same code path the CI perf smoke job uses), so they
+are kept small: two racks, two policies, coarse telemetry.
+"""
+
+import pytest
+
+from repro.experiments.largescale import (
+    compare_policies,
+    format_table1,
+    table1,
+)
+from repro.experiments.parallel import resolve_workers, run_rack_policy_jobs
+from repro.traces.synthetic import FleetConfig, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    config = FleetConfig(n_racks=2, weeks=2, seed=21, interval_s=900.0,
+                         servers_per_rack_min=5, servers_per_rack_max=5,
+                         p99_util_beta=(2.0, 2.0),
+                         p99_util_range=(0.85, 0.95))
+    return generate_fleet(config)
+
+
+class TestResolveWorkers:
+    def test_none_uses_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+
+
+class TestSerialSharding:
+    def test_results_keyed_by_rack_and_policy(self, small_fleet):
+        merged = run_rack_policy_jobs(
+            small_fleet.racks, ("Central", "SmartOClock"), workers=1)
+        assert len(merged) == len(small_fleet.racks)
+        for rack, per_policy in zip(small_fleet.racks, merged):
+            assert set(per_policy) == {"Central", "SmartOClock"}
+            for result in per_policy.values():
+                assert result.rack_id == rack.rack_id
+
+    def test_bad_inflight_rejected(self, small_fleet):
+        with pytest.raises(ValueError, match="max_inflight"):
+            run_rack_policy_jobs(small_fleet.racks, ("Central",),
+                                 workers=2, max_inflight=0)
+
+
+class TestProcessPoolByteIdentity:
+    """workers=N must reproduce workers=1 exactly — same counters, same
+    floats, same rendered table — regardless of completion order."""
+
+    def test_jobs_identical(self, small_fleet):
+        serial = run_rack_policy_jobs(
+            small_fleet.racks, ("Central", "SmartOClock"), workers=1)
+        pooled = run_rack_policy_jobs(
+            small_fleet.racks, ("Central", "SmartOClock"), workers=2,
+            max_inflight=2)
+        assert pooled == serial
+
+    def test_compare_policies_identical(self, small_fleet):
+        serial = compare_policies(
+            small_fleet, ("NoWarning", "SmartOClock"), workers=1)
+        pooled = compare_policies(
+            small_fleet, ("NoWarning", "SmartOClock"), workers=2)
+        assert pooled == serial
+
+    def test_table1_rendering_identical(self, small_fleet):
+        fleets = {"Tiny": small_fleet}
+        serial = table1(fleets, workers=1)
+        pooled = table1(fleets, workers=2)
+        assert pooled == serial
+        assert format_table1(pooled) == format_table1(serial)

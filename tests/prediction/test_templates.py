@@ -302,3 +302,80 @@ class TestRecordSeriesBulk:
         cost(4096)  # warm-up
         small, big = cost(8192), cost(4 * 8192)
         assert big < 10.0 * small + 0.05  # quadratic would be ~16x
+
+
+class TestPredictSeriesBatch:
+    """Batched prediction must be bitwise equal to per-template calls."""
+
+    def make_templates(self, n=4, kind=TemplateKind.DAILY_MED):
+        templates = []
+        for i in range(n):
+            times, values = weekday_series(weeks=1, base=150.0 + 40.0 * i,
+                                           amplitude=60.0 + 10.0 * i,
+                                           noise=5.0, seed=i)
+            templates.append(build_template(kind, times, values))
+        return templates
+
+    def test_homogeneous_daily_fast_path_bitwise(self):
+        from repro.prediction.templates import predict_series_batch
+
+        templates = self.make_templates()
+        query = np.arange(0.0, 2 * WEEK, STEP) + WEEK  # spans weekends
+        batch = predict_series_batch(templates, query)
+        assert batch.shape == (len(query), len(templates))
+        for i, tpl in enumerate(templates):
+            assert np.array_equal(batch[:, i], tpl.predict_series(query))
+
+    def test_mixed_kinds_generic_path_bitwise(self):
+        from repro.prediction.templates import predict_series_batch
+
+        templates = (self.make_templates(2, TemplateKind.DAILY_MED)
+                     + self.make_templates(2, TemplateKind.WEEKLY))
+        query = np.arange(0.0, WEEK, STEP)
+        batch = predict_series_batch(templates, query)
+        for i, tpl in enumerate(templates):
+            assert np.array_equal(batch[:, i], tpl.predict_series(query))
+
+
+class TestGappedHistoryAggregation:
+    """Slot aggregation with unequal per-slot sample counts (gapped or
+    partial histories) must match the per-slot masked form exactly."""
+
+    def test_uneven_counts_match_masked_form(self):
+        # 1.5 weekdays of history: morning slots have 2 samples,
+        # afternoon slots only 1 — exercises the non-uniform branch.
+        times = np.arange(0.0, 1.5 * DAY, STEP)
+        rng = np.random.default_rng(7)
+        values = 200.0 + rng.normal(0.0, 20.0, size=times.shape)
+        template = build_template(TemplateKind.DAILY_MED, times, values)
+        slots_per_day = int(round(DAY / STEP))
+        slots = (np.round((times % DAY) / STEP).astype(int)) % slots_per_day
+        for s in (0, 1, slots_per_day // 2, slots_per_day - 1):
+            group = values[slots == s]
+            expected = float(np.median(group))
+            assert template.predict(s * STEP) == expected
+
+    def test_unseen_slots_fall_back_to_overall_median(self):
+        # History covers only the first half of the day; afternoon slots
+        # are unseen and must predict the overall median.
+        times = np.arange(0.0, 0.5 * DAY, STEP)
+        values = np.linspace(100.0, 300.0, len(times))
+        template = build_template(TemplateKind.DAILY_MAX, times, values)
+        overall = float(np.median(values))
+        assert template.predict(0.75 * DAY) == overall
+
+    def test_gapped_grid_accepted_and_aggregated(self):
+        # Drop a contiguous chunk of telemetry (whole multiples of the
+        # interval): still a valid history, aggregated per seen slot.
+        times, values = weekday_series(weeks=1)
+        keep = np.ones(len(times), dtype=bool)
+        keep[100:200] = False
+        template = build_template(TemplateKind.DAILY_MED, times[keep],
+                                  values[keep])
+        slots_per_day = int(round(DAY / STEP))
+        slots = (np.round((times[keep] % DAY)
+                          / STEP).astype(int)) % slots_per_day
+        kept_values = values[keep]
+        s = int(slots[0])
+        expected = float(np.median(kept_values[slots == s]))
+        assert template.predict(times[keep][0]) == expected

@@ -115,6 +115,73 @@ class TestCancellation:
         assert engine.now == 20.0
 
 
+class TestPendingEventsCounter:
+    """``pending_events`` is an O(1) counter, not a queue scan; it must
+    stay exact through schedule / cancel / fire, and heavy cancellation
+    must compact the tombstones out of the heap."""
+
+    def test_counter_tracks_schedule_cancel_fire(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(4)]
+        assert engine.pending_events == 4
+        events[2].cancel()
+        assert engine.pending_events == 3
+        events[2].cancel()  # idempotent: no double decrement
+        assert engine.pending_events == 3
+        assert engine.step()
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.pending_events == 0
+        event.cancel()
+        assert engine.pending_events == 0
+
+    def test_mass_cancellation_compacts_heap(self):
+        engine = SimulationEngine()
+        doomed = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(100)]
+        keep = engine.schedule(1000.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        # Tombstones outnumber live entries, so the heap was repeatedly
+        # rebuilt: instead of carrying 100 dead entries, the queue ends
+        # below the compaction floor (small residues are pruned lazily).
+        assert engine.pending_events == 1
+        assert len(engine._queue) <= SimulationEngine._COMPACT_MIN_QUEUE
+        assert any(entry.event is keep for entry in engine._queue)
+
+    def test_compaction_preserves_firing_order(self):
+        engine = SimulationEngine()
+        seen = []
+        for i in range(40):
+            time = float(40 - i)  # scheduled in reverse time order
+            engine.schedule(time, lambda t=time: seen.append(t))
+        doomed = [engine.schedule(50.0 + i, lambda: seen.append(-1))
+                  for i in range(60)]
+        for event in doomed:
+            event.cancel()
+        assert engine.pending_events == 40
+        assert len(engine._queue) < 60  # tombstones were swept
+        engine.run()
+        assert seen == [float(t) for t in range(1, 41)]
+
+    def test_small_queues_skip_compaction(self):
+        engine = SimulationEngine()
+        doomed = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        doomed.cancel()
+        # Below _COMPACT_MIN_QUEUE the tombstone stays (lazily pruned
+        # later); only the live counter moves.
+        assert engine.pending_events == 1
+        assert len(engine._queue) == 2
+
+
 class TestRunControl:
     def test_run_until_stops_clock_at_bound(self):
         engine = SimulationEngine()
