@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Subprocess driver for the fleet-scale memory benchmark.
+
+Runs the ``repro`` CLI with the given arguments in *this* process and
+appends one JSON line with the driver's wall-clock and peak RSS
+(``resource.getrusage(RUSAGE_SELF)`` — pool workers are separate
+processes and excluded, which is the point: the bounded-memory claim is
+about the driver never holding the fleet).
+
+A real file rather than ``python -c`` so the ``spawn`` start method can
+re-import ``__main__`` in pool workers.
+
+Usage::
+
+    python benchmarks/fleet_driver.py table1 --racks 200 --weeks 2 ...
+"""
+
+import json
+import resource
+import sys
+import time
+
+
+def main(argv: list) -> int:
+    from repro.cli import main as repro_main
+
+    start = time.perf_counter()
+    code = repro_main(argv)
+    elapsed = time.perf_counter() - start
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    print(json.dumps({
+        "exit_code": code,
+        "elapsed_s": round(elapsed, 3),
+        "driver_peak_rss_kb": usage.ru_maxrss,  # KiB on Linux
+    }))
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,6 +28,34 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+# ---------------------------------------------------------------------------
+# Argument validation: reject out-of-domain numeric values at the
+# argparse layer (exit code 2 + usage message) instead of letting them
+# surface as tracebacks from deep inside trace generation or pool setup.
+# ---------------------------------------------------------------------------
+
+def _int_at_least(minimum: int, what: str) -> Callable[[str], int]:
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be an integer, got {text!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be >= {minimum}, got {value}")
+        return value
+    parse.__name__ = what  # argparse uses this in "invalid ... value"
+    return parse
+
+
+_nonnegative_seed = _int_at_least(0, "seed")
+_racks_count = _int_at_least(1, "racks")
+_weeks_count = _int_at_least(2, "weeks")  # history + evaluation week
+_workers_count = _int_at_least(1, "workers")
+_inflight_count = _int_at_least(1, "max-inflight")
+
+
 @dataclass(frozen=True)
 class _Command:
     """One subcommand: handler, help text, and argument wiring.
@@ -111,13 +139,17 @@ def _cmd_fig15(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.largescale import (
-        cluster_class_fleets,
+        cluster_class_fleet_configs,
         format_table1,
-        table1,
+        table1_streaming,
     )
-    fleets = cluster_class_fleets(n_racks=args.racks, weeks=args.weeks,
-                                  seed=args.seed)
-    print(format_table1(table1(fleets, workers=args.workers)))
+    # The streaming path: the driver ships rack *specs* and folds
+    # results online, so `--racks 7100` runs in bounded memory; output
+    # is byte-identical to materializing the fleets at any worker count.
+    configs = cluster_class_fleet_configs(n_racks=args.racks,
+                                          weeks=args.weeks, seed=args.seed)
+    print(format_table1(table1_streaming(configs, workers=args.workers,
+                                         max_inflight=args.max_inflight)))
     return 0
 
 
@@ -228,17 +260,24 @@ def build_parser() -> argparse.ArgumentParser:
         if command.configure is not None:
             command.configure(p)
         if command.seeded:
-            p.add_argument("--seed", type=int, default=1)
+            p.add_argument("--seed", type=_nonnegative_seed, default=1)
         if name in ("fig5", "fig15", "table1"):
-            p.add_argument("--racks", type=int,
+            p.add_argument("--racks", type=_racks_count,
                            default=30 if name != "table1" else 4)
         if name == "table1":
-            p.add_argument("--weeks", type=int, default=2)
+            p.add_argument("--weeks", type=_weeks_count, default=2,
+                           help="trace length; >= 2 (week 1 is the "
+                                "history window)")
             p.add_argument(
-                "--workers", type=int, default=None, metavar="N",
+                "--workers", type=_workers_count, default=None, metavar="N",
                 help="process-pool size for the (rack, policy) sweep "
-                     "(default: all CPUs; 1 = serial, byte-identical "
+                     "(default: usable CPUs; 1 = serial, byte-identical "
                      "output either way)")
+            p.add_argument(
+                "--max-inflight", type=_inflight_count, default=None,
+                metavar="M",
+                help="in-flight job window (default 4x workers); bounds "
+                     "driver memory during fleet-scale sweeps")
         if name == "fig7":
             p.add_argument("--days", type=int, default=5)
         if name == "cluster":

@@ -35,6 +35,16 @@ architecture"):
 ``compare_policies``/``table1`` additionally fan (rack, policy) work
 items over a process pool (:mod:`repro.experiments.parallel`) via the
 ``workers=`` knob; merged output is byte-identical to the serial path.
+
+For fleet-scale sweeps (the paper's 7.1k racks) the streaming variants
+— :func:`compare_policies_streaming` / :func:`table1_streaming` — never
+materialize the fleet at all: the driver ships ~100-byte
+:class:`~repro.experiments.parallel.RackSpec` recipes, workers
+regenerate each rack's trace from its spawned seed stream, and
+per-rack results fold into running :class:`PolicyAccumulator` totals in
+submission-slot order.  The online merge performs the same left-fold as
+:func:`_aggregate_scores`, so the scores are byte-identical to
+materializing everything serially — at any worker count.
 """
 
 from __future__ import annotations
@@ -58,11 +68,15 @@ from repro.traces.synthetic import FleetConfig, SyntheticFleet, generate_fleet
 __all__ = [
     "RackSimResult",
     "PolicyScore",
+    "PolicyAccumulator",
     "simulate_rack",
     "simulate_rack_reference",
     "compare_policies",
+    "compare_policies_streaming",
+    "cluster_class_fleet_configs",
     "cluster_class_fleets",
     "table1",
+    "table1_streaming",
     "format_table1",
 ]
 
@@ -609,32 +623,72 @@ class PolicyScore:
                 f"{self.normalized_performance:>12.3f}")
 
 
+@dataclass
+class PolicyAccumulator:
+    """Running fleet totals for one policy — the streaming counterpart
+    of summing a ``list[RackSimResult]``.
+
+    Results must be folded in rack order: float accumulation is a left
+    fold from zero, exactly what ``sum()`` over an ordered list does, so
+    a streaming sweep that adds results in submission-slot order scores
+    byte-identically to the materialize-everything path.
+    """
+
+    policy: str
+    racks: int = 0
+    cap_events: int = 0
+    demanded_core_ticks: int = 0
+    successful_core_ticks: float = 0.0
+    perf_sum: float = 0.0
+    noc_penalty_sum: float = 0.0
+    noc_penalty_events: int = 0
+
+    def add(self, result: RackSimResult) -> None:
+        self.racks += 1
+        self.cap_events += result.cap_events
+        self.demanded_core_ticks += result.demanded_core_ticks
+        self.successful_core_ticks += result.successful_core_ticks
+        self.perf_sum += result.perf_sum
+        self.noc_penalty_sum += result.noc_penalty_sum
+        self.noc_penalty_events += result.noc_penalty_events
+
+    def score(self, central_caps: Optional[int]) -> PolicyScore:
+        demanded = self.demanded_core_ticks
+        pen_n = self.noc_penalty_events
+        return PolicyScore(
+            policy=self.policy,
+            cap_events=self.cap_events,
+            normalized_caps=(self.cap_events / central_caps
+                             if central_caps else float(self.cap_events)),
+            success_rate=(self.successful_core_ticks / demanded
+                          if demanded else 1.0),
+            cap_penalty=self.noc_penalty_sum / pen_n if pen_n else 0.0,
+            normalized_performance=(self.perf_sum / demanded
+                                    if demanded else 1.0))
+
+
+def _finalize_scores(accs: dict[str, PolicyAccumulator]
+                     ) -> dict[str, PolicyScore]:
+    """Turn accumulators into Table-I rows (caps normalized to Central
+    when it ran, like the paper)."""
+    central_caps = None
+    if "Central" in accs:
+        central_caps = max(1, accs["Central"].cap_events)
+    return {name: acc.score(central_caps) for name, acc in accs.items()}
+
+
 def _aggregate_scores(
         raw: dict[str, list[RackSimResult]]) -> dict[str, PolicyScore]:
     """Fold per-rack results (in rack order) into Table-I rows.  Both the
     serial and the process-pool sweeps feed this with identically-ordered
     lists, which keeps the float sums — and hence the output — byte-
     identical across ``workers`` settings."""
-    central_caps = None
-    if "Central" in raw:
-        central_caps = max(1, sum(r.cap_events for r in raw["Central"]))
-    scores: dict[str, PolicyScore] = {}
+    accs: dict[str, PolicyAccumulator] = {}
     for name, results in raw.items():
-        caps = sum(r.cap_events for r in results)
-        demanded = sum(r.demanded_core_ticks for r in results)
-        successful = sum(r.successful_core_ticks for r in results)
-        perf = sum(r.perf_sum for r in results)
-        pen_sum = sum(r.noc_penalty_sum for r in results)
-        pen_n = sum(r.noc_penalty_events for r in results)
-        scores[name] = PolicyScore(
-            policy=name,
-            cap_events=caps,
-            normalized_caps=(caps / central_caps
-                             if central_caps else float(caps)),
-            success_rate=successful / demanded if demanded else 1.0,
-            cap_penalty=pen_sum / pen_n if pen_n else 0.0,
-            normalized_performance=perf / demanded if demanded else 1.0)
-    return scores
+        acc = accs[name] = PolicyAccumulator(policy=name)
+        for result in results:
+            acc.add(result)
+    return _finalize_scores(accs)
 
 
 def compare_policies(fleet: SyntheticFleet,
@@ -659,22 +713,66 @@ def compare_policies(fleet: SyntheticFleet,
     return _aggregate_scores(raw)
 
 
-def cluster_class_fleets(*, n_racks: int = 12, weeks: int = 2,
-                         seed: int = 42) -> dict[str, SyntheticFleet]:
-    """Three fleets matching Table I's High/Medium/Low-power classes."""
-    ranges = {
-        "High-Power": (0.86, 0.96),
-        "Medium-Power": (0.78, 0.88),
-        "Low-Power": (0.52, 0.72),
-    }
-    fleets: dict[str, SyntheticFleet] = {}
-    for i, (name, p99_range) in enumerate(ranges.items()):
-        config = FleetConfig(
+def compare_policies_streaming(
+        config: FleetConfig,
+        policy_names: Sequence[str] = TABLE1_POLICIES, *,
+        power_model: PowerModel = DEFAULT_POWER_MODEL,
+        workers: Optional[int] = 1, fast: bool = True,
+        max_inflight: Optional[int] = None) -> dict[str, PolicyScore]:
+    """Sweep the fleet ``config`` describes without materializing it.
+
+    Workers regenerate each rack from its spawned seed stream
+    (:class:`~repro.experiments.parallel.RackSpec`); results fold into
+    running accumulators in submission-slot order.  Byte-identical to
+    ``compare_policies(generate_fleet(config), ...)`` at any worker
+    count, with driver memory bounded by the in-flight window instead of
+    the fleet size."""
+    from repro.experiments.parallel import (
+        RackSpec,
+        iter_rack_policy_results,
+    )
+    names = tuple(policy_names)
+    specs = (RackSpec(config=config, rack_index=r)
+             for r in range(config.n_racks))
+    accs = {name: PolicyAccumulator(policy=name) for name in names}
+    for _rack_slot, name, result in iter_rack_policy_results(
+            specs, names, power_model=power_model, workers=workers,
+            fast=fast, max_inflight=max_inflight):
+        accs[name].add(result)
+    return _finalize_scores(accs)
+
+
+#: Table I's cluster classes: per-rack target P99 utilization ranges.
+_CLUSTER_CLASS_RANGES = {
+    "High-Power": (0.86, 0.96),
+    "Medium-Power": (0.78, 0.88),
+    "Low-Power": (0.52, 0.72),
+}
+
+
+def cluster_class_fleet_configs(*, n_racks: int = 12, weeks: int = 2,
+                                seed: int = 42) -> dict[str, FleetConfig]:
+    """Configs for Table I's High/Medium/Low-power classes.
+
+    The configs alone are enough to drive :func:`table1_streaming`;
+    :func:`cluster_class_fleets` materializes them for the in-memory
+    path."""
+    configs: dict[str, FleetConfig] = {}
+    for i, (name, p99_range) in enumerate(_CLUSTER_CLASS_RANGES.items()):
+        configs[name] = FleetConfig(
             n_racks=n_racks, weeks=weeks, seed=seed + i,
             p99_util_beta=(2.0, 2.0), p99_util_range=p99_range,
             region=name.lower())
-        fleets[name] = generate_fleet(config)
-    return fleets
+    return configs
+
+
+def cluster_class_fleets(*, n_racks: int = 12, weeks: int = 2,
+                         seed: int = 42) -> dict[str, SyntheticFleet]:
+    """Three fleets matching Table I's High/Medium/Low-power classes."""
+    configs = cluster_class_fleet_configs(n_racks=n_racks, weeks=weeks,
+                                          seed=seed)
+    return {name: generate_fleet(config)
+            for name, config in configs.items()}
 
 
 def table1(fleets: dict[str, SyntheticFleet], *,
@@ -702,6 +800,47 @@ def table1(fleets: dict[str, SyntheticFleet], *,
         offset += len(fleet.racks)
         results[name] = _aggregate_scores(raw)
     return results
+
+
+def table1_streaming(configs: dict[str, FleetConfig], *,
+                     power_model: PowerModel = DEFAULT_POWER_MODEL,
+                     workers: Optional[int] = 1, fast: bool = True,
+                     max_inflight: Optional[int] = None
+                     ) -> dict[str, dict[str, PolicyScore]]:
+    """Full Table I without materializing any fleet.
+
+    The whole (fleet, rack, policy) grid streams through one process
+    pool as :class:`~repro.experiments.parallel.RackSpec` jobs; results
+    arrive in submission order, so per-fleet accumulators fold in
+    exactly the order :func:`table1` aggregates its materialized lists —
+    the scores are byte-identical to ``table1(cluster fleets)`` at any
+    worker count, with driver memory bounded by the in-flight window."""
+    from repro.experiments.parallel import (
+        RackSpec,
+        iter_rack_policy_results,
+    )
+    order = list(configs)
+    # Fleet boundaries in the flattened rack-slot space.
+    bounds: list[int] = []
+    total = 0
+    for name in order:
+        total += configs[name].n_racks
+        bounds.append(total)
+    specs = (RackSpec(config=configs[name], rack_index=r)
+             for name in order
+             for r in range(configs[name].n_racks))
+    accs = {name: {p: PolicyAccumulator(policy=p) for p in TABLE1_POLICIES}
+            for name in order}
+    fleet_idx = 0
+    for rack_slot, policy, result in iter_rack_policy_results(
+            specs, TABLE1_POLICIES, power_model=power_model,
+            workers=workers, fast=fast, max_inflight=max_inflight):
+        # Results arrive slot-ordered, so the owning fleet only ever
+        # advances — no per-result search needed.
+        while rack_slot >= bounds[fleet_idx]:
+            fleet_idx += 1
+        accs[order[fleet_idx]][policy].add(result)
+    return {name: _finalize_scores(accs[name]) for name in order}
 
 
 def format_table1(results: dict[str, dict[str, PolicyScore]]) -> str:

@@ -15,8 +15,10 @@ from repro.traces.synthetic import (
     RackProfile,
     SyntheticFleet,
     generate_fleet,
+    generate_fleet_rack,
     generate_rack,
     generate_server_trace,
+    rack_seed_sequence,
 )
 from repro.traces.io import load_rack_csv, save_rack_csv
 from repro.traces.stats import (
@@ -36,8 +38,10 @@ __all__ = [
     "RackProfile",
     "SyntheticFleet",
     "generate_fleet",
+    "generate_fleet_rack",
     "generate_rack",
     "generate_server_trace",
+    "rack_seed_sequence",
     "save_rack_csv",
     "load_rack_csv",
     "UtilizationStats",

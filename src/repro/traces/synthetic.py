@@ -18,7 +18,15 @@ the statistical structure the paper's characterization (§III) relies on:
   overclocking for a configurable share of cores during their daily peaks
   (some for minutes per hour, some for contiguous hours — §III Q2).
 
-All randomness flows from one ``numpy.random.Generator``.
+All randomness flows from one ``numpy.random.SeedSequence``: the fleet
+seed spawns one independent child stream per rack
+(:func:`rack_seed_sequence`), so rack *i*'s trace depends only on
+``(config.seed, i)`` — byte-identical whether the rack is materialized
+by the driver (:func:`generate_fleet`) or regenerated inside a worker
+process from a :class:`~repro.experiments.parallel.RackSpec`
+(:func:`generate_fleet_rack`).  That independence is what lets the
+7.1k-rack sweep ship ~100-byte specs to workers instead of whole trace
+arrays (DESIGN.md "Performance architecture").
 """
 
 from __future__ import annotations
@@ -39,7 +47,9 @@ __all__ = [
     "SyntheticFleet",
     "generate_server_trace",
     "generate_rack",
+    "generate_fleet_rack",
     "generate_fleet",
+    "rack_seed_sequence",
 ]
 
 SECONDS_PER_DAY = 86400.0
@@ -337,14 +347,50 @@ def sample_rack_profile(rng: np.random.Generator,
     return RackProfile(target_p99_utilization=target)
 
 
+def rack_seed_sequence(fleet_seed: int, rack_index: int
+                       ) -> np.random.SeedSequence:
+    """The rack's own child entropy stream.
+
+    ``SeedSequence(fleet_seed, spawn_key=(rack_index,))`` is exactly the
+    child that ``SeedSequence(fleet_seed).spawn(rack_index + 1)[-1]``
+    would produce, without spawning the preceding siblings — so a worker
+    can reconstruct rack *i*'s stream from ``(fleet_seed, i)`` alone,
+    and the draw order of other racks can never perturb it.
+    """
+    if rack_index < 0:
+        raise ValueError(f"rack_index must be >= 0: {rack_index}")
+    return np.random.SeedSequence(fleet_seed, spawn_key=(rack_index,))
+
+
+def generate_fleet_rack(config: FleetConfig, rack_index: int, *,
+                        power_model: PowerModel = DEFAULT_POWER_MODEL
+                        ) -> RackTrace:
+    """Materialize rack ``rack_index`` of the fleet ``config`` describes.
+
+    Byte-identical wherever it runs: the rack's profile and every server
+    draw come from :func:`rack_seed_sequence`'s child stream, so the
+    driver building a whole fleet and a pool worker expanding one
+    :class:`~repro.experiments.parallel.RackSpec` produce the same
+    arrays.
+    """
+    if not 0 <= rack_index < config.n_racks:
+        raise ValueError(
+            f"rack_index {rack_index} outside fleet of {config.n_racks}")
+    rng = np.random.default_rng(rack_seed_sequence(config.seed, rack_index))
+    profile = sample_rack_profile(rng, config)
+    return generate_rack(f"{config.region}-rack{rack_index:04d}", config,
+                         profile, rng, power_model=power_model)
+
+
 def generate_fleet(config: FleetConfig, *,
                    power_model: PowerModel = DEFAULT_POWER_MODEL
                    ) -> SyntheticFleet:
-    """Generate a whole fleet deterministically from ``config.seed``."""
-    rng = np.random.default_rng(config.seed)
-    racks: list[RackTrace] = []
-    for r in range(config.n_racks):
-        profile = sample_rack_profile(rng, config)
-        racks.append(generate_rack(f"{config.region}-rack{r:04d}", config,
-                                   profile, rng, power_model=power_model))
+    """Generate a whole fleet deterministically from ``config.seed``.
+
+    Each rack draws from its own spawned child stream (see
+    :func:`generate_fleet_rack`), never from a shared sequential
+    generator — the seed-sharding contract of the fleet-scale sweep.
+    """
+    racks = [generate_fleet_rack(config, r, power_model=power_model)
+             for r in range(config.n_racks)]
     return SyntheticFleet(config=config, racks=racks)

@@ -5,24 +5,38 @@ start method — the same code path the CI perf smoke job uses), so they
 are kept small: two racks, two policies, coarse telemetry.
 """
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.experiments.largescale import (
     compare_policies,
+    compare_policies_streaming,
     format_table1,
     table1,
 )
-from repro.experiments.parallel import resolve_workers, run_rack_policy_jobs
-from repro.traces.synthetic import FleetConfig, generate_fleet
+from repro.experiments.parallel import (
+    RackSpec,
+    iter_rack_policy_results,
+    resolve_workers,
+    run_rack_policy_jobs,
+)
+from repro.traces.synthetic import (
+    FleetConfig,
+    generate_fleet,
+    generate_fleet_rack,
+)
+
+SMALL_CONFIG = FleetConfig(n_racks=2, weeks=2, seed=21, interval_s=900.0,
+                           servers_per_rack_min=5, servers_per_rack_max=5,
+                           p99_util_beta=(2.0, 2.0),
+                           p99_util_range=(0.85, 0.95))
 
 
 @pytest.fixture(scope="module")
 def small_fleet():
-    config = FleetConfig(n_racks=2, weeks=2, seed=21, interval_s=900.0,
-                         servers_per_rack_min=5, servers_per_rack_max=5,
-                         p99_util_beta=(2.0, 2.0),
-                         p99_util_range=(0.85, 0.95))
-    return generate_fleet(config)
+    return generate_fleet(SMALL_CONFIG)
 
 
 class TestResolveWorkers:
@@ -35,6 +49,27 @@ class TestResolveWorkers:
     def test_zero_rejected(self):
         with pytest.raises(ValueError, match="workers"):
             resolve_workers(0)
+
+    def test_none_prefers_affinity_over_cpu_count(self, monkeypatch):
+        """cgroup/cpuset-limited CI: the affinity mask (2 usable CPUs)
+        must win over the host-wide cpu_count (8)."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_workers(None) == 2
+
+    def test_none_falls_back_to_cpu_count(self, monkeypatch):
+        """Platforms without sched_getaffinity use cpu_count."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert resolve_workers(None) == 6
+
+    def test_oserror_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity")
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert resolve_workers(None) == 5
 
 
 class TestSerialSharding:
@@ -78,3 +113,107 @@ class TestProcessPoolByteIdentity:
         pooled = table1(fleets, workers=2)
         assert pooled == serial
         assert format_table1(pooled) == format_table1(serial)
+
+
+def assert_rack_traces_equal(a, b):
+    assert a.rack_id == b.rack_id
+    assert a.region == b.region
+    assert a.power_limit_watts == b.power_limit_watts
+    assert len(a.servers) == len(b.servers)
+    for sa, sb in zip(a.servers, b.servers):
+        assert sa.server_id == sb.server_id
+        assert np.array_equal(sa.times, sb.times)
+        assert np.array_equal(sa.power_watts, sb.power_watts)
+        assert np.array_equal(sa.utilization, sb.utilization)
+        assert np.array_equal(sa.oc_cores, sb.oc_cores)
+
+
+class TestSeedShardedIdentity:
+    """The seed-sharding contract: a rack regenerated from
+    ``(fleet_seed, rack_index)`` is byte-identical to the rack the
+    driver produced inside ``generate_fleet`` — and therefore so is
+    every simulation result computed from it, wherever it ran."""
+
+    def test_spec_materializes_driver_rack(self, small_fleet):
+        for i, rack in enumerate(small_fleet.racks):
+            spec = RackSpec(config=SMALL_CONFIG, rack_index=i)
+            assert_rack_traces_equal(spec.materialize(), rack)
+
+    def test_rack_independent_of_fleet_size(self):
+        """Rack i's stream must not depend on how many siblings were
+        generated before it (the old sequential-rng coupling)."""
+        grown = FleetConfig(n_racks=4, weeks=2, seed=21, interval_s=900.0,
+                            servers_per_rack_min=5, servers_per_rack_max=5,
+                            p99_util_beta=(2.0, 2.0),
+                            p99_util_range=(0.85, 0.95))
+        assert_rack_traces_equal(generate_fleet_rack(grown, 1),
+                                 generate_fleet_rack(SMALL_CONFIG, 1))
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="outside fleet"):
+            generate_fleet_rack(SMALL_CONFIG, SMALL_CONFIG.n_racks)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("max_inflight", [1, None])
+    def test_worker_expansion_matches_driver(self, small_fleet, workers,
+                                             max_inflight):
+        """Property test of ISSUE 6: sweeping RackSpecs (workers expand
+        the traces locally) equals sweeping the driver-materialized
+        racks, for every (workers, max_inflight) combination."""
+        names = ("Central", "SmartOClock")
+        specs = [RackSpec(config=SMALL_CONFIG, rack_index=i)
+                 for i in range(SMALL_CONFIG.n_racks)]
+        from_specs = run_rack_policy_jobs(specs, names, workers=workers,
+                                          max_inflight=max_inflight)
+        from_traces = run_rack_policy_jobs(small_fleet.racks, names,
+                                           workers=1)
+        assert from_specs == from_traces
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_streaming_scores_identical(self, small_fleet, workers):
+        """The online merge folds in submission-slot order: streaming
+        scores are byte-identical to the materialized serial path."""
+        names = ("NoWarning", "SmartOClock")
+        serial = compare_policies(small_fleet, names, workers=1)
+        streamed = compare_policies_streaming(SMALL_CONFIG, names,
+                                              workers=workers,
+                                              max_inflight=3)
+        assert streamed == serial
+
+
+class TestFailFast:
+    """A worker exception must surface promptly and cancel queued jobs
+    instead of letting the rest of the grid run to completion."""
+
+    def test_serial_path_raises(self, small_fleet):
+        with pytest.raises(KeyError, match="Bogus"):
+            run_rack_policy_jobs(small_fleet.racks, ("Central", "Bogus"),
+                                 workers=1)
+
+    def test_pool_poisoned_policy_raises(self):
+        """Poisoned policy on a multi-rack grid: the sweep dies on the
+        first failed job, with queued work cancelled (the sweep would
+        take many times longer if the remaining grid ran out)."""
+        config = FleetConfig(n_racks=6, weeks=2, seed=7, interval_s=1800.0,
+                             servers_per_rack_min=3, servers_per_rack_max=3)
+        specs = [RackSpec(config=config, rack_index=i)
+                 for i in range(config.n_racks)]
+        with pytest.raises(KeyError, match="Bogus"):
+            run_rack_policy_jobs(specs, ("Bogus", "Central"), workers=2,
+                                 max_inflight=2)
+
+    def test_generator_raises_before_later_slots(self):
+        """Consuming the stream: the error arrives as soon as its slot
+        would, not after the whole grid."""
+        config = FleetConfig(n_racks=4, weeks=2, seed=7, interval_s=1800.0,
+                             servers_per_rack_min=3, servers_per_rack_max=3)
+        specs = [RackSpec(config=config, rack_index=i)
+                 for i in range(config.n_racks)]
+        seen = []
+        with pytest.raises(KeyError, match="Bogus"):
+            for rack_slot, name, _result in iter_rack_policy_results(
+                    specs, ("Central", "Bogus"), workers=2,
+                    max_inflight=2):
+                seen.append((rack_slot, name))
+        # Slot order means nothing after the poisoned slot was emitted.
+        assert all(name == "Central" for _slot, name in seen)

@@ -48,3 +48,40 @@ class TestCommands:
     def test_fig15_small(self, capsys):
         assert main(["fig15", "--racks", "2"]) == 0
         assert "DailyMed" in capsys.readouterr().out
+
+    def test_table1_small_serial(self, capsys):
+        assert main(["table1", "--racks", "1", "--weeks", "2",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "High-Power" in out and "SmartOClock" in out
+
+
+class TestNumericValidation:
+    """Out-of-domain numeric args exit with argparse's usage error
+    (code 2), not a traceback from deep inside trace generation or
+    pool setup."""
+
+    @pytest.mark.parametrize("argv", [
+        ["table1", "--racks", "0"],
+        ["table1", "--weeks", "1"],
+        ["table1", "--workers", "0"],
+        ["table1", "--max-inflight", "0"],
+        ["table1", "--seed", "-3"],
+        ["table1", "--racks", "many"],
+        ["fig5", "--racks", "0"],
+        ["fig5", "--seed", "-1"],
+        ["fig15", "--racks", "-2"],
+        ["fig15", "--seed", "-1"],
+    ])
+    def test_rejected_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_valid_boundaries_accepted(self):
+        args = build_parser().parse_args(
+            ["table1", "--racks", "1", "--weeks", "2", "--workers", "1",
+             "--max-inflight", "1", "--seed", "0"])
+        assert (args.racks, args.weeks, args.workers,
+                args.max_inflight, args.seed) == (1, 2, 1, 1, 0)
