@@ -38,8 +38,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ignore", metavar="RULE", action="append",
                         default=None,
                         help="skip these rules (repeatable)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="diagnostic output format")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="diagnostic output format (github emits "
+                             "workflow ::error annotations)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
 
@@ -57,8 +59,9 @@ def run(args: argparse.Namespace) -> int:
     """Execute ``repro lint`` and return the process exit code."""
     rules = all_rules()
     if args.list_rules:
+        width = max(map(len, rules), default=0) + 2
         for rule_id in sorted(rules):
-            print(f"{rule_id:<18} {rules[rule_id].description}")
+            print(f"{rule_id:<{width}}{rules[rule_id].description}")
         return 0
     for flag in ("select", "ignore"):
         for rule_id in getattr(args, flag) or ():
@@ -80,7 +83,21 @@ def run(args: argparse.Namespace) -> int:
             config, ignore=config.ignore | frozenset(args.ignore))
     result = lint_paths(paths, config)
     if args.format == "json":
-        print(json.dumps([d.as_dict() for d in result.diagnostics], indent=2))
+        envelope = {
+            "files_checked": result.files_checked,
+            "parse_errors": result.parse_errors,
+            "exit_code": result.exit_code,
+            "diagnostics": [d.as_dict() for d in result.diagnostics],
+        }
+        print(json.dumps(envelope, indent=2))
+    elif args.format == "github":
+        for diagnostic in result.diagnostics:
+            print(diagnostic.format_github())
+        # The summary line is for the job log; annotations above are
+        # what the runner surfaces on the PR diff.
+        noun = "file" if result.files_checked == 1 else "files"
+        print(f"{result.files_checked} {noun} checked, "
+              f"{len(result.diagnostics)} diagnostic(s)")
     else:
         for diagnostic in result.diagnostics:
             print(diagnostic.format())

@@ -17,7 +17,9 @@ __all__ = [
     "DEFAULT_DURABLE_FIELDS",
     "DEFAULT_ENGINE_INTERNALS",
     "DEFAULT_HOT_PATH_MODULES",
+    "DEFAULT_POLICY_BASE_CLASSES",
     "DEFAULT_POWER_FIELDS",
+    "DEFAULT_WORKER_ENTRYPOINTS",
     "LintConfig",
     "load_config",
 ]
@@ -80,6 +82,21 @@ DEFAULT_ENGINE_MODULES = ("sim/engine.py",)
 # tick-loop-allocation rule flags per-iteration NumPy allocations there.
 DEFAULT_HOT_PATH_MODULES = ("experiments/largescale.py",)
 
+# Class names whose subclasses carry the fast-path purity contract
+# (tick_stateless / warning_inert).  Matching is by name against the
+# approximate MRO, so a fixture's local ``TracePolicy`` stub counts.
+DEFAULT_POLICY_BASE_CLASSES = frozenset({"TracePolicy"})
+
+# Functions executed inside pool workers under the spawn start method.
+# The seed-sharded contract (rack i is a pure function of
+# ``(fleet_seed, i)``) requires them to touch no mutable module globals
+# beyond the sanctioned worker-local None-sentinels.  Dotted specs match
+# ``module.qualname``; bare names match that qualname in any module.
+DEFAULT_WORKER_ENTRYPOINTS = frozenset({
+    "repro.experiments.parallel._run_job",
+    "repro.experiments.parallel._init_worker",
+})
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -99,6 +116,8 @@ class LintConfig:
     engine_modules: tuple[str, ...] = DEFAULT_ENGINE_MODULES
     hot_path_modules: tuple[str, ...] = DEFAULT_HOT_PATH_MODULES
     determinism_modules: Optional[tuple[str, ...]] = None
+    policy_base_classes: frozenset[str] = DEFAULT_POLICY_BASE_CLASSES
+    worker_entrypoints: frozenset[str] = DEFAULT_WORKER_ENTRYPOINTS
 
     def enabled(self, rule_id: str) -> bool:
         """True when ``rule_id`` should run under this configuration."""
@@ -159,4 +178,12 @@ def load_config(pyproject: Optional[Path] = None,
     if "determinism-modules" in section:
         updates["determinism_modules"] = _as_str_tuple(
             section["determinism-modules"], "determinism-modules")
+    if "policy-base-classes" in section:
+        updates["policy_base_classes"] = config.policy_base_classes | \
+            frozenset(_as_str_tuple(section["policy-base-classes"],
+                                    "policy-base-classes"))
+    if "worker-entrypoints" in section:
+        updates["worker_entrypoints"] = config.worker_entrypoints | \
+            frozenset(_as_str_tuple(section["worker-entrypoints"],
+                                    "worker-entrypoints"))
     return dataclasses.replace(config, **updates)  # type: ignore[arg-type]

@@ -1,11 +1,16 @@
 """Per-module and cross-module analysis context.
 
 :class:`ModuleContext` wraps one parsed file: its AST, a child→parent
-map (so rules can ask "what class/function encloses this node?"), and
-the module's import tables.  :class:`ProjectIndex` aggregates function
-signatures across every linted file so call-site rules (unit safety)
-can bind positional arguments to parameter names, including across
-modules via ``from``-imports and unique method names.
+map (so rules can ask "what class/function encloses this node?"), the
+module's import tables, and a one-pass *node index* bucketing every AST
+node by type — rules ask for exactly the node kinds they care about
+(:meth:`ModuleContext.nodes_of_type`) instead of each re-walking the
+whole tree.  :class:`ProjectIndex` aggregates function signatures
+across every linted file so call-site rules (unit safety) can bind
+positional arguments to parameter names, including across modules via
+``from``-imports and unique method names; it also lazily builds and
+caches the interprocedural effect analysis
+(:mod:`repro.analysis.effects`) the purity rules run on.
 """
 
 from __future__ import annotations
@@ -13,7 +18,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import Iterator, Optional, Union
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.analysis.effects import EffectAnalysis
 
 __all__ = ["FunctionSig", "ModuleContext", "ProjectIndex"]
 
@@ -84,13 +92,18 @@ class ModuleContext:
         self.module_aliases: dict[str, str] = {}
         # local name → (source module, original name) for from-imports
         self.imported_names: dict[str, tuple[str, str]] = {}
+        # One-pass node index: exact node type → nodes in walk order.
+        self._nodes_by_type: dict[type, list[ast.AST]] = {}
+        self._walk_order: dict[int, int] = {}
         self._index_tree()
 
     def _index_tree(self) -> None:
-        for parent in ast.walk(self.tree):
-            for child in ast.iter_child_nodes(parent):
-                self._parents[id(child)] = parent
-        for node in ast.walk(self.tree):
+        """Single walk building parents, import tables and type buckets."""
+        for order, node in enumerate(ast.walk(self.tree)):
+            self._walk_order[id(node)] = order
+            self._nodes_by_type.setdefault(type(node), []).append(node)
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     self.module_aliases[alias.asname or alias.name.split(".")[0]] = \
@@ -99,6 +112,20 @@ class ModuleContext:
                 for alias in node.names:
                     self.imported_names[alias.asname or alias.name] = \
                         (node.module, alias.name)
+
+    def nodes_of_type(self, *types: type) -> list[ast.AST]:
+        """Every node of the exact given types, in ``ast.walk`` order.
+
+        Replaces per-rule ``ast.walk`` sweeps: the tree is traversed once
+        at parse time and each of the now-8+ rules pulls just the
+        buckets it inspects.
+        """
+        if len(types) == 1:
+            return list(self._nodes_by_type.get(types[0], ()))
+        merged = [node for node_type in types
+                  for node in self._nodes_by_type.get(node_type, ())]
+        merged.sort(key=lambda node: self._walk_order[id(node)])
+        return merged
 
     def parent(self, node: ast.AST) -> Optional[ast.AST]:
         return self._parents.get(id(node))
@@ -144,13 +171,25 @@ class ProjectIndex:
         default_factory=dict)
     # method name → every sig with that name, for unique-name fallback
     methods_by_name: dict[str, list[FunctionSig]] = field(default_factory=dict)
+    # The contexts the index was built from, kept so the effect analysis
+    # can be derived lazily (and cached) the first time a rule needs it.
+    contexts: list[ModuleContext] = field(default_factory=list)
+    _effects: Optional[object] = field(default=None, repr=False)
 
     @classmethod
     def build(cls, contexts: list[ModuleContext]) -> "ProjectIndex":
-        index = cls()
+        index = cls(contexts=list(contexts))
         for ctx in contexts:
             index._add_module(ctx)
         return index
+
+    def effect_analysis(self) -> "EffectAnalysis":
+        """The interprocedural effect analysis over this project, built
+        on first use and shared by every purity rule in the run."""
+        if self._effects is None:
+            from repro.analysis.effects import EffectAnalysis
+            self._effects = EffectAnalysis.build(self.contexts, self)
+        return self._effects  # type: ignore[return-value]
 
     def _add_module(self, ctx: ModuleContext) -> None:
         module_table = self.module_level.setdefault(ctx.module, {})

@@ -34,3 +34,29 @@ class Diagnostic:
             "rule": self.rule_id,
             "message": self.message,
         }
+
+    def format_github(self) -> str:
+        """Render as a GitHub Actions workflow annotation.
+
+        ``::error file=...,line=...,col=...,title=...::message`` — the
+        runner attaches these to the PR diff at file:line.  Columns are
+        1-based in annotations, 0-based in our diagnostics.
+        """
+        return (f"::error file={_escape_property(self.path)},"
+                f"line={self.line},col={self.col + 1},"
+                f"title={_escape_property(self.rule_id)}"
+                f"::{_escape_data(self.message)}")
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command message (order matters: % first)."""
+    return (value.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value."""
+    return (_escape_data(value)
+            .replace(":", "%3A")
+            .replace(",", "%2C"))

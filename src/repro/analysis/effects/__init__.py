@@ -1,0 +1,46 @@
+"""Interprocedural effect inference for the purity lint rules.
+
+The fast-path and spawn-safety contracts (DESIGN.md "Performance
+architecture", "Layer 3 — seed-sharded streaming sweep") are *purity*
+contracts: a ``TracePolicy`` declaring ``tick_stateless = True``
+promises its ``decide`` mutates nothing, and the process-pool worker
+promises rack ``i`` is a pure function of ``(fleet_seed, i)``.  This
+package checks those promises statically:
+
+* :mod:`~repro.analysis.effects.summary` extracts a per-function
+  **effect summary** from the AST — writes to ``self.*``, mutation of
+  parameters (subscript stores, augmented assignment, in-place NumPy
+  calls, mutating container methods), RNG/wall-clock use, and reads or
+  writes of mutable module globals.
+* :mod:`~repro.analysis.effects.callgraph` indexes classes (bases,
+  linearization, class-body constants) and resolves call sites across
+  modules, reusing the :class:`~repro.analysis.context.ProjectIndex`
+  signature-resolution idiom.
+* :mod:`~repro.analysis.effects.propagate` runs a fixpoint pass so
+  effects flow through helper calls: the summary lattice is a finite
+  powerset ordered by inclusion, the transfer function is a monotone
+  union, so iteration terminates at the least fixpoint.
+
+Known unsoundness (documented in DESIGN.md): dynamic dispatch through a
+value whose method name is defined more than once in the project,
+``getattr``/reflection, aliasing through containers, and effects of
+code outside the linted tree are all invisible.  The rules built on
+top are therefore *bug finders with exact positives*, not verifiers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.effects.callgraph import ClassIndex, ClassInfo, ModuleGlobals
+from repro.analysis.effects.propagate import EffectAnalysis, IMPURE_KINDS
+from repro.analysis.effects.summary import Effect, FunctionInfo, FunctionKey
+
+__all__ = [
+    "ClassIndex",
+    "ClassInfo",
+    "Effect",
+    "EffectAnalysis",
+    "FunctionInfo",
+    "FunctionKey",
+    "IMPURE_KINDS",
+    "ModuleGlobals",
+]

@@ -1,0 +1,333 @@
+"""Fixpoint propagation of effect summaries across the call graph.
+
+The summary domain is the finite powerset of :class:`Effect` values
+occurring in the project, ordered by inclusion.  The transfer function
+unions a function's direct effects with its callees' summaries *lifted*
+through the call-site argument binding (a callee's ``self-write``
+becomes whatever the receiver base was at the call site; a callee's
+``param-mutation`` follows the argument bound to that parameter; RNG
+and global effects propagate unchanged).  Union is monotone and the
+domain finite, so round-robin iteration terminates at the least
+fixpoint.
+
+Two resolutions of the same call graph are computed:
+
+* The **static pass** (``summaries``) resolves ``self.m()`` in the
+  *defining* class's MRO — a context-insensitive whole-project map.
+* :meth:`EffectAnalysis.method_effects` re-runs a small fixpoint per
+  concrete class, resolving ``self``/``super`` edges in *that* class's
+  MRO — so a base-class ``fast_decide`` that calls ``self.decide()``
+  picks up each subclass's actual ``decide`` when the purity rule asks
+  about that subclass.
+
+Effects keep their original ``path``/``line``/``origin`` through every
+lift, so a diagnostic raised three calls up still points at the raw
+mutating statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.analysis.context import ModuleContext, ProjectIndex
+
+from repro.analysis.effects.callgraph import ClassIndex, ClassKey, ModuleGlobals
+from repro.analysis.effects.summary import (
+    ArgBase,
+    CallSite,
+    Effect,
+    FunctionInfo,
+    FunctionKey,
+    extract_function,
+)
+
+__all__ = ["EffectAnalysis"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Effect kinds that count as "mutation or RNG" for purity contracts.
+IMPURE_KINDS = frozenset({
+    "self-write", "param-mutation", "global-write", "rng",
+})
+
+
+def _remap(base: Optional[ArgBase], effect: Effect) -> Iterator[Effect]:
+    """Map a callee-frame mutation effect onto a caller-frame base."""
+    if base is None:
+        return
+    scope, detail = base
+    if scope == "self":
+        if detail is not None:
+            name = detail
+        elif effect.kind == "self-write":
+            name = effect.name
+        else:
+            name = "self"
+        yield Effect(kind="self-write", name=name, path=effect.path,
+                     line=effect.line, origin=effect.origin)
+    elif scope == "param":
+        yield Effect(kind="param-mutation", name=detail or "?",
+                     path=effect.path, line=effect.line,
+                     origin=effect.origin)
+    elif scope == "global":
+        yield Effect(kind="global-write", name=detail or "?",
+                     path=effect.path, line=effect.line,
+                     origin=effect.origin)
+
+
+def _lift(effects: Iterable[Effect], site: CallSite,
+          callee: FunctionInfo) -> set[Effect]:
+    """Map a callee's summary into the caller's frame at one call site."""
+    lifted: set[Effect] = set()
+    params = callee.params
+    positional = params[1:] if callee.is_method and params else params
+    binding: dict[str, Optional[ArgBase]] = {}
+    for position, arg in enumerate(site.args):
+        if position < len(positional):
+            binding[positional[position]] = arg
+    binding.update(site.kwargs)
+    if callee.is_method and params:
+        binding[params[0]] = site.recv
+    for effect in effects:
+        if effect.kind in ("rng", "global-read", "global-write"):
+            lifted.add(effect)
+        elif effect.kind == "self-write":
+            lifted.update(_remap(site.recv, effect))
+        elif effect.kind == "param-mutation":
+            lifted.update(_remap(binding.get(effect.name), effect))
+    return lifted
+
+
+class EffectAnalysis:
+    """Whole-project effect summaries plus per-class refinement."""
+
+    def __init__(self, functions: dict[FunctionKey, FunctionInfo],
+                 classes: ClassIndex,
+                 globals_by_module: dict[str, ModuleGlobals],
+                 contexts_by_module: dict[str, ModuleContext]) -> None:
+        self.functions = functions
+        self.classes = classes
+        self.globals_by_module = globals_by_module
+        self.contexts_by_module = contexts_by_module
+        self.summaries: dict[FunctionKey, frozenset[Effect]] = {}
+        self._method_memo: dict[tuple[ClassKey, str], frozenset[Effect]] = {}
+        self._fixpoint()
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(cls, contexts: list[ModuleContext],
+              index: ProjectIndex) -> "EffectAnalysis":
+        del index  # signature parity with ProjectIndex.effect_analysis
+        globals_by_module = {ctx.module: ModuleGlobals.scan(ctx)
+                             for ctx in contexts}
+        classes = ClassIndex.build(contexts)
+
+        # Name tables for the direct-call resolver, built before any
+        # extraction so call sites in module A can resolve into module B
+        # regardless of lint order.
+        module_funcs: dict[str, dict[str, FunctionKey]] = {}
+        methods_by_name: dict[str, list[FunctionKey]] = {}
+        targets: list[tuple[ModuleContext, FunctionNode, FunctionKey,
+                            Optional[str]]] = []
+        for ctx in contexts:
+            table = module_funcs.setdefault(ctx.module, {})
+            for node in ctx.tree.body:
+                if isinstance(node, _FUNCTION_NODES):
+                    key: FunctionKey = (ctx.module, node.name)
+                    table[node.name] = key
+                    targets.append((ctx, node, key, None))
+                elif isinstance(node, ast.ClassDef):
+                    for item in node.body:
+                        if isinstance(item, _FUNCTION_NODES):
+                            key = (ctx.module, f"{node.name}.{item.name}")
+                            methods_by_name.setdefault(
+                                item.name, []).append(key)
+                            targets.append((ctx, item, key, node.name))
+
+        def constructor(class_key: ClassKey) -> Optional[FunctionKey]:
+            info = classes.classes.get(class_key)
+            if info is None:
+                return None
+            return info.methods.get("__init__")
+
+        def resolve_direct(ctx: ModuleContext,
+                           call: ast.Call) -> Optional[FunctionKey]:
+            func = call.func
+            if isinstance(func, ast.Name):
+                local = module_funcs.get(ctx.module, {}).get(func.id)
+                if local is not None:
+                    return local
+                ctor = constructor((ctx.module, func.id))
+                if ctor is not None:
+                    return ctor
+                imported = ctx.imported_names.get(func.id)
+                if imported is not None:
+                    source, original = imported
+                    remote = module_funcs.get(source, {}).get(original)
+                    if remote is not None:
+                        return remote
+                    return constructor((source, original))
+                return None
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    module = ctx.module_aliases.get(base.id)
+                    if module is not None:
+                        remote = module_funcs.get(module, {}).get(func.attr)
+                        if remote is not None:
+                            return remote
+                        return constructor((module, func.attr))
+                # obj.method(...): sound only when the method name is
+                # defined exactly once project-wide (same fallback the
+                # unit-safety rule uses); ambiguous dispatch stays
+                # unresolved — the documented unsoundness.
+                candidates = methods_by_name.get(func.attr, [])
+                if len(candidates) == 1:
+                    return candidates[0]
+            return None
+
+        functions: dict[FunctionKey, FunctionInfo] = {}
+        for ctx, node, key, class_name in targets:
+            functions[key] = extract_function(
+                ctx, node, key, class_name, globals_by_module,
+                resolve_direct)
+        return cls(functions, classes, globals_by_module,
+                   {ctx.module: ctx for ctx in contexts})
+
+    # ------------------------------------------------------------------
+    # static (context-insensitive) fixpoint
+
+    def _defining_class(self, info: FunctionInfo) -> Optional[ClassKey]:
+        if info.class_name is None:
+            return None
+        return (info.key[0], info.class_name)
+
+    def _static_target(self, info: FunctionInfo,
+                       site: CallSite) -> Optional[FunctionKey]:
+        if site.kind == "direct":
+            return site.target
+        class_key = self._defining_class(info)
+        if class_key is None:
+            return None
+        if site.kind == "self":
+            return self.classes.resolve_method(class_key, site.name)
+        # super(): next definition after the defining class itself.
+        return self.classes.resolve_method(class_key, site.name,
+                                           after=class_key)
+
+    def _fixpoint(self) -> None:
+        summaries: dict[FunctionKey, set[Effect]] = {
+            key: set(info.direct) for key, info in self.functions.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self.functions.items():
+                current = summaries[key]
+                for site in info.calls:
+                    target = self._static_target(info, site)
+                    if target is None or target not in self.functions:
+                        continue
+                    lifted = _lift(summaries[target], site,
+                                   self.functions[target])
+                    if not lifted <= current:
+                        current |= lifted
+                        changed = True
+        self.summaries = {key: frozenset(value)
+                          for key, value in summaries.items()}
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def effects_of(self, key: FunctionKey) -> frozenset[Effect]:
+        """Static transitive summary (defining-class dispatch)."""
+        return self.summaries.get(key, frozenset())
+
+    def method_effects(self, class_key: ClassKey,
+                       method: str) -> frozenset[Effect]:
+        """Transitive effects of ``method`` dispatched on an instance of
+        ``class_key``: ``self``/``super`` edges re-resolve in this
+        class's MRO, direct edges reuse the static summaries."""
+        memo_key = (class_key, method)
+        cached = self._method_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        entry = self.classes.resolve_method(class_key, method)
+        if entry is None or entry not in self.functions:
+            self._method_memo[memo_key] = frozenset()
+            return frozenset()
+        # Reachable set over self/super edges only; direct callees fold
+        # in through the already-fixpointed static summaries.
+        order: list[FunctionKey] = [entry]
+        edges: dict[FunctionKey, list[tuple[CallSite, FunctionKey]]] = {}
+        local: dict[FunctionKey, set[Effect]] = {}
+        cursor = 0
+        while cursor < len(order):
+            fkey = order[cursor]
+            cursor += 1
+            info = self.functions[fkey]
+            base = set(info.direct)
+            outgoing: list[tuple[CallSite, FunctionKey]] = []
+            for site in info.calls:
+                if site.kind == "direct":
+                    if site.target is not None and \
+                            site.target in self.functions:
+                        base |= _lift(self.summaries[site.target], site,
+                                      self.functions[site.target])
+                    continue
+                if site.kind == "self":
+                    target = self.classes.resolve_method(class_key,
+                                                         site.name)
+                else:  # super()
+                    defining = self._defining_class(info)
+                    target = None if defining is None else \
+                        self.classes.resolve_method(class_key, site.name,
+                                                    after=defining)
+                if target is None or target not in self.functions:
+                    continue
+                outgoing.append((site, target))
+                if target not in edges and target not in order:
+                    order.append(target)
+            edges[fkey] = outgoing
+            local[fkey] = base
+        changed = True
+        while changed:
+            changed = False
+            for fkey in order:
+                current = local[fkey]
+                for site, target in edges[fkey]:
+                    lifted = _lift(local[target], site,
+                                   self.functions[target])
+                    if not lifted <= current:
+                        current |= lifted
+                        changed = True
+        result = frozenset(local[entry])
+        self._method_memo[memo_key] = result
+        return result
+
+    def entrypoints_matching(self, spec: str) -> list[FunctionKey]:
+        """Function keys matched by a ``worker-entrypoints`` spec.
+
+        A dotted spec matches ``module.qualname`` exactly; a bare name
+        (no dots) matches that qualname in any module — so fixture
+        configs can name a worker without hardcoding the fixture's
+        synthesized module path.
+        """
+        dotted = [key for key in self.functions
+                  if f"{key[0]}.{key[1]}" == spec]
+        if dotted:
+            return sorted(dotted)
+        if "." not in spec:
+            return sorted(key for key in self.functions if key[1] == spec)
+        return []
+
+    def is_none_sentinel(self, ref: str) -> bool:
+        """True when a ``module:name`` global ref is the sanctioned
+        worker-local None-sentinel (module-level ``NAME = None`` rebound
+        only through ``global`` statements)."""
+        module, _, name = ref.partition(":")
+        table = self.globals_by_module.get(module)
+        return table is not None and name in table.none_sentinel

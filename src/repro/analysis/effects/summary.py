@@ -1,0 +1,437 @@
+"""Per-function effect summaries extracted from the AST.
+
+One :class:`FunctionInfo` per module-level function or class method.
+Nested functions (closures, ``commit`` callbacks) are folded into their
+enclosing function: *defining* a closure does not run it, but almost
+every closure in this codebase is invoked or handed out by its definer,
+so attributing its effects to the definer is the safe over-approximation
+for purity checking.
+
+The raw effects recorded here are *direct* only; transitive effects
+through calls are computed by :mod:`repro.analysis.effects.propagate`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Union
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.rules.determinism import classify_nondeterminism
+
+if TYPE_CHECKING:
+    from repro.analysis.effects.callgraph import ModuleGlobals
+
+__all__ = [
+    "ArgBase",
+    "CallSite",
+    "Effect",
+    "FunctionInfo",
+    "FunctionKey",
+    "MUTATING_METHODS",
+    "RNG_DRAW_METHODS",
+    "extract_function",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: (module, qualname) — qualname is ``func`` or ``Class.method``.
+FunctionKey = tuple[str, str]
+
+#: Container/ndarray methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "update", "setdefault", "popitem", "add", "discard",
+    "appendleft", "popleft", "fill", "put", "itemset", "resize",
+})
+
+#: ``np.random.Generator`` draw methods: each advances the generator's
+#: state, so a draw from persistent state (self attribute, parameter,
+#: module global) is both a mutation and a nondeterminism hazard.
+RNG_DRAW_METHODS = frozenset({
+    "normal", "standard_normal", "uniform", "random", "integers",
+    "choice", "shuffle", "permutation", "permuted", "exponential",
+    "poisson", "binomial", "gamma", "beta", "lognormal", "triangular",
+    "laplace", "logistic", "spawn", "bytes",
+})
+
+
+@dataclass(frozen=True, order=True)
+class Effect:
+    """One atomic effect, anchored at the raw source site.
+
+    ``kind`` is one of ``self-write`` (name = the ``self`` attribute),
+    ``param-mutation`` (name = the parameter), ``global-read`` /
+    ``global-write`` (name = ``module:global``), or ``rng`` (name =
+    a human-readable description of the call).  Propagation preserves
+    the original ``path``/``line``/``origin`` so diagnostics point at
+    the offending statement, however deep in the call chain it lives.
+    """
+
+    kind: str
+    name: str
+    path: str
+    line: int
+    origin: str  # qualname of the function containing the raw site
+
+
+#: Terminal base of an argument/receiver expression, for effect lifting:
+#: ("self", attr_or_None), ("param", name), or ("global", "module:name").
+ArgBase = tuple[str, Optional[str]]
+
+#: Resolver mapping a direct (non-self, non-super) call expression to a
+#: known project function, or None — supplied by the call-graph layer.
+DirectResolver = Callable[[ModuleContext, ast.Call], Optional[FunctionKey]]
+
+
+@dataclass
+class CallSite:
+    """One call expression and everything lifting needs to map the
+    callee's effects into the caller's frame."""
+
+    node: ast.Call
+    kind: str                       # "self" | "super" | "direct"
+    name: str                       # callee function/method name
+    target: Optional[FunctionKey]   # resolved statically ("direct" only)
+    recv: Optional[ArgBase]         # receiver base for obj.method(...)
+    args: list[Optional[ArgBase]]
+    kwargs: dict[str, Optional[ArgBase]]
+
+
+@dataclass
+class FunctionInfo:
+    """One function's extraction result: direct effects + call sites."""
+
+    key: FunctionKey
+    node: FunctionNode
+    path: str
+    class_name: Optional[str]
+    params: tuple[str, ...]         # full parameter list, self included
+    is_method: bool = False
+    direct: set[Effect] = field(default_factory=set)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        return self.key[1]
+
+
+def _walk_region(fn: FunctionNode) -> Iterator[ast.AST]:
+    """Walk the function body, nested defs included (fold-in)."""
+    for stmt in fn.body:
+        yield from ast.walk(stmt)
+
+
+def _local_names(fn: FunctionNode) -> tuple[set[str], set[str]]:
+    """(locals, global_declared) over the folded function region.
+
+    Locals over-approximate: every name stored anywhere in the region
+    (own body and nested defs) counts, as do all parameter names, so a
+    read of such a name is never misattributed to module scope.  Names
+    declared ``global`` anywhere in the region are subtracted.
+    """
+    locals_: set[str] = set()
+    global_declared: set[str] = set()
+    nodes: list[FunctionNode] = [fn]
+    while nodes:
+        current = nodes.pop()
+        args = current.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            locals_.add(arg.arg)
+        if args.vararg is not None:
+            locals_.add(args.vararg.arg)
+        if args.kwarg is not None:
+            locals_.add(args.kwarg.arg)
+        for node in _walk_region(current):
+            if isinstance(node, _FUNCTION_NODES):
+                locals_.add(node.name)
+                nodes.append(node)
+            elif isinstance(node, ast.ClassDef):
+                locals_.add(node.name)
+            elif isinstance(node, ast.Global):
+                global_declared.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                locals_.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                locals_.add(node.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    locals_.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                locals_.add(node.name)
+    return locals_ - global_declared, global_declared
+
+
+def _chain_root(node: ast.expr) -> tuple[Optional[ast.Name], Optional[str]]:
+    """Innermost ``Name`` of an attribute/subscript chain and the first
+    attribute above it: ``self.x.y[0]`` → (Name self, "x")."""
+    attrs: list[str] = []
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Name):
+            return current, (attrs[-1] if attrs else None)
+        else:
+            return None, None
+
+
+class _Extractor:
+    """Extracts one function's direct effects and call sites."""
+
+    def __init__(self, ctx: ModuleContext, fn: FunctionNode,
+                 key: FunctionKey, class_name: Optional[str],
+                 globals_by_module: "dict[str, ModuleGlobals]",
+                 resolve_direct: DirectResolver) -> None:
+        self.ctx = ctx
+        self.fn = fn
+        self.key = key
+        self.class_name = class_name
+        self.globals_by_module = globals_by_module
+        self.resolve_direct = resolve_direct
+        self.locals, self.global_declared = _local_names(fn)
+        args = fn.args
+        params = [a.arg for a in args.posonlyargs + args.args
+                  + args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg.arg)
+        if args.kwarg is not None:
+            params.append(args.kwarg.arg)
+        self.params = tuple(params)
+        self.is_method = class_name is not None and bool(params) and \
+            params[0] in ("self", "cls")
+        self.info = FunctionInfo(key=key, node=fn, path=ctx.path,
+                                 class_name=class_name, params=self.params,
+                                 is_method=self.is_method)
+
+    # ------------------------------------------------------------------
+    # name classification
+
+    def _tracked(self, module: str, name: str) -> bool:
+        table = self.globals_by_module.get(module)
+        return table is not None and name in table.tracked
+
+    def _global_ref(self, name: str) -> Optional[str]:
+        """``module:name`` when ``name`` resolves to a *tracked* mutable
+        module global (same module, or a from-import of one)."""
+        if name in self.locals:
+            return None
+        table = self.globals_by_module.get(self.ctx.module)
+        if table is not None and name in table.bindings:
+            if name in table.tracked:
+                return f"{self.ctx.module}:{name}"
+            return None
+        imported = self.ctx.imported_names.get(name)
+        if imported is not None:
+            source, original = imported
+            if self._tracked(source, original):
+                return f"{source}:{original}"
+        return None
+
+    def base_of(self, node: ast.expr) -> Optional[ArgBase]:
+        """Terminal base of an expression, for binding/lifting."""
+        root, first_attr = _chain_root(node)
+        if root is None:
+            return None
+        if root.id == "self" and self.is_method:
+            return ("self", first_attr)
+        if root.id in self.params:
+            # Attribute chains under a parameter still alias the
+            # parameter's object graph: mutating them mutates the arg.
+            return ("param", root.id)
+        if root.id in self.locals:
+            return None
+        ref = self._global_ref(root.id)
+        if ref is not None:
+            return ("global", ref)
+        # Module alias attribute: ``mod.NAME``.
+        if first_attr is not None:
+            module = self.ctx.module_aliases.get(root.id)
+            if module is not None and self._tracked(module, first_attr):
+                return ("global", f"{module}:{first_attr}")
+        return None
+
+    # ------------------------------------------------------------------
+    # effect emission
+
+    def _emit(self, kind: str, name: str, node: ast.AST) -> None:
+        self.info.direct.add(Effect(
+            kind=kind, name=name, path=self.ctx.path,
+            line=getattr(node, "lineno", self.fn.lineno),
+            origin=self.key[1]))
+
+    def _emit_mutation(self, base: Optional[ArgBase], node: ast.AST) -> None:
+        if base is None:
+            return
+        scope, detail = base
+        if scope == "self":
+            self._emit("self-write", detail if detail is not None else "self",
+                       node)
+        elif scope == "param":
+            self._emit("param-mutation", detail or "?", node)
+        elif scope == "global":
+            self._emit("global-write", detail or "?", node)
+
+    # ------------------------------------------------------------------
+    # extraction passes
+
+    def run(self) -> FunctionInfo:
+        for node in _walk_region(self.fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._store_target(target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                self._store_target(node.target, augmented=isinstance(
+                    node, ast.AugAssign))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._store_target(target)
+            elif isinstance(node, ast.Call):
+                self._call(node)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                ref = self._global_ref(node.id)
+                if ref is not None and not self._is_store_base(node):
+                    self._emit("global-read", ref, node)
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    isinstance(node.value, ast.Name):
+                module = self.ctx.module_aliases.get(node.value.id)
+                if module is not None and self._tracked(module, node.attr) \
+                        and not self._is_store_base(node):
+                    self._emit("global-read", f"{module}:{node.attr}", node)
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    not node.level:
+                # A function-level from-import of a mutable global binds
+                # the *current* object: parent state under fork, a fresh
+                # re-import under spawn — a read for purity purposes.
+                for alias in node.names:
+                    if self._tracked(node.module, alias.name):
+                        self._emit("global-read",
+                                   f"{node.module}:{alias.name}", node)
+        return self.info
+
+    def _is_store_base(self, node: ast.expr) -> bool:
+        """True when ``node`` is the base of a store/delete target
+        (``G[k] = v``, ``del G.attr``): the mutation pass records that
+        as a write, so the syntactic Load of the base is not a read."""
+        current: ast.expr = node
+        parent = self.ctx.parent(current)
+        while isinstance(parent, (ast.Attribute, ast.Subscript)) and \
+                parent.value is current:
+            current = parent
+            parent = self.ctx.parent(current)
+        return current is not node and \
+            isinstance(current.ctx, (ast.Store, ast.Del))  # type: ignore[attr-defined]
+
+    def _store_target(self, target: ast.expr, augmented: bool = False) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store_target(element, augmented)
+            return
+        if isinstance(target, ast.Starred):
+            self._store_target(target.value, augmented)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.global_declared:
+                self._emit("global-write",
+                           f"{self.ctx.module}:{target.id}", target)
+            elif augmented and target.id in self.params:
+                # ``p += v`` mutates in place when p is an ndarray; for
+                # scalars it only rebinds.  Over-approximate as mutation
+                # — purity contracts here are about array state.
+                self._emit("param-mutation", target.id, target)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._emit_mutation(self.base_of(target), target)
+
+    def _call(self, call: ast.Call) -> None:
+        # RNG / wall-clock classification (module-based forms).
+        message = classify_nondeterminism(call, self.ctx.module_aliases,
+                                          self.ctx.imported_names)
+        if message is not None:
+            self._emit("rng", message.split(";")[0], call)
+        # ``out=`` keyword: in-place NumPy result placement.
+        for keyword in call.keywords:
+            if keyword.arg == "out":
+                self._emit_mutation(self.base_of(keyword.value), call)
+        func = call.func
+        # np.copyto(dst, ...) and np.<ufunc>.at(a, ...) mutate arg 0.
+        if self._is_numpy_inplace(func) and call.args:
+            self._emit_mutation(self.base_of(call.args[0]), call)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # Receiver-state effects: obj.append(...), self._rng.normal().
+            recv = self.base_of(base)
+            if recv is not None:
+                if func.attr in MUTATING_METHODS:
+                    self._emit_mutation(recv, call)
+                elif func.attr in RNG_DRAW_METHODS and not (
+                        isinstance(base, ast.Name)
+                        and base.id in self.ctx.module_aliases):
+                    self._emit("rng", f"draw {func.attr}() from persistent "
+                               f"generator state", call)
+                    self._emit_mutation(recv, call)
+        self._call_site(call)
+
+    def _is_numpy_inplace(self, func: ast.expr) -> bool:
+        if not isinstance(func, ast.Attribute):
+            return False
+        value = func.value
+        if func.attr == "copyto" and isinstance(value, ast.Name) and \
+                self.ctx.module_aliases.get(value.id) == "numpy":
+            return True
+        # np.maximum.at / np.add.at / ...
+        return (func.attr == "at" and isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and self.ctx.module_aliases.get(value.value.id) == "numpy")
+
+    def _call_site(self, call: ast.Call) -> None:
+        func = call.func
+        args = [self.base_of(a) for a in call.args
+                if not isinstance(a, ast.Starred)]
+        if any(isinstance(a, ast.Starred) for a in call.args):
+            args = []  # positional binding unknowable past a *splat
+        kwargs = {k.arg: self.base_of(k.value) for k in call.keywords
+                  if k.arg is not None}
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self" and \
+                    self.is_method:
+                self.info.calls.append(CallSite(
+                    node=call, kind="self", name=func.attr, target=None,
+                    recv=("self", None), args=args, kwargs=kwargs))
+                return
+            if isinstance(base, ast.Call) and \
+                    isinstance(base.func, ast.Name) and \
+                    base.func.id == "super":
+                self.info.calls.append(CallSite(
+                    node=call, kind="super", name=func.attr, target=None,
+                    recv=("self", None), args=args, kwargs=kwargs))
+                return
+            target = self.resolve_direct(self.ctx, call)
+            if target is not None:
+                self.info.calls.append(CallSite(
+                    node=call, kind="direct", name=func.attr, target=target,
+                    recv=self.base_of(base), args=args, kwargs=kwargs))
+            return
+        if isinstance(func, ast.Name):
+            target = self.resolve_direct(self.ctx, call)
+            if target is not None:
+                self.info.calls.append(CallSite(
+                    node=call, kind="direct", name=func.id, target=target,
+                    recv=None, args=args, kwargs=kwargs))
+
+
+def extract_function(ctx: ModuleContext, fn: FunctionNode, key: FunctionKey,
+                     class_name: Optional[str],
+                     globals_by_module: "dict[str, ModuleGlobals]",
+                     resolve_direct: DirectResolver) -> FunctionInfo:
+    """Extract ``fn``'s direct effect summary and call sites."""
+    return _Extractor(ctx, fn, key, class_name, globals_by_module,
+                      resolve_direct).run()

@@ -41,7 +41,8 @@ class DurableStateWriteRule(Rule):
 
     def check(self, ctx: ModuleContext, index: ProjectIndex,
               config: LintConfig) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes_of_type(ast.Assign, ast.AugAssign,
+                                      ast.AnnAssign, ast.Delete):
             targets: list[ast.expr]
             if isinstance(node, ast.Assign):
                 targets = list(node.targets)

@@ -49,7 +49,8 @@ class HandlerHygieneRule(Rule):
     def check(self, ctx: ModuleContext, index: ProjectIndex,
               config: LintConfig) -> Iterator[Diagnostic]:
         in_engine_module = ctx.path_matches(config.engine_modules)
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes_of_type(ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Attribute):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 args = node.args
                 defaults = list(args.defaults) + [

@@ -58,25 +58,22 @@ class TickLoopAllocationRule(Rule):
             return
         aliases = ctx.module_aliases
         imported = ctx.imported_names
-        seen: set[tuple[int, int]] = set()
-        for loop in ast.walk(ctx.tree):
-            if not isinstance(loop, _LOOP_NODES):
+        # Each call is visited exactly once via the node index; the loop
+        # containment test climbs the parent chain instead of re-walking
+        # every loop body.
+        for node in ctx.nodes_of_type(ast.Call):
+            assert isinstance(node, ast.Call)
+            name = self._allocator_name(node, aliases, imported)
+            if name is None:
                 continue
-            for node in ast.walk(loop):
-                if not isinstance(node, ast.Call):
-                    continue
-                name = self._allocator_name(node, aliases, imported)
-                if name is None:
-                    continue
-                key = (node.lineno, node.col_offset)
-                if key in seen:  # nested loops walk the same call twice
-                    continue
-                seen.add(key)
-                yield self.diagnostic(
-                    ctx, node.lineno, node.col_offset,
-                    f"np.{name}() allocates a fresh array every loop "
-                    f"iteration in a hot-path module; hoist the buffer "
-                    f"out of the loop or compute it segment-at-a-time")
+            if not any(isinstance(ancestor, _LOOP_NODES)
+                       for ancestor in ctx.ancestors(node)):
+                continue
+            yield self.diagnostic(
+                ctx, node.lineno, node.col_offset,
+                f"np.{name}() allocates a fresh array every loop "
+                f"iteration in a hot-path module; hoist the buffer "
+                f"out of the loop or compute it segment-at-a-time")
 
     def _allocator_name(self, call: ast.Call, aliases: dict[str, str],
                         imported: dict[str, tuple[str, str]]) -> str | None:

@@ -75,9 +75,8 @@ class UnitMismatchRule(Rule):
 
     def check(self, ctx: ModuleContext, index: ProjectIndex,
               config: LintConfig) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes_of_type(ast.Call):
+            assert isinstance(node, ast.Call)
             yield from self._check_keywords(ctx, node)
             yield from self._check_positional(ctx, index, node)
 

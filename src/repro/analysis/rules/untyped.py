@@ -27,9 +27,8 @@ class UntypedDefRule(Rule):
 
     def check(self, ctx: ModuleContext, index: ProjectIndex,
               config: LintConfig) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        for node in ctx.nodes_of_type(ast.FunctionDef, ast.AsyncFunctionDef):
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
             args = node.args
             named = args.posonlyargs + args.args + args.kwonlyargs
             missing = [a.arg for a in named

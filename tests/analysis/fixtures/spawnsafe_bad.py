@@ -1,0 +1,21 @@
+"""Known-bad fixture: worker entrypoint touching mutable module globals.
+
+Linted with ``worker_entrypoints={"worker_main"}`` (bare-name spec).
+"""
+
+_SHARED_CACHE: dict = {}
+_LIMITS = [4, 8, 16]
+
+
+def _lookup(row: int) -> int:
+    return _LIMITS[row % 3]            # line 11: spawn-purity (via helper)
+
+
+def worker_main(job: int) -> int:
+    _SHARED_CACHE[job] = job           # line 15: spawn-purity
+    return _lookup(job)
+
+
+def untargeted(job: int) -> int:
+    """Not an entrypoint: the same reads stay unflagged here."""
+    return _LIMITS[job % 3] + len(_SHARED_CACHE)

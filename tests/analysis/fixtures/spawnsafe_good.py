@@ -1,0 +1,24 @@
+"""Known-good fixture: worker-local None-sentinel idiom.
+
+Linted with ``worker_entrypoints={"worker_main", "_init_worker"}``:
+module-level ``NAME = None`` rebound only via ``global`` inside the
+worker functions is per-process state that spawn re-initializes in
+every child, so it cannot leak parent state.
+"""
+
+_WORKER_MODEL = None
+_WORKER_CACHE = None
+
+
+def _init_worker(model: object) -> None:
+    global _WORKER_MODEL
+    _WORKER_MODEL = model
+
+
+def worker_main(job: int) -> int:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = _WORKER_MODEL
+    payload = [job, job + 1]
+    payload.append(job + 2)            # mutating a local: not an effect
+    return len(payload)

@@ -1,0 +1,26 @@
+"""Known-bad fixture: on_warning overrides vs. the warning_inert flag."""
+from typing import ClassVar
+
+
+class TracePolicy:
+    tick_stateless: ClassVar[bool] = False
+    warning_inert: ClassVar[bool] = True
+
+    def decide(self, ctx: object) -> object:
+        return ctx
+
+    def on_warning(self, ctx: object) -> None:
+        return None
+
+
+class EagerHook(TracePolicy):
+    """Real on_warning body while warning_inert stays True."""
+
+    def on_warning(self, ctx: object) -> None:  # line 19: warning-hook-inert
+        self._warned = True
+
+
+class FalseFlag(TracePolicy):
+    """Declares the flag off but never implements the hook."""
+
+    warning_inert = False                       # line 26: warning-hook-inert

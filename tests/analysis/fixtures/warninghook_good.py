@@ -1,0 +1,43 @@
+"""Known-good fixture: hook overrides agree with warning_inert."""
+from typing import ClassVar
+
+
+class TracePolicy:
+    tick_stateless: ClassVar[bool] = False
+    warning_inert: ClassVar[bool] = True
+
+    def decide(self, ctx: object) -> object:
+        return ctx
+
+    def on_warning(self, ctx: object) -> None:
+        return None
+
+
+class RealHook(TracePolicy):
+    """Implements the hook and declares the flag off: consistent."""
+
+    warning_inert = False
+
+    def on_warning(self, ctx: object) -> None:
+        self._warned = True
+
+
+class Untouched(TracePolicy):
+    """Inherits both the no-op hook and the True flag: consistent."""
+
+    def decide(self, ctx: object) -> object:
+        return ctx
+
+
+class NoopOverride(TracePolicy):
+    """A docstring-only override is still a no-op."""
+
+    def on_warning(self, ctx: object) -> None:
+        """Nothing to do for this policy."""
+
+
+class InheritedRealHook(RealHook):
+    """warning_inert = False resolved from the parent, hook inherited."""
+
+    def decide(self, ctx: object) -> object:
+        return ctx

@@ -1,0 +1,262 @@
+"""Unit tests for the interprocedural effect-inference layer."""
+
+import ast
+
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.effects import EffectAnalysis, ModuleGlobals
+
+
+def build(sources: dict[str, str]) -> EffectAnalysis:
+    """Build an analysis over in-memory modules keyed by dotted name."""
+    contexts = [
+        ModuleContext(name.replace(".", "/") + ".py", source,
+                      ast.parse(source))
+        for name, source in sources.items()]
+    return EffectAnalysis.build(contexts, ProjectIndex.build(contexts))
+
+
+def kinds(analysis: EffectAnalysis, module: str,
+          qualname: str) -> set[tuple[str, str]]:
+    return {(e.kind, e.name)
+            for e in analysis.effects_of((module, qualname))}
+
+
+class TestDirectExtraction:
+    def test_self_write(self):
+        analysis = build({"m": (
+            "class C:\n"
+            "    def f(self) -> None:\n"
+            "        self.total = 1\n")})
+        assert kinds(analysis, "m", "C.f") == {("self-write", "total")}
+
+    def test_param_subscript_and_augmented(self):
+        analysis = build({"m": (
+            "def f(buf: list, arr: object) -> None:\n"
+            "    buf[0] = 1\n"
+            "    arr += 2\n")})
+        assert kinds(analysis, "m", "f") == {("param-mutation", "buf"),
+                                             ("param-mutation", "arr")}
+
+    def test_mutating_method_on_param(self):
+        analysis = build({"m": (
+            "def f(acc: list) -> None:\n"
+            "    acc.append(3)\n")})
+        assert kinds(analysis, "m", "f") == {("param-mutation", "acc")}
+
+    def test_numpy_out_and_copyto(self):
+        analysis = build({"m": (
+            "import numpy as np\n"
+            "def f(dst: object, src: object) -> None:\n"
+            "    np.add(src, 1, out=dst)\n"
+            "    np.copyto(dst, src)\n")})
+        assert kinds(analysis, "m", "f") == {("param-mutation", "dst")}
+
+    def test_local_mutation_is_not_an_effect(self):
+        analysis = build({"m": (
+            "def f(n: int) -> list:\n"
+            "    out = []\n"
+            "    out.append(n)\n"
+            "    out[0] = n\n"
+            "    return out\n")})
+        assert kinds(analysis, "m", "f") == set()
+
+    def test_rng_draw_on_self_generator(self):
+        analysis = build({"m": (
+            "class C:\n"
+            "    def f(self) -> float:\n"
+            "        return self._rng.normal()\n")})
+        assert ("self-write", "_rng") in kinds(analysis, "m", "C.f")
+        assert any(k == "rng" for k, _ in kinds(analysis, "m", "C.f"))
+
+    def test_wall_clock_is_rng_effect(self):
+        analysis = build({"m": (
+            "import time\n"
+            "def f() -> float:\n"
+            "    return time.time()\n")})
+        assert any(k == "rng" for k, _ in kinds(analysis, "m", "f"))
+
+
+class TestModuleGlobals:
+    def test_classification(self):
+        source = (
+            "CACHE = {}\n"
+            "LIMIT = 7\n"
+            "_HANDLE = None\n"
+            "NAMES = ['a']\n"
+            "def f() -> None:\n"
+            "    global _HANDLE\n"
+            "    _HANDLE = object()\n")
+        ctx = ModuleContext("m.py", source, ast.parse(source))
+        table = ModuleGlobals.scan(ctx)
+        assert table.mutable_literal == {"CACHE", "NAMES"}
+        assert table.rebound == {"_HANDLE"}
+        assert table.none_sentinel == {"_HANDLE"}
+        assert table.tracked == {"CACHE", "NAMES", "_HANDLE"}
+        assert "LIMIT" in table.bindings and "LIMIT" not in table.tracked
+
+    def test_rebound_non_none_is_not_a_sentinel(self):
+        source = (
+            "_STATE = {'a': 1}\n"
+            "def f() -> None:\n"
+            "    global _STATE\n"
+            "    _STATE = {}\n")
+        ctx = ModuleContext("m.py", source, ast.parse(source))
+        table = ModuleGlobals.scan(ctx)
+        assert table.none_sentinel == set()
+        assert "_STATE" in table.tracked
+
+
+class TestPropagation:
+    def test_effects_flow_through_same_module_helper(self):
+        analysis = build({"m": (
+            "class C:\n"
+            "    def top(self) -> None:\n"
+            "        self.helper()\n"
+            "    def helper(self) -> None:\n"
+            "        self.count = 1\n")})
+        assert ("self-write", "count") in kinds(analysis, "m", "C.top")
+
+    def test_effect_keeps_raw_site_through_two_hops(self):
+        analysis = build({"m": (
+            "def a(x: list) -> None:\n"
+            "    b(x)\n"
+            "def b(x: list) -> None:\n"
+            "    c(x)\n"
+            "def c(x: list) -> None:\n"
+            "    x[0] = 1\n")})
+        effects = analysis.effects_of(("m", "a"))
+        assert len(effects) == 1
+        effect = next(iter(effects))
+        assert effect.line == 6 and effect.origin == "c"
+
+    def test_cross_module_from_import(self):
+        analysis = build({
+            "pkg.helper": ("def bump(acc: list) -> None:\n"
+                           "    acc.append(1)\n"),
+            "pkg.main": ("from pkg.helper import bump\n"
+                         "def run(items: list) -> None:\n"
+                         "    bump(items)\n"),
+        })
+        assert kinds(analysis, "pkg.main", "run") == \
+            {("param-mutation", "items")}
+
+    def test_param_mutation_lifts_to_self_attribute(self):
+        analysis = build({"m": (
+            "def bump(acc: list) -> None:\n"
+            "    acc.append(1)\n"
+            "class C:\n"
+            "    def f(self) -> None:\n"
+            "        bump(self.history)\n")})
+        assert kinds(analysis, "m", "C.f") == {("self-write", "history")}
+
+    def test_keyword_binding_lifts(self):
+        analysis = build({"m": (
+            "def bump(n: int, acc: list) -> None:\n"
+            "    acc.append(n)\n"
+            "def f(items: list) -> None:\n"
+            "    bump(acc=items, n=1)\n")})
+        assert kinds(analysis, "m", "f") == {("param-mutation", "items")}
+
+    def test_recursive_helpers_terminate(self):
+        analysis = build({"m": (
+            "def a(x: list) -> None:\n"
+            "    x.append(1)\n"
+            "    b(x)\n"
+            "def b(x: list) -> None:\n"
+            "    a(x)\n")})
+        assert kinds(analysis, "m", "a") == {("param-mutation", "x")}
+        assert kinds(analysis, "m", "b") == {("param-mutation", "x")}
+
+    def test_constructor_self_writes_stay_local(self):
+        analysis = build({"m": (
+            "class C:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.x = 1\n"
+            "def f() -> object:\n"
+            "    return C()\n")})
+        assert kinds(analysis, "m", "f") == set()
+
+    def test_ambiguous_method_name_is_unresolved(self):
+        analysis = build({"m": (
+            "class A:\n"
+            "    def poke(self) -> None:\n"
+            "        self.x = 1\n"
+            "class B:\n"
+            "    def poke(self) -> None:\n"
+            "        self.y = 1\n"
+            "def f(obj: object) -> None:\n"
+            "    obj.poke()\n")})
+        # Two candidates for poke(): dynamic dispatch stays invisible —
+        # the documented unsoundness.
+        assert kinds(analysis, "m", "f") == set()
+
+
+class TestClassDispatch:
+    SOURCE = (
+        "class Base:\n"
+        "    def fast(self) -> object:\n"
+        "        return self.decide()\n"
+        "    def decide(self) -> object:\n"
+        "        return None\n"
+        "class Sub(Base):\n"
+        "    def decide(self) -> object:\n"
+        "        self.n = 1\n"
+        "        return None\n")
+
+    def test_method_effects_use_concrete_mro(self):
+        analysis = build({"m": self.SOURCE})
+        sub = analysis.method_effects(("m", "Sub"), "fast")
+        assert {(e.kind, e.name) for e in sub} == {("self-write", "n")}
+        base = analysis.method_effects(("m", "Base"), "fast")
+        assert base == frozenset()
+
+    def test_super_call_resolves_past_the_defining_class(self):
+        analysis = build({"m": (
+            "class Base:\n"
+            "    def f(self) -> None:\n"
+            "        self.base_touched = 1\n"
+            "class Sub(Base):\n"
+            "    def f(self) -> None:\n"
+            "        super().f()\n")})
+        effects = analysis.method_effects(("m", "Sub"), "f")
+        assert {(e.kind, e.name) for e in effects} == \
+            {("self-write", "base_touched")}
+
+    def test_class_attr_resolves_through_mro(self):
+        analysis = build({"m": (
+            "class Base:\n"
+            "    flag = True\n"
+            "class Mid(Base):\n"
+            "    pass\n"
+            "class Leaf(Mid):\n"
+            "    flag = False\n")})
+        classes = analysis.classes
+        assert classes.class_attr(("m", "Mid"), "flag") == \
+            (True, ("m", "Base"))
+        assert classes.class_attr(("m", "Leaf"), "flag") == \
+            (False, ("m", "Leaf"))
+        assert classes.ancestor_names(("m", "Leaf")) == \
+            {"Leaf", "Mid", "Base"}
+
+
+class TestEntrypoints:
+    def test_dotted_and_bare_specs(self):
+        analysis = build({"pkg.worker": (
+            "def run_job(job: int) -> int:\n"
+            "    return job\n")})
+        assert analysis.entrypoints_matching("pkg.worker.run_job") == \
+            [("pkg.worker", "run_job")]
+        assert analysis.entrypoints_matching("run_job") == \
+            [("pkg.worker", "run_job")]
+        assert analysis.entrypoints_matching("pkg.other.run_job") == []
+
+    def test_none_sentinel_lookup(self):
+        analysis = build({"m": (
+            "_MODEL = None\n"
+            "_TABLE = {}\n"
+            "def init(model: object) -> None:\n"
+            "    global _MODEL\n"
+            "    _MODEL = model\n")})
+        assert analysis.is_none_sentinel("m:_MODEL")
+        assert not analysis.is_none_sentinel("m:_TABLE")
+        assert not analysis.is_none_sentinel("missing:_MODEL")

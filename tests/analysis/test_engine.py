@@ -106,8 +106,53 @@ class TestCli:
                      "--format", "json"])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert all(d["rule"] == "power-cache-write" for d in payload)
-        assert [d["line"] for d in payload] == [6, 7, 11, 12]
+        assert payload["files_checked"] == 1
+        assert payload["parse_errors"] == 0
+        assert payload["exit_code"] == 1
+        diagnostics = payload["diagnostics"]
+        assert all(d["rule"] == "power-cache-write" for d in diagnostics)
+        assert [d["line"] for d in diagnostics] == [6, 7, 11, 12]
+
+    def test_json_envelope_clean_run(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert main(["lint", str(clean), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"files_checked": 1, "parse_errors": 0,
+                           "exit_code": 0, "diagnostics": []}
+
+    def test_github_format(self, capsys):
+        code = main(["lint", str(FIXTURES / "power_bad.py"),
+                     "--format", "github"])
+        assert code == 1
+        lines = capsys.readouterr().out.splitlines()
+        annotations = [l for l in lines if l.startswith("::error ")]
+        assert len(annotations) == 4
+        first = annotations[0]
+        assert first.startswith("::error file=")
+        assert "line=6," in first
+        assert "title=power-cache-write" in first
+        assert "::" in first[len("::error "):]  # property/message separator
+        # Workflow-command payloads are single-line by construction.
+        assert all("\n" not in a for a in annotations)
+
+    def test_github_format_escapes_newlines_and_percent(self):
+        from repro.analysis.diagnostics import Diagnostic
+        diagnostic = Diagnostic(path="a,b.py", line=3, col=0,
+                                rule_id="x", message="50% bad\nnext")
+        rendered = diagnostic.format_github()
+        assert "%25" in rendered and "%0A" in rendered
+        assert "a%2Cb.py" in rendered
+        assert "\n" not in rendered
+
+    def test_list_rules_columns_aligned(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        starts = {line.index(all_rules()[line.split()[0]].description[:20])
+                  for line in lines}
+        assert len(starts) == 1  # every description starts in the same column
+        width = starts.pop()
+        assert width > max(len(rule_id) for rule_id in all_rules())
 
     def test_select_flag(self, capsys):
         code = main(["lint", str(FIXTURES / "power_bad.py"),
@@ -147,3 +192,24 @@ class TestConfigLoading:
         pyproject.write_text("[tool.oclint]\nignore = 3\n")
         with pytest.raises(ValueError):
             load_config(pyproject)
+
+    def test_purity_keys_merge_as_unions(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.oclint]\n"
+            'policy-base-classes = ["MyPolicyBase"]\n'
+            'worker-entrypoints = ["my.module.worker"]\n')
+        config = load_config(pyproject)
+        assert "MyPolicyBase" in config.policy_base_classes
+        assert "TracePolicy" in config.policy_base_classes  # default kept
+        assert "my.module.worker" in config.worker_entrypoints
+        assert "repro.experiments.parallel._run_job" in \
+            config.worker_entrypoints  # default kept
+
+    def test_repo_pyproject_names_parallel_entrypoints(self):
+        repo_pyproject = Path(__file__).parents[2] / "pyproject.toml"
+        config = load_config(repo_pyproject)
+        assert "repro.experiments.parallel._run_job" in \
+            config.worker_entrypoints
+        assert "repro.experiments.parallel._init_worker" in \
+            config.worker_entrypoints

@@ -7,10 +7,12 @@ unannotated function fails here before CI even reaches mypy.
 
 from pathlib import Path
 
-from repro.analysis import lint_paths
+from repro.analysis import lint_paths, load_config
+from repro.analysis.registry import all_rules
 from repro.cli import main
 
-REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+REPO = Path(__file__).resolve().parents[2]
+REPO_SRC = REPO / "src"
 
 
 def test_src_tree_lints_clean():
@@ -19,6 +21,22 @@ def test_src_tree_lints_clean():
     assert result.exit_code == 0, f"repo must lint clean:\n{formatted}"
     # Sanity: the run actually covered the tree.
     assert result.files_checked > 50
+
+
+def test_src_tree_clean_under_repo_config():
+    # The pyproject config names the real worker entrypoints, so this
+    # exercises the effect rules against the actual policy and worker
+    # code rather than the built-in defaults.
+    config = load_config(REPO / "pyproject.toml")
+    assert "repro.experiments.parallel._run_job" in config.worker_entrypoints
+    result = lint_paths([REPO_SRC], config)
+    formatted = "\n".join(d.format() for d in result.diagnostics)
+    assert result.exit_code == 0, f"repo must lint clean:\n{formatted}"
+
+
+def test_effect_rules_are_registered_and_enabled():
+    assert {"purity-stateless-tick", "warning-hook-inert",
+            "spawn-purity"} <= set(all_rules())
 
 
 def test_cli_entry_point_on_src(capsys):
