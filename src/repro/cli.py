@@ -218,6 +218,21 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0 if result.safe else 1
 
 
+def _cmd_oversub(args: argparse.Namespace) -> int:
+    from repro.experiments.oversubscription import (
+        OversubScenarioConfig,
+        format_oversub_report,
+        oversubscription_experiment,
+    )
+    config = OversubScenarioConfig(n_racks=args.racks, seed=args.seed)
+    result = oversubscription_experiment(config, workers=args.workers)
+    print(format_oversub_report(result, as_json=args.json))
+    # Exit non-zero if the oversubscription claims failed: a non-monotone
+    # risk ladder, a conservative run escaping the Table-1 envelope, or
+    # any rack left above its physical limit after enforcement.
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run
     return run(args)
@@ -243,6 +258,9 @@ _COMMANDS: dict[str, _Command] = {
                        "fault-free vs faulted SmartOClock comparison"),
     "recovery": _Command(_cmd_recovery,
                          "crash/recovery: naive vs SmartOClock uptime"),
+    "oversub": _Command(_cmd_oversub,
+                        "risk-ladder oversubscription ablation + "
+                        "mispredict stress"),
     "lint": _Command(_cmd_lint, "run project-specific static analysis",
                      configure=_configure_lint, seeded=False),
 }
@@ -288,6 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="budget/profile message drop probability")
         if name == "recovery":
             p.add_argument("--duration", type=float, default=3600.0)
+            p.add_argument("--json", action="store_true",
+                           help="emit canonical JSON (CI diffs repeats)")
+        if name == "oversub":
+            p.add_argument("--racks", type=_racks_count, default=2,
+                           help="high-power racks in the ablation fleet")
+            p.add_argument(
+                "--workers", type=_workers_count, default=1, metavar="N",
+                help="process-pool size for the ablation sweep (1 = "
+                     "serial, byte-identical output either way)")
             p.add_argument("--json", action="store_true",
                            help="emit canonical JSON (CI diffs repeats)")
     return parser

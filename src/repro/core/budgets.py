@@ -33,6 +33,10 @@ __all__ = ["BudgetAssignment", "compute_heterogeneous_budgets",
            "fair_share_budgets"]
 
 
+#: Valid ``out_of_horizon`` policies for :meth:`BudgetAssignment.budget_at`.
+OUT_OF_HORIZON_MODES = ("raise", "clamp", "wrap")
+
+
 @dataclass(frozen=True)
 class BudgetAssignment:
     """Per-server power budgets, one value per slot of the planning week."""
@@ -40,17 +44,62 @@ class BudgetAssignment:
     slot_s: float
     budgets: dict[str, np.ndarray]
 
-    def budget_at(self, server_id: str, t: float) -> float:
+    @property
+    def plan_horizon(self) -> float:
+        """Length in seconds covered by the budget series.
+
+        Plans are no longer always exactly one week: the ceil-derived
+        trailing partial week means the horizon is whatever the series
+        actually covers.
+        """
+        first = next(iter(self.budgets.values()))
+        return self.slot_s * len(first)
+
+    def budget_at(self, server_id: str, t: float, *,
+                  out_of_horizon: str = "raise") -> float:
+        """Budget for ``server_id`` at time ``t`` (seconds from plan start).
+
+        ``t`` outside ``[0, plan_horizon)`` is an explicit decision, not a
+        silent modulo: ``t == plan_horizon`` is already the first instant
+        *past* the plan (slot indices are half-open), and the old implicit
+        wrap handed back the *week-start* budget there — one slot off even
+        under periodic-replay semantics, and simply wrong for a partial
+        trailing week.
+
+        * ``"raise"`` (default) — out-of-horizon lookups are a
+          :class:`LookupError`; callers must opt into a semantic.
+        * ``"clamp"`` — hold the boundary slot (last slot for late ``t``,
+          first for negative): the conservative stale-plan behaviour.
+        * ``"wrap"`` — periodic time-of-horizon replay (the sOA's
+          steady-state use, where budgets repeat until a new assignment
+          arrives).
+        """
+        if out_of_horizon not in OUT_OF_HORIZON_MODES:
+            raise ValueError(
+                f"out_of_horizon must be one of {OUT_OF_HORIZON_MODES}: "
+                f"{out_of_horizon!r}")
         series = self.budgets[server_id]
-        slot = int(t // self.slot_s) % len(series)
+        n = len(series)
+        slot = int(t // self.slot_s)
+        if slot < 0 or slot >= n:
+            if out_of_horizon == "raise":
+                raise LookupError(
+                    f"t={t} outside plan horizon [0, {self.plan_horizon}) "
+                    f"for {server_id!r}; pass out_of_horizon='clamp' or "
+                    f"'wrap' to extrapolate")
+            if out_of_horizon == "clamp":
+                slot = n - 1 if slot >= n else 0
+            else:
+                slot %= n
         return float(series[slot])
 
-    def total_at(self, t: float) -> float:
-        return sum(self.budget_at(sid, t) for sid in self.budgets)
+    def total_at(self, t: float, *, out_of_horizon: str = "raise") -> float:
+        return sum(self.budget_at(sid, t, out_of_horizon=out_of_horizon)
+                   for sid in self.budgets)
 
 
 def compute_heterogeneous_budgets(
-        rack_limit_watts: float,
+        rack_limit_watts: "float | np.ndarray",
         profiles: list[ServerProfileReport],
         oc_delta_watts_per_core: float,
         even_headroom_fraction: float = 0.3) -> BudgetAssignment:
@@ -61,6 +110,12 @@ def compute_heterogeneous_budgets(
     unneeded headroom still belongs to someone so local decisions can use
     it).
 
+    ``rack_limit_watts`` may be a scalar (the physical limit, the common
+    case) or a per-slot array of the same length as the profiles — the
+    oversubscription controller plans against ``limit + admitted(t)``
+    series.  A scalar behaves bit-identically to the equivalent constant
+    array.
+
     ``even_headroom_fraction`` of the headroom is always split evenly so
     that a server whose demand the templates missed entirely still holds a
     usable floor (its exploration then starts from there); the remainder
@@ -69,8 +124,6 @@ def compute_heterogeneous_budgets(
     if not 0.0 <= even_headroom_fraction <= 1.0:
         raise ValueError("even_headroom_fraction must be in [0, 1]: "
                          f"{even_headroom_fraction}")
-    if rack_limit_watts <= 0:
-        raise ValueError(f"rack limit must be > 0: {rack_limit_watts}")
     if not profiles:
         raise ValueError("need at least one server profile")
     if oc_delta_watts_per_core <= 0:
@@ -81,6 +134,15 @@ def compute_heterogeneous_budgets(
     for p in profiles:
         if p.slot_s != slot_s or len(p.regular_power_watts) != n_slots:
             raise ValueError("profiles must share slot resolution/length")
+    limit = np.asarray(rack_limit_watts, dtype=float)
+    if limit.ndim == 0:
+        limit = np.full(n_slots, float(limit))
+    elif limit.shape != (n_slots,):
+        raise ValueError(
+            f"per-slot limit must have shape ({n_slots},), got "
+            f"{limit.shape}")
+    if np.any(limit <= 0):
+        raise ValueError(f"rack limit must be > 0: {rack_limit_watts}")
 
     regular = np.stack([p.regular_power_watts for p in profiles])
     # Need is driven by *requested* cores: a server whose requests were
@@ -90,7 +152,7 @@ def compute_heterogeneous_budgets(
     need *= oc_delta_watts_per_core
 
     total_regular = regular.sum(axis=0)
-    headroom = rack_limit_watts - total_regular
+    headroom = limit - total_regular
     total_need = need.sum(axis=0)
 
     budgets = np.empty_like(regular)
@@ -100,7 +162,7 @@ def compute_heterogeneous_budgets(
     idle = ~over & ~needy
     if np.any(over):
         # Overcommitted: scale regular power down proportionally.
-        budgets[:, over] = (regular[:, over] * rack_limit_watts
+        budgets[:, over] = (regular[:, over] * limit[over]
                             / total_regular[over])
     if np.any(needy):
         even = even_headroom_fraction * headroom[needy]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.oversubscription import RISK_LEVELS
 from repro.prediction.templates import TemplateKind
 
 __all__ = ["SmartOClockConfig"]
@@ -96,6 +97,18 @@ class SmartOClockConfig:
     quarantine_cooldown_s: float = 1800.0
     quarantine_wear_floor_s: float = 0.0
 
+    # --- prediction-based oversubscription (ROADMAP item 2) -----------------
+    # When enabled, sOA profile reports carry a high-quantile power
+    # series alongside the regular (median) one, and the gOA admits
+    # extra planning headroom whenever predicted rack peak at the risk
+    # level's quantile plus a confidence margin stays under the limit.
+    # Enforcement still runs against the physical limit; mistakes show
+    # up as (attributed) cap events, never uncapped excursions.
+    enable_oversubscription: bool = False
+    osub_risk_level: str = "conservative"  # key into RISK_LEVELS
+    # Cap on admitted/limit per slot; None → the risk level's own cap.
+    osub_max_extra_fraction: "float | None" = None
+
     # --- feature flags for ablated variants (§V-B baselines) ----------------
     enable_admission_control: bool = True  # False → NaiveOClock
     enable_exploration: bool = True        # False → NoFeedback
@@ -150,6 +163,15 @@ class SmartOClockConfig:
             raise ValueError("quarantine_cooldown_s must be >= 0")
         if self.quarantine_wear_floor_s < 0:
             raise ValueError("quarantine_wear_floor_s must be >= 0")
+        if self.osub_risk_level not in RISK_LEVELS:
+            raise ValueError(
+                f"osub_risk_level must be one of {sorted(RISK_LEVELS)}: "
+                f"{self.osub_risk_level!r}")
+        if self.osub_max_extra_fraction is not None \
+                and not 0.0 <= self.osub_max_extra_fraction <= 1.0:
+            raise ValueError(
+                "osub_max_extra_fraction must be in [0, 1]: "
+                f"{self.osub_max_extra_fraction}")
 
     # Named variants used throughout the evaluation -------------------------
 
@@ -165,6 +187,12 @@ class SmartOClockConfig:
     def as_no_warning(self) -> "SmartOClockConfig":
         """NoWarning: explores, but only capping events rein it in."""
         return _replace(self, enable_warnings=False)
+
+    def with_oversubscription(self, risk_level: str = "conservative"
+                              ) -> "SmartOClockConfig":
+        """SmartOClock+OSub: risk-aware oversubscribed planning limits."""
+        return _replace(self, enable_oversubscription=True,
+                        osub_risk_level=risk_level)
 
 
 def _replace(config: SmartOClockConfig, **changes: object) -> SmartOClockConfig:

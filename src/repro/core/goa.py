@@ -20,9 +20,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.cluster.topology import Rack
 from repro.core.budgets import BudgetAssignment, compute_heterogeneous_budgets
 from repro.core.config import SmartOClockConfig
+from repro.core.oversubscription import (
+    OversubscriptionController,
+    OversubscriptionDecision,
+)
 from repro.core.messaging import (
     BUDGET_PUSH,
     PROFILE_PULL,
@@ -64,6 +70,15 @@ class GlobalOverclockingAgent:
         self._dead: set[str] = set()
         self.servers_marked_dead = 0
         self.servers_revived = 0
+        # Risk-aware oversubscription (ROADMAP item 2): when enabled,
+        # budgets are split against an oversubscribed *planning* limit;
+        # the physical limit (and its capping path) is untouched.
+        self._osub: Optional[OversubscriptionController] = None
+        if config.enable_oversubscription:
+            self._osub = OversubscriptionController(
+                config.osub_risk_level,
+                max_extra_fraction=config.osub_max_extra_fraction)
+        self.last_osub_decision: Optional[OversubscriptionDecision] = None
 
     @property
     def assignment(self) -> Optional[BudgetAssignment]:
@@ -163,12 +178,13 @@ class GlobalOverclockingAgent:
             return self._assignment
         first = next(iter(self.soas.values()))
         delta = first.server.power_model.overclock_core_delta(1.0)
+        profiles = [self._latest_profiles[sid] for sid in live]
         # Budgets are computed over the *live* membership only: the full
         # rack limit is split among survivors, so a dead server's share
         # is redistributed the first cycle after it is declared dead.
         assignment = compute_heterogeneous_budgets(
-            self.rack.power_limit_watts,
-            [self._latest_profiles[sid] for sid in live],
+            self._planning_limit(profiles),
+            profiles,
             oc_delta_watts_per_core=delta)
         self._assignment = assignment
         for server_id in live:
@@ -180,6 +196,29 @@ class GlobalOverclockingAgent:
         self.budget_updates += 1
         self.last_update_at = now
         return assignment
+
+    def _planning_limit(self, profiles: "list[ServerProfileReport]"
+                        ) -> "float | np.ndarray":
+        """The limit budgets are split against.
+
+        Without oversubscription this is the physical rack limit.  With
+        it, the per-server hi-quantile series (each sOA's risk-level
+        quantile of its own measured power; regular series stands in
+        where a server couldn't build one yet) sum to an upper bound on
+        predicted rack power, and the admission controller turns the gap
+        to the physical limit — less a confidence margin — into extra
+        per-slot planning headroom.
+        """
+        limit = self.rack.power_limit_watts
+        if self._osub is None:
+            return limit
+        hi = np.sum([p.hi_quantile_power_watts
+                     if p.hi_quantile_power_watts is not None
+                     else p.regular_power_watts for p in profiles], axis=0)
+        mid = np.sum([p.regular_power_watts for p in profiles], axis=0)
+        decision = self._osub.admit(limit, hi, mid)
+        self.last_osub_decision = decision
+        return decision.planning_limit_watts
 
     def update(self, now: float) -> Optional[BudgetAssignment]:
         """One periodic gOA cycle: collect profiles, recompute, push."""

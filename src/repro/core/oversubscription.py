@@ -1,0 +1,175 @@
+"""Risk-aware oversubscription admission (ROADMAP item 2).
+
+After Kumbhare et al. (*Prediction-Based Power Oversubscription in Cloud
+Platforms*): a rack provisioned against its nameplate limit strands
+power whenever the workload's actual peak sits below that limit.  If a
+high quantile of the *predicted* rack peak plus a confidence margin
+still clears the limit, the controller can admit extra overclock
+headroom into the planning limit — more granted cores from the same
+physical capacity — and *Risk-aware Adaptive vCPU Oversubscription*
+makes the aggressiveness an explicit knob.
+
+The controller is deliberately pure math over prediction series; the
+gOA (platform path) and the ``SmartOClock+OSub`` trace policy both call
+:meth:`OversubscriptionController.admit` with their own quantile
+predictions.  Enforcement still runs against the *physical* limit: an
+oversubscription mistake shows up as cap events (attributed via
+``osub_cap_events``), never as an uncapped excursion.
+
+Margin math, per planning slot ``t``::
+
+    margin(t)   = margin_fraction * max(0, hi(t) - mid(t))
+    admitted(t) = clip(limit - (hi(t) + margin(t)), 0,
+                       max_extra_fraction * limit)
+    planning(t) = limit + admitted(t)
+
+``hi`` is the risk level's quantile of predicted rack power and ``mid``
+the median prediction, so the margin is proportional to predictive
+*uncertainty*: a workload whose upper quantile hugs its median admits
+nearly up to the limit, a noisy one keeps a wide guard band.  Across
+the risk ladder all three dials move together — a higher risk level
+uses a lower ``hi`` quantile, a thinner margin, *and* a larger per-slot
+cap on admitted headroom (``max_extra_fraction``) — so admitted
+headroom is monotone in risk by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "RiskProfile",
+    "RISK_LEVELS",
+    "OversubscriptionDecision",
+    "OversubscriptionController",
+]
+
+
+@dataclass(frozen=True)
+class RiskProfile:
+    """One point on the risk ladder: which quantile bounds predicted
+    peak, how much of the hi−mid uncertainty to keep as margin, and how
+    much of the physical limit a single slot may oversubscribe by."""
+
+    name: str
+    quantile: float
+    margin_fraction: float
+    max_extra_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {self.quantile}")
+        if self.margin_fraction < 0.0:
+            raise ValueError(
+                f"margin_fraction must be >= 0: {self.margin_fraction}")
+        if not 0.0 <= self.max_extra_fraction <= 1.0:
+            raise ValueError(
+                "max_extra_fraction must be in [0, 1]: "
+                f"{self.max_extra_fraction}")
+
+
+#: The risk knob: conservative bounds peak by a higher quantile, keeps
+#: the full uncertainty band as margin, and caps admitted headroom at
+#: 5 % of the limit; aggressive trusts the P90, a quarter band, and up
+#: to 15 %.  Ordered least → most risk.  Immutable (a read-only proxy)
+#: so pool workers constructing controllers stay pure functions of
+#: their job payload under both fork and spawn.
+RISK_LEVELS: Mapping[str, RiskProfile] = MappingProxyType({
+    "conservative": RiskProfile("conservative", quantile=0.99,
+                                margin_fraction=1.0,
+                                max_extra_fraction=0.05),
+    "balanced": RiskProfile("balanced", quantile=0.95, margin_fraction=0.5,
+                            max_extra_fraction=0.10),
+    "aggressive": RiskProfile("aggressive", quantile=0.90,
+                              margin_fraction=0.25,
+                              max_extra_fraction=0.15),
+})
+
+#: RISK_LEVELS keys ordered least → most risk (dict order is insertion
+#: order, but the contract deserves a name).
+RISK_ORDER = tuple(RISK_LEVELS)
+
+
+@dataclass(frozen=True)
+class OversubscriptionDecision:
+    """One admission decision over a planning horizon of slots."""
+
+    risk_level: str
+    quantile: float
+    limit_watts: np.ndarray            # physical limit per slot
+    predicted_hi_watts: np.ndarray     # risk quantile of predicted power
+    predicted_mid_watts: np.ndarray    # median prediction
+    margin_watts: np.ndarray
+    admitted_extra_watts: np.ndarray   # >= 0, the oversubscribed headroom
+    planning_limit_watts: np.ndarray = field(repr=False)
+
+    @property
+    def mean_admitted_watts(self) -> float:
+        return float(np.mean(self.admitted_extra_watts))
+
+    @property
+    def max_admitted_watts(self) -> float:
+        return float(np.max(self.admitted_extra_watts))
+
+    @property
+    def any_admitted(self) -> bool:
+        return bool(np.any(self.admitted_extra_watts > 0.0))
+
+
+class OversubscriptionController:
+    """Pure admission math: prediction series in, planning limits out."""
+
+    def __init__(self, risk_level: str = "conservative", *,
+                 max_extra_fraction: "float | None" = None) -> None:
+        if risk_level not in RISK_LEVELS:
+            raise ValueError(
+                f"unknown risk level {risk_level!r}; choose from "
+                f"{sorted(RISK_LEVELS)}")
+        self.risk = RISK_LEVELS[risk_level]
+        if max_extra_fraction is None:
+            max_extra_fraction = self.risk.max_extra_fraction
+        if not 0.0 <= max_extra_fraction <= 1.0:
+            raise ValueError(
+                f"max_extra_fraction must be in [0, 1]: {max_extra_fraction}")
+        self.max_extra_fraction = max_extra_fraction
+
+    def admit(self, limit_watts: "float | np.ndarray",
+              predicted_hi_watts: np.ndarray,
+              predicted_mid_watts: np.ndarray) -> OversubscriptionDecision:
+        """Decide per-slot admitted extra headroom.
+
+        ``predicted_hi_watts`` must be the rack-power series at this
+        controller's risk quantile, ``predicted_mid_watts`` the median
+        series over the same slots.  Slots where the hi prediction plus
+        margin already reaches the limit admit nothing; no slot ever
+        admits more than ``max_extra_fraction`` of the physical limit.
+        """
+        hi = np.asarray(predicted_hi_watts, dtype=float)
+        mid = np.asarray(predicted_mid_watts, dtype=float)
+        if hi.shape != mid.shape or hi.ndim != 1:
+            raise ValueError(
+                f"hi/mid series must be equal-length 1-D: {hi.shape} vs "
+                f"{mid.shape}")
+        limit = np.broadcast_to(
+            np.asarray(limit_watts, dtype=float), hi.shape).astype(float)
+        if np.any(limit <= 0):
+            raise ValueError(f"limit must be > 0: {limit_watts}")
+        if not (np.all(np.isfinite(hi)) and np.all(np.isfinite(mid))):
+            raise ValueError("predictions must be finite")
+        margin = self.risk.margin_fraction * np.maximum(0.0, hi - mid)
+        admitted = np.clip(limit - (hi + margin), 0.0,
+                           self.max_extra_fraction * limit)
+        return OversubscriptionDecision(
+            risk_level=self.risk.name,
+            quantile=self.risk.quantile,
+            limit_watts=limit,
+            predicted_hi_watts=hi,
+            predicted_mid_watts=mid,
+            margin_watts=margin,
+            admitted_extra_watts=admitted,
+            planning_limit_watts=limit + admitted,
+        )

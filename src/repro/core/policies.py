@@ -36,7 +36,13 @@ from typing import Any, Callable, ClassVar, Optional
 import numpy as np
 
 from repro.core.budgets import compute_heterogeneous_budgets
+from repro.core.oversubscription import (
+    RISK_LEVELS,
+    OversubscriptionController,
+    OversubscriptionDecision,
+)
 from repro.core.types import ServerProfileReport
+from repro.prediction.quantiles import DailyQuantileTemplate
 from repro.prediction.templates import (TemplateKind, build_template,
                                         predict_series_batch)
 
@@ -50,6 +56,7 @@ __all__ = [
     "NoFeedback",
     "NoWarning",
     "SmartOClockPolicy",
+    "SmartOClockOSub",
     "make_policy",
     "POLICY_NAMES",
 ]
@@ -137,6 +144,10 @@ class SegmentPlan:
     enforcement: Optional[np.ndarray] = None  # (stop - start, servers)
     commit: Optional[Callable[[int], None]] = None
     warning_inert: bool = False
+    #: Per-tick oversubscribed headroom (watts) active over the planned
+    #: span; row ``k`` must equal ``osub_admitted_at`` at tick
+    #: ``start + k``.  None → the policy admits nothing (all baselines).
+    osub_admitted: Optional[np.ndarray] = None
 
 
 class TracePolicy:
@@ -222,6 +233,14 @@ class TracePolicy:
         policy's grants draw their full overclock power regardless of
         budget (Central trusts its oracle; NaiveOClock has no budgets)."""
         return None
+
+    def osub_admitted_at(self, ctx: TickContext) -> float:
+        """Oversubscribed planning headroom (watts) active this tick.
+
+        Zero for every policy that plans against the physical limit; the
+        engine uses it to attribute capping events to oversubscription
+        and to account admitted watt-ticks."""
+        return 0.0
 
 
 class CentralOracle(TracePolicy):
@@ -369,10 +388,22 @@ class NoFeedback(TracePolicy):
                 oc_granted_cores=demand_all[i]))
         # The headroom split is proportional, so any positive per-core
         # delta yields the same budgets; 1.0 keeps the weights in "cores".
+        planning_limit = self._planning_limit(
+            limit_watts, slot_times, regular_all, history_times,
+            history_power)
         assignment = compute_heterogeneous_budgets(
-            limit_watts, profiles, oc_delta_watts_per_core=1.0)
+            planning_limit, profiles, oc_delta_watts_per_core=1.0)
         self._budgets = np.stack(
             [assignment.budgets[f"s{i:03d}"] for i in range(self.n_servers)])
+
+    def _planning_limit(self, limit_watts: float, slot_times: np.ndarray,
+                        regular_all: np.ndarray,
+                        history_times: np.ndarray,
+                        history_power: np.ndarray) -> "float | np.ndarray":
+        """The limit the weekly budget split runs against.  The base
+        policies plan against the physical rack limit; the
+        oversubscribing variant returns a per-slot planning limit."""
+        return limit_watts
 
     def _slot(self, t: float) -> int:
         return int((t % (7 * 86400.0)) // self.slot_s) % self._slots_per_week
@@ -683,20 +714,113 @@ class SmartOClockPolicy(NoWarning):
         self._exploit_until[:] = -1
 
 
+class SmartOClockOSub(SmartOClockPolicy):
+    """SmartOClock planning against an oversubscribed rack limit.
+
+    The weekly budget split runs against a per-slot *planning* limit:
+    per-server high-quantile power templates (the risk level's quantile
+    of each server's history, floored at the median prediction) sum to
+    an upper bound on predicted rack peak, and the admission controller
+    turns the gap to the physical limit — less a confidence margin —
+    into extra per-slot headroom.  Enforcement, warnings, and capping
+    all still run against the *physical* limit, so a misprediction
+    surfaces as (attributed) capping events, never as an uncapped
+    excursion.
+    """
+
+    name = "SmartOClock+OSub"
+
+    def __init__(self, n_servers: int, *,
+                 risk_level: str = "conservative",
+                 max_extra_fraction: "float | None" = None,
+                 **kwargs: Any) -> None:
+        super().__init__(n_servers, **kwargs)
+        self.risk_level = risk_level
+        self._osub = OversubscriptionController(
+            risk_level, max_extra_fraction=max_extra_fraction)
+        self.last_osub_decision: Optional[OversubscriptionDecision] = None
+        self._admitted: Optional[np.ndarray] = None       # (slots,)
+        self._admitted_ticks: Optional[np.ndarray] = None  # (week ticks,)
+
+    def _planning_limit(self, limit_watts: float, slot_times: np.ndarray,
+                        regular_all: np.ndarray,
+                        history_times: np.ndarray,
+                        history_power: np.ndarray) -> "float | np.ndarray":
+        quantile = RISK_LEVELS[self.risk_level].quantile
+        hi_all = np.empty_like(regular_all)
+        for i in range(self.n_servers):
+            regular = regular_all[:, i]
+            try:
+                template = DailyQuantileTemplate(
+                    history_times, history_power[i], q=quantile)
+            except ValueError:
+                hi_all[:, i] = regular
+                continue
+            # Floor at the median prediction so per-server hi >= mid and
+            # the rack-level margin can never go negative.
+            hi_all[:, i] = np.maximum(
+                template.predict_series(slot_times), regular)
+        decision = self._osub.admit(limit_watts,
+                                    np.sum(hi_all, axis=1),
+                                    np.sum(regular_all, axis=1))
+        self.last_osub_decision = decision
+        self._admitted = decision.admitted_extra_watts
+        return decision.planning_limit_watts
+
+    def osub_admitted_at(self, ctx: TickContext) -> float:
+        if self._admitted is None:
+            return 0.0
+        return float(self._admitted[self._slot(ctx.time)])
+
+    def begin_week_fast(self, view: RackWeekView) -> bool:
+        if not super().begin_week_fast(view):
+            return False
+        if self._admitted is None:
+            self._admitted_ticks = None
+        else:
+            slots = ((view.times % (7 * 86400.0))
+                     // self.slot_s).astype(np.int64) % self._slots_per_week
+            self._admitted_ticks = self._admitted[slots]
+        return True
+
+    def plan_segment(self, view: RackWeekView, start: int,
+                     end: int) -> Optional[SegmentPlan]:
+        plan = super().plan_segment(view, start, end)
+        if plan is None or self._admitted_ticks is None:
+            return plan
+        # Attach after super(): SmartOClockPolicy may have rebuilt the
+        # plan trimmed to its warning-inert prefix.
+        plan.osub_admitted = self._admitted_ticks[plan.start:plan.stop]
+        return plan
+
+
 POLICY_NAMES = ("Central", "NaiveOClock", "NoFeedback", "NoWarning",
-                "SmartOClock")
+                "SmartOClock", "SmartOClock+OSub")
 
 
 def make_policy(name: str, n_servers: int) -> TracePolicy:
-    """Factory by Table-I policy name."""
+    """Factory by Table-I policy name.
+
+    ``SmartOClock+OSub`` additionally accepts a risk-level suffix —
+    ``"SmartOClock+OSub:aggressive"`` — which also becomes the
+    instance's reported name, so ablation sweeps get distinct rows."""
     factories = {
         "Central": CentralOracle,
         "NaiveOClock": NaiveOClock,
         "NoFeedback": NoFeedback,
         "NoWarning": NoWarning,
         "SmartOClock": SmartOClockPolicy,
+        "SmartOClock+OSub": SmartOClockOSub,
     }
-    if name not in factories:
+    base, _, variant = name.partition(":")
+    if base not in factories:
         raise KeyError(
             f"unknown policy {name!r}; choose from {sorted(factories)}")
-    return factories[name](n_servers)
+    if base == "SmartOClock+OSub":
+        policy = SmartOClockOSub(n_servers,
+                                 risk_level=variant or "conservative")
+        policy.name = name
+        return policy
+    if variant:
+        raise KeyError(f"policy {base!r} takes no {variant!r} variant")
+    return factories[base](n_servers)

@@ -42,7 +42,9 @@ from repro.core.types import (
     RequestKind,
     ServerProfileReport,
 )
+from repro.core.oversubscription import RISK_LEVELS
 from repro.prediction.predictor import TemplateStore
+from repro.prediction.quantiles import DailyQuantileTemplate
 from repro.recovery.checkpoint import RestoreReport, SoaCheckpoint
 from repro.reliability.online_wear import OnlineWearBudget
 from repro.reliability.wearout import CoreWearoutCounter, EpochBudget
@@ -213,7 +215,11 @@ class ServerOverclockingAgent:
         """The gOA-assigned budget (fair fallback before first assignment),
         derated by the stale-budget safety margin as the assignment ages."""
         if self._assignment is not None:
-            budget = self._assignment.budget_at(self.server.server_id, now)
+            # Periodic replay is deliberate here: a stale assignment keeps
+            # serving its time-of-week budgets (derated below) until the
+            # gOA ships a fresh one.
+            budget = self._assignment.budget_at(self.server.server_id, now,
+                                                out_of_horizon="wrap")
             return budget * (1.0 - self.stale_budget_margin(now))
         rack = self.server.rack
         if rack is not None:
@@ -338,7 +344,7 @@ class ServerOverclockingAgent:
             # comes back pre-derated.
             assignment_age = self.budget_age(now)
             checkpoint_budget = self._assignment.budget_at(
-                self.server.server_id, now)
+                self.server.server_id, now, out_of_horizon="wrap")
             restored_budget = self.assigned_budget(now)
         kept = 0
         revoked = 0
@@ -757,7 +763,33 @@ class ServerOverclockingAgent:
             slot_s=self._slot_s,
             regular_power_watts=regular,
             oc_requested_cores=self._oc_requested.copy(),
-            oc_granted_cores=self._oc_granted.copy())
+            oc_granted_cores=self._oc_granted.copy(),
+            hi_quantile_power_watts=self._hi_quantile_series(regular))
+
+    def _hi_quantile_series(self, regular: np.ndarray
+                            ) -> Optional[np.ndarray]:
+        """Per-slot high-quantile measured power for oversubscription.
+
+        Built from the same retained telemetry as the template store, at
+        the configured risk level's quantile, and floored at the regular
+        series (an upper bound on power can't sit below the mean regular
+        draw — quantiles of a short gappy history otherwise could).
+        Returns ``None`` when oversubscription is off or the history
+        can't support a template yet.
+        """
+        if not self.config.enable_oversubscription:
+            return None
+        times, values = self.power_store.history()
+        if len(times) < 2:
+            return None
+        quantile = RISK_LEVELS[self.config.osub_risk_level].quantile
+        try:
+            template = DailyQuantileTemplate(times, values, q=quantile)
+        except ValueError:
+            return None  # degenerate history (e.g. irregular after gaps)
+        slot_times = np.arange(len(regular)) * self._slot_s
+        hi = template.predict_series(slot_times)
+        return np.maximum(hi, regular)
 
     def reset_profile_window(self) -> None:
         """Start a fresh profiling week (called after reporting)."""

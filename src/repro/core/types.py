@@ -110,10 +110,17 @@ class ServerProfileReport:
     regular_power_watts: np.ndarray
     oc_requested_cores: np.ndarray
     oc_granted_cores: np.ndarray
+    # High-quantile power series at the platform's oversubscription risk
+    # level; only populated when oversubscription is enabled (the gOA
+    # sums these into the rack-peak upper bound).
+    hi_quantile_power_watts: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = len(self.regular_power_watts)
         if len(self.oc_requested_cores) != n or len(self.oc_granted_cores) != n:
+            raise ValueError("profile series must be aligned")
+        if self.hi_quantile_power_watts is not None \
+                and len(self.hi_quantile_power_watts) != n:
             raise ValueError("profile series must be aligned")
         if n < 1:
             raise ValueError("profile needs at least one slot")

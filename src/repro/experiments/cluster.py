@@ -174,6 +174,16 @@ class LatencyAggregator:
         return mass / self._total_weight
 
     def quantile_ms(self, q: float) -> float:
+        """Analytic q-quantile of the latency mixture, by bisecting the
+        closed-form tail until ``P(latency <= t) >= q``.
+
+        This is a *distribution* quantile, not a sample quantile — the
+        analytic counterpart of the project's exact-sample convention
+        (:func:`repro.sim.metrics.empirical_quantile`); on samples drawn
+        from the same mixture the two converge as n grows.  ``q`` is
+        open-interval (0, 1): the mixture's support is unbounded, so
+        q=1 has no finite answer.
+        """
         if not 0.0 < q < 1.0:
             raise ValueError(f"q must be in (0, 1): {q}")
         if self._total_weight == 0:

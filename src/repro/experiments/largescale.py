@@ -90,7 +90,7 @@ _FAST_LOOKAHEAD = 512
 #: Policy column order of Table I (also the default for
 #: :func:`compare_policies`).
 TABLE1_POLICIES = ("Central", "NaiveOClock", "NoFeedback", "NoWarning",
-                   "SmartOClock")
+                   "SmartOClock", "SmartOClock+OSub")
 
 
 @dataclass
@@ -108,6 +108,14 @@ class RackSimResult:
     perf_sum: float = 0.0          # achieved freq ratio over demanded cores
     noc_penalty_sum: float = 0.0   # mean bystander freq cut per cap event
     noc_penalty_events: int = 0
+    # Oversubscription accounting: watts of unused headroom under the
+    # physical limit (stranded power), watts of admitted oversubscribed
+    # headroom, and capping events that struck while headroom was
+    # admitted (attributed to oversubscription).  Both watt counters
+    # integrate over ticks (watt-ticks).
+    stranded_watt_ticks: float = 0.0
+    osub_admitted_watt_ticks: float = 0.0
+    osub_cap_events: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -258,6 +266,12 @@ def _apply_tick(result: RackSimResult, policy: TracePolicy,
     g = int(np.sum(granted))
     result.demanded_core_ticks += d
     result.granted_core_ticks += g
+    # Stranded power (headroom the rack never used) and admitted
+    # oversubscribed headroom integrate over *every* tick, recovery
+    # included — both describe the planning state, not the event flow.
+    result.stranded_watt_ticks += max(0.0, ctx.limit_watts - total)
+    admitted = policy.osub_admitted_at(ctx)
+    result.osub_admitted_watt_ticks += admitted
 
     if recovery_remaining > 0:
         # The rack is still recovering from a capping event: the
@@ -271,6 +285,10 @@ def _apply_tick(result: RackSimResult, policy: TracePolicy,
 
     if total > ctx.limit_watts:
         result.cap_events += 1
+        if admitted > 0.0:
+            # Capped while planning beyond the physical limit: the
+            # throttle is (at least partly) the oversubscription's doing.
+            result.osub_cap_events += 1
         policy.on_cap(ctx)
         power_no_oc = tick_power - allowed_extra
         cuts = _throttle_cuts(
@@ -356,6 +374,8 @@ class _Block:
     d_list: list             # d_arr as Python ints (recovery perf adds)
     succ_list: list          # per-tick successful core-ticks
     perf_list: list          # per-tick perf contributions (success case)
+    stranded_list: list      # per-tick stranded watts (limit - total)+
+    admitted_list: Optional[list]  # per-tick admitted osub watts, or None
     events: list             # block-relative ticks needing scalar fallback
     warn_prefix: np.ndarray  # prefix counts of warning-threshold crossings
     commit: Optional[object]  # SegmentPlan.commit
@@ -412,11 +432,16 @@ def _build_block(view: RackWeekView, plan: SegmentPlan,
     succ = np.sum(granted * boost_frac, axis=1)
     perf = np.sum(granted * (1.0 + boost_frac * (ratio - 1.0))
                   + (demand - granted), axis=1)
+    stranded = np.maximum(0.0, view.limit_watts - totals)
+    admitted_list = (None if plan.osub_admitted is None
+                     else plan.osub_admitted.tolist())
     d_arr = np.sum(demand, axis=1)
     return _Block(start=plan.start, stop=plan.stop,
                   d_arr=d_arr, g_arr=np.sum(granted, axis=1),
                   d_list=d_arr.tolist(), succ_list=succ.tolist(),
-                  perf_list=perf.tolist(), events=events,
+                  perf_list=perf.tolist(),
+                  stranded_list=stranded.tolist(),
+                  admitted_list=admitted_list, events=events,
                   warn_prefix=warn_prefix, commit=plan.commit)
 
 
@@ -439,6 +464,15 @@ def _fast_tick(view: RackWeekView, policy: TracePolicy,
                        ones_buf, ratio, idle)
 
 
+def _fold(acc: float, values: list, a: int, b: int) -> float:
+    """Left-fold ``values[a:b]`` into ``acc`` one element at a time —
+    the same addition order as the scalar per-tick loop, so the float
+    result is bitwise identical to it."""
+    for k in range(a, b):
+        acc += values[k]
+    return acc
+
+
 def _consume_block(result: RackSimResult, block: _Block, rel: int,
                    recovery_remaining: int) -> tuple[int, int]:
     """Account planned ticks from ``rel`` until the block ends or an
@@ -455,11 +489,13 @@ def _consume_block(result: RackSimResult, block: _Block, rel: int,
             result.ticks += take
             result.demanded_core_ticks += block.d_total(a, b)
             result.granted_core_ticks += block.g_total(a, b)
-            perf = result.perf_sum
-            d_list = block.d_list
-            for k in range(a, b):
-                perf += float(d_list[k])
-            result.perf_sum = perf
+            result.perf_sum = _fold(result.perf_sum, block.d_list, a, b)
+            result.stranded_watt_ticks = _fold(
+                result.stranded_watt_ticks, block.stranded_list, a, b)
+            if block.admitted_list is not None:
+                result.osub_admitted_watt_ticks = _fold(
+                    result.osub_admitted_watt_ticks,
+                    block.admitted_list, a, b)
             recovery_remaining -= take
             rel += take
             if block.commit is not None:
@@ -474,15 +510,14 @@ def _consume_block(result: RackSimResult, block: _Block, rel: int,
         result.warnings += int(block.warn_prefix[b] - block.warn_prefix[a])
         result.demanded_core_ticks += block.d_total(a, b)
         result.granted_core_ticks += block.g_total(a, b)
-        succ = result.successful_core_ticks
-        perf = result.perf_sum
-        succ_list = block.succ_list
-        perf_list = block.perf_list
-        for k in range(a, b):
-            succ += succ_list[k]
-            perf += perf_list[k]
-        result.successful_core_ticks = succ
-        result.perf_sum = perf
+        result.successful_core_ticks = _fold(
+            result.successful_core_ticks, block.succ_list, a, b)
+        result.perf_sum = _fold(result.perf_sum, block.perf_list, a, b)
+        result.stranded_watt_ticks = _fold(
+            result.stranded_watt_ticks, block.stranded_list, a, b)
+        if block.admitted_list is not None:
+            result.osub_admitted_watt_ticks = _fold(
+                result.osub_admitted_watt_ticks, block.admitted_list, a, b)
         rel = event
         if block.commit is not None:
             block.commit(rel - block.start)
@@ -616,9 +651,15 @@ class PolicyScore:
     success_rate: float
     cap_penalty: float
     normalized_performance: float
+    # Oversubscription columns (zero for the non-oversubscribing
+    # policies): mean stranded / admitted watts per rack-tick, and the
+    # count of capping events attributed to oversubscribed headroom.
+    stranded_watts: float = 0.0
+    osub_admitted_watts: float = 0.0
+    osub_cap_events: int = 0
 
     def row(self) -> str:
-        return (f"{self.policy:<12} {self.normalized_caps:>10.1f} "
+        return (f"{self.policy:<17} {self.normalized_caps:>10.1f} "
                 f"{self.success_rate:>10.1%} {self.cap_penalty:>10.1%} "
                 f"{self.normalized_performance:>12.3f}")
 
@@ -636,25 +677,34 @@ class PolicyAccumulator:
 
     policy: str
     racks: int = 0
+    ticks: int = 0
     cap_events: int = 0
     demanded_core_ticks: int = 0
     successful_core_ticks: float = 0.0
     perf_sum: float = 0.0
     noc_penalty_sum: float = 0.0
     noc_penalty_events: int = 0
+    stranded_watt_ticks: float = 0.0
+    osub_admitted_watt_ticks: float = 0.0
+    osub_cap_events: int = 0
 
     def add(self, result: RackSimResult) -> None:
         self.racks += 1
+        self.ticks += result.ticks
         self.cap_events += result.cap_events
         self.demanded_core_ticks += result.demanded_core_ticks
         self.successful_core_ticks += result.successful_core_ticks
         self.perf_sum += result.perf_sum
         self.noc_penalty_sum += result.noc_penalty_sum
         self.noc_penalty_events += result.noc_penalty_events
+        self.stranded_watt_ticks += result.stranded_watt_ticks
+        self.osub_admitted_watt_ticks += result.osub_admitted_watt_ticks
+        self.osub_cap_events += result.osub_cap_events
 
     def score(self, central_caps: Optional[int]) -> PolicyScore:
         demanded = self.demanded_core_ticks
         pen_n = self.noc_penalty_events
+        ticks = self.ticks
         return PolicyScore(
             policy=self.policy,
             cap_events=self.cap_events,
@@ -664,7 +714,12 @@ class PolicyAccumulator:
                           if demanded else 1.0),
             cap_penalty=self.noc_penalty_sum / pen_n if pen_n else 0.0,
             normalized_performance=(self.perf_sum / demanded
-                                    if demanded else 1.0))
+                                    if demanded else 1.0),
+            stranded_watts=(self.stranded_watt_ticks / ticks
+                            if ticks else 0.0),
+            osub_admitted_watts=(self.osub_admitted_watt_ticks / ticks
+                                 if ticks else 0.0),
+            osub_cap_events=self.osub_cap_events)
 
 
 def _finalize_scores(accs: dict[str, PolicyAccumulator]
@@ -845,7 +900,7 @@ def table1_streaming(configs: dict[str, FleetConfig], *,
 
 def format_table1(results: dict[str, dict[str, PolicyScore]]) -> str:
     """Render Table I in the paper's layout."""
-    lines = [f"{'System':<12} {'Norm#Caps':>10} {'Success':>10} "
+    lines = [f"{'System':<17} {'Norm#Caps':>10} {'Success':>10} "
              f"{'CapPenalty':>10} {'NormPerf':>12}"]
     for cluster, scores in results.items():
         lines.append(f"--- {cluster} ---")

@@ -12,6 +12,7 @@ Fig. 15: build a template from week *k* and score it against week *k+1*.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -109,11 +110,29 @@ class TemplateStore:
                 "no template yet: call recompute() after recording history")
         return self._template.predict(t)
 
+    def history(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the retained ``(times, values)`` telemetry arrays.
+
+        This is the raw material for auxiliary predictors built over the
+        same trailing window (e.g.
+        :class:`repro.prediction.quantiles.IntervalPredictor`)."""
+        return np.array(self._times), np.array(self._values)
+
     def predict_or(self, t: float, default: float) -> float:
-        """Predict, or return ``default`` before the first recompute."""
+        """Predict, or return ``default`` when no usable prediction exists.
+
+        "No usable prediction" covers both *no template yet* (before the
+        first recompute) and a template slot holding a non-finite value:
+        gap-tolerant histories can leave NaN slots in a template before
+        median prefill, and a NaN must not masquerade as a prediction —
+        callers use this exactly where they have a safe fallback.
+        """
         if self._template is None:
             return default
-        return self._template.predict(t)
+        value = self._template.predict(t)
+        if not math.isfinite(value):
+            return default
+        return value
 
     def state_dict(self) -> dict[str, Any]:
         """Serializable history snapshot (checkpoint payload).

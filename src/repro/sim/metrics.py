@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 __all__ = [
+    "empirical_quantile",
     "percentile",
     "rmse",
     "mean_absolute_error",
@@ -25,17 +26,40 @@ __all__ = [
 ]
 
 
-def percentile(values: Sequence[float], pct: float) -> float:
-    """Linear-interpolation percentile (inclusive), matching numpy's default.
+def empirical_quantile(values: Sequence[float], q: float) -> float:
+    """THE project-wide sample-quantile convention.
 
-    ``pct`` is in [0, 100].  Raises on an empty sequence: experiments must
+    Inclusive linear interpolation (numpy's default ``linear`` method):
+    the k-th of n sorted samples sits at rank ``(k - 1) / (n - 1)`` and
+    quantiles interpolate linearly between adjacent samples.  Every
+    exact-sample quantile in the repo — :func:`percentile`,
+    :meth:`Cdf.value_at`,
+    :meth:`repro.workloads.queueing.SimulatedLatencies.quantile`, the
+    per-slot aggregation in
+    :class:`repro.prediction.quantiles.DailyQuantileTemplate` — reduces
+    to this function, so admission decisions keyed off quantiles can
+    never disagree across layers on small samples.  (The two non-sample
+    estimators remain documented approximations of the same convention:
+    :meth:`Histogram.quantile` interpolates within fixed bins, and
+    ``experiments.cluster.LatencyAggregator.quantile_ms`` inverts an
+    analytic mixture CDF.)
+
+    ``q`` is in [0, 1].  Raises on an empty sequence: experiments must
     decide what an absent measurement means rather than silently get 0.
     """
-    if len(values) == 0:
-        raise ValueError("percentile of empty sequence is undefined")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("quantile of empty sequence is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    return float(np.quantile(arr, q))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """:func:`empirical_quantile` on the [0, 100] percent scale."""
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"pct must be in [0, 100], got {pct}")
-    return float(np.percentile(np.asarray(values, dtype=float), pct))
+    return empirical_quantile(values, pct / 100.0)
 
 
 def rmse(predicted: Sequence[float], actual: Sequence[float]) -> float:
@@ -239,10 +263,9 @@ class Cdf:
         return int(self._sorted.size)
 
     def value_at(self, fraction: float) -> float:
-        """Value v such that a ``fraction`` of samples are <= v."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        return float(np.quantile(self._sorted, fraction))
+        """Value v such that a ``fraction`` of samples are <= v
+        (:func:`empirical_quantile` convention)."""
+        return empirical_quantile(self._sorted, fraction)
 
     def fraction_below(self, value: float) -> float:
         """Fraction of samples <= value."""

@@ -24,6 +24,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.sim.metrics import empirical_quantile
+
 __all__ = ["MMcQueue", "QueueSimulator", "simulate_mgc", "frequency_speedup"]
 
 
@@ -181,9 +183,11 @@ class SimulatedLatencies:
         return float(np.mean(self.latencies))
 
     def quantile(self, q: float) -> float:
+        """Sample quantile of completed-request latencies
+        (:func:`repro.sim.metrics.empirical_quantile` convention)."""
         if self.completed == 0:
             raise ValueError("no completed requests")
-        return float(np.quantile(self.latencies, q))
+        return empirical_quantile(self.latencies, q)
 
     def p99(self) -> float:
         return self.quantile(0.99)

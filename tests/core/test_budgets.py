@@ -132,15 +132,104 @@ class TestFairShare:
 
 
 class TestBudgetAssignment:
-    def test_slot_lookup_wraps_weekly(self):
-        assignment = BudgetAssignment(
+    def make(self):
+        return BudgetAssignment(
             slot_s=300.0, budgets={"a": np.array([1.0, 2.0, 3.0])})
+
+    def test_in_horizon_lookup(self):
+        assignment = self.make()
         assert assignment.budget_at("a", 0.0) == 1.0
         assert assignment.budget_at("a", 350.0) == 2.0
-        assert assignment.budget_at("a", 3 * 300.0) == 1.0  # wraps
+        assert assignment.budget_at("a", 899.0) == 3.0
+
+    def test_plan_horizon(self):
+        assert self.make().plan_horizon == 900.0
+
+    def test_out_of_horizon_raises_by_default(self):
+        """Regression: t == plan_horizon is already *past* the plan
+        (slots are half-open) — the old implicit ``% len`` silently
+        handed back the week-start budget there."""
+        assignment = self.make()
+        with pytest.raises(LookupError, match="horizon"):
+            assignment.budget_at("a", assignment.plan_horizon)
+        with pytest.raises(LookupError, match="horizon"):
+            assignment.budget_at("a", -1.0)
+        with pytest.raises(LookupError, match="horizon"):
+            assignment.total_at(assignment.plan_horizon)
+
+    def test_clamp_holds_boundary_slot(self):
+        assignment = self.make()
+        horizon = assignment.plan_horizon
+        assert assignment.budget_at("a", horizon,
+                                    out_of_horizon="clamp") == 3.0
+        assert assignment.budget_at("a", horizon + 5000.0,
+                                    out_of_horizon="clamp") == 3.0
+        assert assignment.budget_at("a", -1.0,
+                                    out_of_horizon="clamp") == 1.0
+
+    def test_wrap_is_periodic(self):
+        assignment = self.make()
+        assert assignment.budget_at("a", 3 * 300.0,
+                                    out_of_horizon="wrap") == 1.0
+        assert assignment.budget_at("a", 4 * 300.0 + 50.0,
+                                    out_of_horizon="wrap") == 2.0
+
+    def test_modes_agree_in_horizon(self):
+        assignment = self.make()
+        for t in (0.0, 299.0, 300.0, 899.0):
+            values = {assignment.budget_at("a", t, out_of_horizon=mode)
+                      for mode in ("raise", "clamp", "wrap")}
+            assert len(values) == 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="out_of_horizon"):
+            self.make().budget_at("a", 0.0, out_of_horizon="extrapolate")
 
     def test_unknown_server_raises(self):
         assignment = BudgetAssignment(slot_s=300.0,
                                       budgets={"a": np.array([1.0])})
         with pytest.raises(KeyError):
             assignment.budget_at("zz", 0.0)
+
+
+class TestPerSlotLimit:
+    """Array rack limits (the oversubscribed planning series)."""
+
+    def test_scalar_and_constant_array_bitwise_equal(self):
+        rng = np.random.default_rng(9)
+        profiles = [profile(f"s{i}", rng.uniform(100, 400, 4),
+                            rng.integers(0, 16, 4)) for i in range(3)]
+        scalar = compute_heterogeneous_budgets(900.0, profiles, 9.5)
+        array = compute_heterogeneous_budgets(np.full(4, 900.0),
+                                              profiles, 9.5)
+        for sid in scalar.budgets:
+            assert np.array_equal(scalar.budgets[sid], array.budgets[sid])
+
+    def test_per_slot_limit_sums_per_slot(self):
+        profiles = [profile("a", [200.0, 200.0], [4, 4]),
+                    profile("b", [300.0, 300.0], [0, 8])]
+        limit = np.array([1000.0, 1200.0])
+        assignment = compute_heterogeneous_budgets(limit, profiles, 10.0)
+        assert assignment.total_at(0.0) == pytest.approx(1000.0)
+        assert assignment.total_at(300.0) == pytest.approx(1200.0)
+
+    def test_mixed_regimes_across_slots(self):
+        # Slot 0 overcommitted, slot 1 has headroom: both sum to their
+        # own slot's limit.
+        profiles = [profile("a", [600.0, 100.0], [2, 2]),
+                    profile("b", [600.0, 100.0], [2, 0])]
+        limit = np.array([600.0, 800.0])
+        assignment = compute_heterogeneous_budgets(limit, profiles, 10.0)
+        assert assignment.total_at(0.0) == pytest.approx(600.0)
+        assert assignment.total_at(300.0) == pytest.approx(800.0)
+
+    def test_wrong_length_rejected(self):
+        profiles = [profile("a", [100.0, 100.0], [1, 1])]
+        with pytest.raises(ValueError, match="shape"):
+            compute_heterogeneous_budgets(np.array([500.0]), profiles, 10.0)
+
+    def test_nonpositive_slot_rejected(self):
+        profiles = [profile("a", [100.0, 100.0], [1, 1])]
+        with pytest.raises(ValueError, match="> 0"):
+            compute_heterogeneous_budgets(np.array([500.0, 0.0]),
+                                          profiles, 10.0)

@@ -1,0 +1,197 @@
+"""Tests for risk-aware oversubscription admission (ROADMAP item 2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.oversubscription import (
+    RISK_LEVELS,
+    RISK_ORDER,
+    OversubscriptionController,
+    RiskProfile,
+)
+from repro.core.platform import SmartOClockPlatform
+
+
+class TestRiskLadder:
+    def test_order_is_least_to_most_risk(self):
+        assert RISK_ORDER == ("conservative", "balanced", "aggressive")
+        quantiles = [RISK_LEVELS[r].quantile for r in RISK_ORDER]
+        margins = [RISK_LEVELS[r].margin_fraction for r in RISK_ORDER]
+        fractions = [RISK_LEVELS[r].max_extra_fraction for r in RISK_ORDER]
+        assert quantiles == sorted(quantiles, reverse=True)
+        assert margins == sorted(margins, reverse=True)
+        assert fractions == sorted(fractions)  # riskier admits more
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="quantile"):
+            RiskProfile("bad", quantile=0.0, margin_fraction=1.0,
+                        max_extra_fraction=0.1)
+        with pytest.raises(ValueError, match="margin"):
+            RiskProfile("bad", quantile=0.9, margin_fraction=-0.1,
+                        max_extra_fraction=0.1)
+        with pytest.raises(ValueError, match="max_extra_fraction"):
+            RiskProfile("bad", quantile=0.9, margin_fraction=0.5,
+                        max_extra_fraction=1.5)
+
+
+class TestController:
+    def test_margin_and_clip_math(self):
+        controller = OversubscriptionController("balanced",
+                                                max_extra_fraction=0.15)
+        limit = 1000.0
+        hi = np.array([700.0, 900.0, 1100.0, 400.0])
+        mid = np.array([600.0, 880.0, 1000.0, 400.0])
+        decision = controller.admit(limit, hi, mid)
+        # margin = 0.5 * (hi - mid); admitted = clip(limit - hi - margin,
+        # 0, 150).
+        assert decision.margin_watts == pytest.approx(
+            [50.0, 10.0, 50.0, 0.0])
+        assert decision.admitted_extra_watts == pytest.approx(
+            [150.0, 90.0, 0.0, 150.0])
+        assert decision.planning_limit_watts == pytest.approx(
+            [1150.0, 1090.0, 1000.0, 1150.0])
+
+    def test_never_admits_when_prediction_reaches_limit(self):
+        controller = OversubscriptionController("aggressive")
+        decision = controller.admit(500.0, np.array([600.0]),
+                                    np.array([500.0]))
+        assert not decision.any_admitted
+
+    def test_cap_at_max_extra_fraction(self):
+        controller = OversubscriptionController("aggressive",
+                                                max_extra_fraction=0.1)
+        decision = controller.admit(1000.0, np.array([100.0]),
+                                    np.array([100.0]))
+        assert decision.admitted_extra_watts == pytest.approx([100.0])
+
+    def test_monotone_across_risk_ladder(self):
+        # With matched inputs (same hi/mid series), admitted headroom is
+        # monotone nondecreasing from conservative to aggressive — but
+        # each level actually uses its own quantile of the same
+        # distribution, so feed per-level hi series that are themselves
+        # quantile-monotone.
+        rng = np.random.default_rng(5)
+        samples = rng.normal(600.0, 60.0, size=(200, 24))
+        mid = np.quantile(samples, 0.5, axis=0)
+        limit = 900.0
+        admitted = []
+        for name in RISK_ORDER:
+            hi = np.quantile(samples, RISK_LEVELS[name].quantile, axis=0)
+            decision = OversubscriptionController(name).admit(limit, hi, mid)
+            admitted.append(decision.admitted_extra_watts)
+        for safer, riskier in zip(admitted, admitted[1:]):
+            assert np.all(riskier >= safer)
+
+    def test_scalar_and_array_limit_agree(self):
+        controller = OversubscriptionController("balanced")
+        hi = np.array([500.0, 700.0])
+        mid = np.array([450.0, 650.0])
+        scalar = controller.admit(800.0, hi, mid)
+        array = controller.admit(np.array([800.0, 800.0]), hi, mid)
+        assert np.array_equal(scalar.admitted_extra_watts,
+                              array.admitted_extra_watts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="risk level"):
+            OversubscriptionController("reckless")
+        with pytest.raises(ValueError, match="max_extra_fraction"):
+            OversubscriptionController("balanced", max_extra_fraction=1.5)
+        controller = OversubscriptionController("balanced")
+        with pytest.raises(ValueError, match="1-D"):
+            controller.admit(100.0, np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError, match="limit"):
+            controller.admit(0.0, np.ones(2), np.ones(2))
+        with pytest.raises(ValueError, match="finite"):
+            controller.admit(100.0, np.array([np.nan]), np.array([1.0]))
+
+
+class TestConfigKnobs:
+    def test_defaults_off(self):
+        config = SmartOClockConfig()
+        assert not config.enable_oversubscription
+
+    def test_with_oversubscription_variant(self):
+        config = SmartOClockConfig().with_oversubscription("aggressive")
+        assert config.enable_oversubscription
+        assert config.osub_risk_level == "aggressive"
+
+    def test_bad_risk_level_rejected(self):
+        with pytest.raises(ValueError, match="osub_risk_level"):
+            SmartOClockConfig(osub_risk_level="reckless")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="osub_max_extra_fraction"):
+            SmartOClockConfig(osub_max_extra_fraction=-0.1)
+
+
+def build_platform(rack_limit=8000.0, n_servers=2, config=None):
+    rack = Rack("r0", rack_limit)
+    servers = [Server(f"s{i}", DEFAULT_POWER_MODEL)
+               for i in range(n_servers)]
+    for s in servers:
+        rack.add_server(s)
+    dc = Datacenter()
+    dc.add_rack(rack)
+    return SmartOClockPlatform(dc, config), servers
+
+
+class TestPlatformWiring:
+    def run_cycle(self, config, rack_limit=8000.0):
+        platform, servers = build_platform(rack_limit=rack_limit,
+                                           config=config)
+        vm = VirtualMachine(8, utilization=0.8)
+        servers[0].place_vm(vm)
+        for i in range(6):
+            platform.tick(i * 300.0, dt=300.0)
+        platform.force_budget_update(1800.0)
+        return platform
+
+    def test_profile_reports_carry_hi_series(self):
+        platform = self.run_cycle(
+            SmartOClockConfig().with_oversubscription("balanced"))
+        soa = platform.soas["s0"]
+        report = soa.build_profile_report()
+        assert report.hi_quantile_power_watts is not None
+        assert np.all(report.hi_quantile_power_watts
+                      >= report.regular_power_watts)
+
+    def test_profile_reports_plain_without_flag(self):
+        platform = self.run_cycle(SmartOClockConfig())
+        report = platform.soas["s0"].build_profile_report()
+        assert report.hi_quantile_power_watts is None
+
+    def test_goa_budgets_against_planning_limit(self):
+        config = SmartOClockConfig().with_oversubscription("balanced")
+        platform = self.run_cycle(config)
+        goa = platform.goas["r0"]
+        decision = goa.last_osub_decision
+        assert decision is not None
+        assert decision.risk_level == "balanced"
+        # An idle-ish rack far below an 8 kW limit admits the maximum.
+        assert decision.any_admitted
+        assignment = goa.assignment
+        assert assignment is not None
+        for slot in (0, 1, 100):
+            t = slot * config.budget_slot_s
+            assert assignment.total_at(t) == pytest.approx(
+                float(decision.planning_limit_watts[slot]))
+
+    def test_no_decision_without_flag(self):
+        platform = self.run_cycle(SmartOClockConfig())
+        goa = platform.goas["r0"]
+        assert goa.last_osub_decision is None
+        assert goa.assignment is not None
+        assert goa.assignment.total_at(0.0) == pytest.approx(8000.0)
+
+    def test_admitted_bounded_by_max_fraction(self):
+        import dataclasses
+        config = dataclasses.replace(
+            SmartOClockConfig().with_oversubscription("aggressive"),
+            osub_max_extra_fraction=0.05)
+        platform = self.run_cycle(config)
+        decision = platform.goas["r0"].last_osub_decision
+        assert decision is not None
+        assert np.all(decision.admitted_extra_watts <= 0.05 * 8000.0 + 1e-9)

@@ -49,6 +49,25 @@ class TestFactory:
         with pytest.raises(ValueError):
             make_policy("Central", 0)
 
+    def test_osub_risk_variants(self):
+        from repro.core.policies import SmartOClockOSub
+
+        default = make_policy("SmartOClock+OSub", 4)
+        assert isinstance(default, SmartOClockOSub)
+        assert default.risk_level == "conservative"
+        assert default.name == "SmartOClock+OSub"
+        variant = make_policy("SmartOClock+OSub:aggressive", 4)
+        assert variant.risk_level == "aggressive"
+        # Instance name carries the variant so result rows stay keyed by
+        # the requested label across worker pools.
+        assert variant.name == "SmartOClock+OSub:aggressive"
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ValueError, match="reckless"):
+            make_policy("SmartOClock+OSub:reckless", 4)
+        with pytest.raises(KeyError, match="variant"):
+            make_policy("SmartOClock:aggressive", 4)
+
 
 class TestNaive:
     def test_grants_everything(self):

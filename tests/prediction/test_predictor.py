@@ -1,0 +1,78 @@
+"""Tests for TemplateStore edge paths: non-finite predictions, history."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.prediction.predictor import TemplateStore
+
+DAY = 86400.0
+WEEK = 7 * DAY
+STEP = 300.0
+
+
+class TestPredictOrNonFinite:
+    def test_default_before_recompute(self):
+        store = TemplateStore()
+        assert store.predict_or(0.0, 42.0) == 42.0
+
+    def test_finite_prediction_passes_through(self):
+        store = TemplateStore("FlatMed")
+        times = np.arange(0.0, DAY, STEP)
+        store.record_series(times, np.full(times.shape, 250.0))
+        store.recompute()
+        assert store.predict_or(WEEK, 42.0) == 250.0
+
+    def test_nan_template_slot_returns_default(self):
+        # A gapped history whose retained samples include NaN telemetry
+        # (pre-prefill sentinel) poisons the template slot; predict()
+        # faithfully returns NaN, but predict_or must treat a non-finite
+        # prediction as absent and hand back the fallback.
+        store = TemplateStore("FlatMed")
+        times = np.arange(0.0, DAY, STEP)
+        values = np.full(times.shape, 250.0)
+        values[10] = np.nan
+        store.record_series(times, values)
+        store.recompute()
+        assert math.isnan(store.predict(WEEK))
+        assert store.predict_or(WEEK, 42.0) == 42.0
+
+    def test_gapped_daily_history_with_nan_slot(self):
+        # Only the poisoned slot falls back; healthy slots still predict.
+        store = TemplateStore("DailyMed")
+        times = np.arange(0.0, WEEK, STEP)
+        values = np.full(times.shape, 200.0)
+        slots_per_day = int(round(DAY / STEP))
+        # Poison slot 7 on every weekday so its per-slot median is NaN.
+        for d in range(5):
+            values[d * slots_per_day + 7] = np.nan
+        store.record_series(times, values)
+        store.recompute()
+        poisoned_t = WEEK + 7 * STEP
+        healthy_t = WEEK + 8 * STEP
+        assert store.predict_or(poisoned_t, 42.0) == 42.0
+        assert store.predict_or(healthy_t, 42.0) == 200.0
+
+
+class TestHistoryAccessor:
+    def test_returns_retained_samples(self):
+        store = TemplateStore(history_weeks=1)
+        times = np.arange(0.0, 3 * WEEK, 3600.0)
+        values = np.linspace(0.0, 1.0, len(times))
+        store.record_series(times, values)
+        h_times, h_values = store.history()
+        assert len(h_times) == store.samples
+        assert h_times[0] >= times[-1] - WEEK
+
+    def test_returns_copies(self):
+        store = TemplateStore()
+        store.record(0.0, 1.0)
+        store.record(300.0, 2.0)
+        h_times, _ = store.history()
+        h_times[0] = -999.0
+        assert store.history()[0][0] == 0.0
+
+    def test_empty_store(self):
+        h_times, h_values = TemplateStore().history()
+        assert len(h_times) == 0 and len(h_values) == 0
