@@ -54,6 +54,7 @@ _racks_count = _int_at_least(1, "racks")
 _weeks_count = _int_at_least(2, "weeks")  # history + evaluation week
 _workers_count = _int_at_least(1, "workers")
 _inflight_count = _int_at_least(1, "max-inflight")
+_trials_count = _int_at_least(1, "trials")
 
 
 @dataclass(frozen=True)
@@ -233,6 +234,15 @@ def _cmd_oversub(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import chaos_sweep, format_chaos_report
+    result = chaos_sweep(args.trials, seed=args.seed)
+    print(format_chaos_report(result, as_json=args.json))
+    # Exit non-zero on any invariant violation; the report names the
+    # offending seed(s) for one-command deterministic replay.
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run
     return run(args)
@@ -261,6 +271,8 @@ _COMMANDS: dict[str, _Command] = {
     "oversub": _Command(_cmd_oversub,
                         "risk-ladder oversubscription ablation + "
                         "mispredict stress"),
+    "chaos": _Command(_cmd_chaos,
+                      "seeded random fault sweep vs safety invariants"),
     "lint": _Command(_cmd_lint, "run project-specific static analysis",
                      configure=_configure_lint, seeded=False),
 }
@@ -306,6 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="budget/profile message drop probability")
         if name == "recovery":
             p.add_argument("--duration", type=float, default=3600.0)
+            p.add_argument("--json", action="store_true",
+                           help="emit canonical JSON (CI diffs repeats)")
+        if name == "chaos":
+            p.add_argument("--trials", type=_trials_count, default=20,
+                           help="independent trials at seeds "
+                                "seed..seed+N-1")
             p.add_argument("--json", action="store_true",
                            help="emit canonical JSON (CI diffs repeats)")
         if name == "oversub":

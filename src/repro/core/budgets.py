@@ -39,10 +39,23 @@ OUT_OF_HORIZON_MODES = ("raise", "clamp", "wrap")
 
 @dataclass(frozen=True)
 class BudgetAssignment:
-    """Per-server power budgets, one value per slot of the planning week."""
+    """Per-server power budgets, one value per slot of the planning week.
+
+    ``epoch`` is the gOA's monotone push counter (fencing token): every
+    recompute-and-push stamps the next epoch, and sOAs reject pushes
+    older than what they already installed, so a delayed or reordered
+    delivery can never roll a server back to a superseded assignment.
+    Hand-built assignments default to epoch 0 (always installable on a
+    fresh sOA).
+    """
 
     slot_s: float
     budgets: dict[str, np.ndarray]
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0: {self.epoch}")
 
     @property
     def plan_horizon(self) -> float:

@@ -96,6 +96,13 @@ class SmartOClockConfig:
     quarantine_window_s: float = 3600.0
     quarantine_cooldown_s: float = 1800.0
     quarantine_wear_floor_s: float = 0.0
+    # gOA high availability: a standby replica per rack watches the
+    # primary's heartbeats and takes over — at the next fencing epoch —
+    # after ``goa_lease_s`` without one.  The lease must cover at least
+    # one heartbeat interval or a healthy primary could be deposed.
+    enable_goa_ha: bool = False
+    goa_heartbeat_interval_s: float = 60.0
+    goa_lease_s: float = 180.0
 
     # --- prediction-based oversubscription (ROADMAP item 2) -----------------
     # When enabled, sOA profile reports carry a high-quantile power
@@ -163,6 +170,12 @@ class SmartOClockConfig:
             raise ValueError("quarantine_cooldown_s must be >= 0")
         if self.quarantine_wear_floor_s < 0:
             raise ValueError("quarantine_wear_floor_s must be >= 0")
+        if self.goa_heartbeat_interval_s <= 0:
+            raise ValueError("goa_heartbeat_interval_s must be > 0")
+        if self.goa_lease_s < self.goa_heartbeat_interval_s:
+            raise ValueError(
+                "goa_lease_s must be >= goa_heartbeat_interval_s: "
+                f"{self.goa_lease_s}/{self.goa_heartbeat_interval_s}")
         if self.osub_risk_level not in RISK_LEVELS:
             raise ValueError(
                 f"osub_risk_level must be one of {sorted(RISK_LEVELS)}: "

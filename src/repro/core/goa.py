@@ -18,6 +18,7 @@ instead of silently budgeting a new week from week-old data.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 import numpy as np
@@ -63,6 +64,12 @@ class GlobalOverclockingAgent:
         self._assignment: Optional[BudgetAssignment] = None
         self.last_update_at: Optional[float] = None
         self.budget_updates = 0
+        # Monotone fencing token: every recompute-and-push stamps the
+        # next epoch.  A gOA standby promoted by the HA supervisor seeds
+        # this past the old primary's last known epoch, so the deposed
+        # primary's in-flight (or split-brain) pushes are rejected by
+        # the sOAs' epoch fence.
+        self.epoch = 0
         # Membership: consecutive missed profile reports per server; a
         # server past the configured threshold is declared dead and its
         # budget share redistributed to the survivors next cycle.
@@ -186,6 +193,11 @@ class GlobalOverclockingAgent:
             self._planning_limit(profiles),
             profiles,
             oc_delta_watts_per_core=delta)
+        # Stamp the fencing epoch only when actually pushing: a cycle
+        # that keeps the previous assignment in force must not burn an
+        # epoch the sOAs never saw.
+        self.epoch += 1
+        assignment = replace(assignment, epoch=self.epoch)
         self._assignment = assignment
         for server_id in live:
             soa = self.soas[server_id]

@@ -25,10 +25,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, TypeVar
 
 __all__ = ["Envelope", "MessageFate", "MessageChannel",
-           "BUDGET_PUSH", "PROFILE_PULL"]
+           "BUDGET_PUSH", "PROFILE_PULL", "GOA_HEARTBEAT"]
 
 BUDGET_PUSH = "budget_push"
 PROFILE_PULL = "profile_pull"
+GOA_HEARTBEAT = "goa_heartbeat"
 
 T = TypeVar("T")
 
@@ -82,6 +83,11 @@ class MessageChannel:
         self.delivered = 0
         self.dropped = 0
         self.delayed = 0
+        # Synchronous pulls that failed because the fate was a *delay*
+        # (a pull cannot wait).  Kept apart from ``dropped`` so drop
+        # counts report actual message loss; the conservation identity
+        # is ``sent == delivered + dropped + failed_pulls + in_flight``.
+        self.failed_pulls = 0
 
     @property
     def in_flight(self) -> int:
@@ -113,8 +119,9 @@ class MessageChannel:
         return True
 
     def pump(self, now: float) -> int:
-        """Deliver every delayed message due by ``now`` (send order within
-        a pump, which keeps runs deterministic).  Returns deliveries."""
+        """Deliver every delayed message due by ``now``, ordered by
+        ``deliver_at``; ties break by send order (the sort is stable), so
+        runs stay deterministic.  Returns deliveries."""
         if not self._pending:
             return 0
         due = [p for p in self._pending if p.deliver_at <= now]
@@ -131,11 +138,19 @@ class MessageChannel:
                 fetch: Callable[[], T]) -> Optional[T]:
         """Synchronous request/response (profile pull).  A dropped *or*
         delayed fate fails the pull for this cycle — the caller retries
-        next period with whatever state it kept."""
+        next period with whatever state it kept.
+
+        Accounting: a drop-fated pull is a lost message (``dropped``); a
+        delay-fated pull is *not* — the network would have delivered it,
+        just too late for a synchronous exchange — so it counts in
+        ``failed_pulls`` instead and drop counts stay true."""
         self.sent += 1
         fate = self._fate(envelope)
-        if fate.dropped or fate.delay_s > 0.0:
+        if fate.dropped:
             self.dropped += 1
+            return None
+        if fate.delay_s > 0.0:
+            self.failed_pulls += 1
             return None
         self.delivered += 1
         return fetch()

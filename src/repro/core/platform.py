@@ -19,6 +19,7 @@ from repro.cluster.capping import (
 from repro.cluster.topology import Datacenter, VirtualMachine
 from repro.core.config import SmartOClockConfig
 from repro.core.goa import GlobalOverclockingAgent
+from repro.core.goa_ha import GoaSupervisor
 from repro.core.messaging import MessageChannel
 from repro.core.soa import ServerOverclockingAgent
 from repro.core.types import ExhaustionSignal
@@ -59,11 +60,31 @@ class SmartOClockPlatform:
         self.fault_injector = fault_injector
         self.soas: dict[str, ServerOverclockingAgent] = {}
         self.goas: dict[str, GlobalOverclockingAgent] = {}
+        self.supervisors: dict[str, GoaSupervisor] = {}
         self.channels: dict[str, MessageChannel] = {}
         self.rack_managers: dict[str, RackPowerManager] = {}
         self.services: dict[str, GlobalWIAgent] = {}
         self._last_telemetry = -float("inf")
         self._last_budget_update = -float("inf")
+
+        # Durable store: needed by the recovery lifecycle (sOA
+        # checkpoints) and by gOA HA (epoch checkpoints).  The fault
+        # injector's corruption hook interposes on every save.
+        plan = fault_injector.plan if fault_injector is not None else None
+        wants_lifecycle = hazard_model is not None or (
+            plan is not None and (plan.server_crashes or plan.soa_restarts
+                                  or plan.checkpoint_corruptions))
+        self.durable_store: Optional["DurableStore"] = None
+        if wants_lifecycle or self.config.enable_goa_ha \
+                or durable_store is not None:
+            if durable_store is None:
+                from repro.recovery.checkpoint import DurableStore
+                durable_store = DurableStore()
+            if fault_injector is not None \
+                    and durable_store.corruption_hook is None:
+                durable_store.corruption_hook = \
+                    fault_injector.corruption_hook()
+            self.durable_store = durable_store
 
         for rack in datacenter.racks.values():
             rack_soas: list[ServerOverclockingAgent] = []
@@ -94,16 +115,20 @@ class SmartOClockPlatform:
                 fault_injector.channel_hook(rack.rack_id)
                 if fault_injector is not None else None)
             self.channels[rack.rack_id] = channel
-            self.goas[rack.rack_id] = GlobalOverclockingAgent(
-                rack, self.config, rack_soas, channel=channel)
+            if self.config.enable_goa_ha:
+                assert self.durable_store is not None
+                self.supervisors[rack.rack_id] = GoaSupervisor(
+                    rack, self.config, rack_soas, channel,
+                    self.durable_store,
+                    down_hook=self._ha_down_hook(rack.rack_id))
+            else:
+                self.goas[rack.rack_id] = GlobalOverclockingAgent(
+                    rack, self.config, rack_soas, channel=channel)
 
         # Crash/recovery lifecycle: engaged when a hazard model is given
-        # or the fault plan carries crash/restart content.  Without it,
-        # behaviour is identical to the pre-recovery platform.
+        # or the fault plan carries crash/restart/corruption content.
+        # Without it, behaviour is identical to the pre-recovery platform.
         self.lifecycle: Optional["ServerLifecycleManager"] = None
-        plan = fault_injector.plan if fault_injector is not None else None
-        wants_lifecycle = hazard_model is not None or (
-            plan is not None and (plan.server_crashes or plan.soa_restarts))
         if wants_lifecycle:
             # Local import: repro.core stays importable without the
             # recovery package loaded (layering mirrors repro.faults).
@@ -123,6 +148,26 @@ class SmartOClockPlatform:
             self.lifecycle = ServerLifecycleManager(
                 self, hazard_model=hazard_model, plan=plan, seed=seed,
                 store=durable_store, quarantine=quarantine)
+
+    def _ha_down_hook(self, rack_id: str) -> Callable[[int, float], bool]:
+        """Map :class:`~repro.faults.spec.GoaOutage` windows onto HA
+        replica 0 — the machine the non-HA deployment runs its only gOA
+        on.  Reads the plan directly (not the injector's counting
+        ``goa_down``): under HA a primary outage is the supervisor's
+        problem, tallied in its own counters."""
+        def hook(index: int, at: float) -> bool:
+            if index != 0 or self.fault_injector is None:
+                return False
+            return self.fault_injector.plan.goa_down(rack_id, at)
+        return hook
+
+    def _all_goas(self) -> list[GlobalOverclockingAgent]:
+        """Every gOA instance: the bare per-rack ones, or both HA
+        replicas per rack (for counter aggregation)."""
+        goas = list(self.goas.values())
+        for supervisor in self.supervisors.values():
+            goas.extend(r.goa for r in supervisor.replicas)
+        return goas
 
     # ------------------------------------------------------------------
     # Service registration
@@ -196,6 +241,8 @@ class SmartOClockPlatform:
             self.lifecycle.tick(now, dt)
         for channel in self.channels.values():
             channel.pump(now)
+        for supervisor in self.supervisors.values():
+            supervisor.tick(now)
         for soa in self.soas.values():
             if soa.alive:
                 soa.control_tick(now, dt)
@@ -220,12 +267,18 @@ class SmartOClockPlatform:
             self._last_budget_update = now
 
     def _goa_update(self, now: float) -> None:
-        """Run each rack's gOA cycle unless its gOA is faulted down."""
+        """Run each rack's gOA cycle unless its gOA is faulted down.
+
+        Under HA the supervisor decides who runs (whichever replicas
+        believe primary and are up) and keeps its own missed-cycle
+        tally, so the injector's counting ``goa_down`` is not consulted."""
         for rack_id, goa in self.goas.items():
             if self.fault_injector is not None and \
                     self.fault_injector.goa_down(rack_id, now):
                 continue
             goa.update(now)
+        for supervisor in self.supervisors.values():
+            supervisor.update(now)
 
     def force_budget_update(self, now: float) -> None:
         """Trigger gOA profile collection + budget recompute immediately
@@ -256,12 +309,14 @@ class SmartOClockPlatform:
 
     def channel_statistics(self) -> dict[str, int]:
         """Aggregate gOA↔sOA channel counters across racks."""
-        totals = {"sent": 0, "delivered": 0, "dropped": 0, "delayed": 0}
+        totals = {"sent": 0, "delivered": 0, "dropped": 0, "delayed": 0,
+                  "failed_pulls": 0}
         for channel in self.channels.values():
             totals["sent"] += channel.sent
             totals["delivered"] += channel.delivered
             totals["dropped"] += channel.dropped
             totals["delayed"] += channel.delayed
+            totals["failed_pulls"] += channel.failed_pulls
         return totals
 
     def fault_counters(self) -> Optional[dict[str, int]]:
@@ -273,7 +328,8 @@ class SmartOClockPlatform:
         shape is stable; returns None only when the platform runs with
         neither an injector nor a lifecycle.
         """
-        if self.fault_injector is None and self.lifecycle is None:
+        if self.fault_injector is None and self.lifecycle is None \
+                and not self.supervisors:
             return None
         if self.fault_injector is not None:
             merged = self.fault_injector.counters.as_dict()
@@ -285,10 +341,25 @@ class SmartOClockPlatform:
         else:
             from repro.recovery.lifecycle import RecoveryCounters
             merged.update(RecoveryCounters().as_dict())
+        from repro.core.goa_ha import HaCounters
+        ha = HaCounters()
+        for supervisor in self.supervisors.values():
+            c = supervisor.counters
+            ha.failovers += c.failovers
+            ha.stepdowns += c.stepdowns
+            ha.heartbeats_sent += c.heartbeats_sent
+            ha.heartbeats_received += c.heartbeats_received
+            ha.cycles_missed += c.cycles_missed
+        merged.update(ha.as_dict())
+        merged["stale_pushes_rejected"] = sum(
+            s.stale_pushes_rejected for s in self.soas.values())
+        merged["checkpoint_corruption_detected"] = (
+            self.durable_store.corruption_detected
+            if self.durable_store is not None else 0)
         merged["servers_marked_dead"] = sum(
-            g.servers_marked_dead for g in self.goas.values())
+            g.servers_marked_dead for g in self._all_goas())
         merged["servers_revived"] = sum(
-            g.servers_revived for g in self.goas.values())
+            g.servers_revived for g in self._all_goas())
         return merged
 
     def grant_statistics(self) -> dict[str, int]:

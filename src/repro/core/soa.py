@@ -105,6 +105,7 @@ class ServerOverclockingAgent:
         self.requests_rejected_power = 0
         self.requests_rejected_lifetime = 0
         self.requests_rejected_quarantine = 0
+        self.stale_pushes_rejected = 0
         self._build_fresh_state()
 
     def _build_fresh_state(self) -> None:
@@ -179,8 +180,21 @@ class ServerOverclockingAgent:
         A dead sOA process cannot take delivery: the push is silently
         lost (exactly what happens to a message addressed to a crashed
         agent) and the restarted sOA works from its restored assignment
-        until the gOA's next cycle."""
+        until the gOA's next cycle.
+
+        Pushes are *epoch-fenced*: a push older than the installed
+        assignment's epoch is a delayed/reordered delivery of something
+        already superseded (or a split-brain push from a deposed gOA
+        primary) — installing it would roll the budget backward *and*
+        re-stamp stale data as fresh.  Such pushes are rejected and
+        counted.  Equal epochs are re-deliveries of the same assignment
+        and install harmlessly (they refresh nothing they shouldn't:
+        same epoch means same recompute)."""
         if not self.alive:
+            return
+        if self._assignment is not None \
+                and assignment.epoch < self._assignment.epoch:
+            self.stale_pushes_rejected += 1
             return
         self.set_budget_assignment(assignment, now=now)
 
@@ -268,6 +282,7 @@ class ServerOverclockingAgent:
         if self._assignment is not None:
             assignment = {
                 "slot_s": self._assignment.slot_s,
+                "epoch": self._assignment.epoch,
                 "received_at": self._assignment_received_at,
                 "budgets": {
                     sid: [float(x) for x in series]
@@ -334,10 +349,14 @@ class ServerOverclockingAgent:
         assignment_age = None
         if payload["assignment"] is not None:
             spec = payload["assignment"]
+            # The epoch restores with the assignment so the fence holds
+            # across restarts: a stale push from a deposed gOA primary is
+            # rejected even by a freshly restored sOA.
             self._assignment = BudgetAssignment(
                 slot_s=spec["slot_s"],
                 budgets={sid: np.asarray(series, dtype=float)
-                         for sid, series in spec["budgets"].items()})
+                         for sid, series in spec["budgets"].items()},
+                epoch=spec["epoch"])
             self._assignment_received_at = spec["received_at"]
             # The stale-budget margin re-derives from the restored
             # assignment age: an assignment that aged across the outage

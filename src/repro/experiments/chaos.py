@@ -1,0 +1,249 @@
+"""Chaos sweep: seeded random fault compositions vs safety invariants.
+
+Each trial builds a small HA-enabled SmartOClock rack, draws a random
+composite :class:`~repro.faults.spec.FaultPlan` from the trial seed
+(every fault type: gOA outages, lossy channels, telemetry dropouts,
+misprediction skew, forced crashes, sOA restarts, checkpoint
+corruption), runs it under a deterministic synthetic load, and checks
+the :mod:`~repro.sim.monitors` safety invariants after every tick.
+
+The sweep is the PR's robustness claim in executable form: across any
+sampled composition of control-plane failures, rack power stays inside
+the envelope, budget splits stay within the planning limit, wear
+ledgers never overdraw, fencing epochs never regress on a live sOA and
+restores never overgrant.  A violation fails the sweep and prints the
+offending trial seed — ``repro chaos --trials 1 --seed <that seed>``
+replays the exact trial.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.platform import SmartOClockPlatform
+from repro.core.workload_intelligence import MetricsTriggerPolicy
+from repro.faults import FaultInjector, event_entropy
+from repro.faults.chaos import generate_plan
+from repro.sim.monitors import InvariantMonitor, InvariantViolation
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosTrialResult",
+    "ChaosSweepResult",
+    "chaos_trial",
+    "chaos_sweep",
+    "format_chaos_report",
+]
+
+_TURBO_GHZ = DEFAULT_POWER_MODEL.plan.turbo_ghz
+_SLO_MS = 10.0
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one chaos trial's mini-cluster."""
+
+    duration_s: float = 1800.0
+    tick_s: float = 10.0
+    n_servers: int = 4
+    vm_cores: int = 24
+    # Rack limit as a multiple of the servers' busy-at-turbo draw, low
+    # enough that the capping envelope is a live constraint under
+    # overclocking (the rack-envelope invariant must *matter*).
+    rack_limit_factor: float = 1.06
+    base_utilization: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 12 * self.tick_s:
+            raise ValueError("chaos trial too short to be interesting")
+        if self.n_servers < 2:
+            raise ValueError("need >= 2 servers (evacuation needs a donor)")
+
+    def control_config(self) -> SmartOClockConfig:
+        """The platform config: HA on, cadences compressed to the
+        trial's timescale so failover/checkpoint/budget paths all run
+        many times per trial."""
+        return SmartOClockConfig(
+            control_interval_s=self.tick_s,
+            telemetry_interval_s=6 * self.tick_s,
+            budget_update_period_s=self.duration_s / 6.0,
+            checkpoint_interval_s=self.duration_s / 15.0,
+            soa_restart_delay_s=3 * self.tick_s,
+            server_restart_delay_s=6 * self.tick_s,
+            vm_restart_delay_s=3 * self.tick_s,
+            enable_goa_ha=True,
+            goa_heartbeat_interval_s=3 * self.tick_s,
+            goa_lease_s=9 * self.tick_s)
+
+
+@dataclass(frozen=True)
+class ChaosTrialResult:
+    """One trial: its seed, what failed, and a determinism fingerprint."""
+
+    seed: int
+    violations: tuple[InvariantViolation, ...]
+    counters: dict[str, int]
+    channel: dict[str, int]
+    grants: dict[str, int]
+    peak_rack_power_fraction: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def metrics(self) -> dict[str, object]:
+        """Flat summary; two runs of the same seed must match exactly."""
+        return {
+            "seed": self.seed,
+            "violations": [str(v) for v in self.violations],
+            "counters": dict(sorted(self.counters.items())),
+            "channel": dict(sorted(self.channel.items())),
+            "grants": dict(sorted(self.grants.items())),
+            "peak_rack_power_fraction":
+                round(self.peak_rack_power_fraction, 12),
+        }
+
+
+@dataclass(frozen=True)
+class ChaosSweepResult:
+    """All trials of one sweep."""
+
+    base_seed: int
+    trials: tuple[ChaosTrialResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(t.ok for t in self.trials)
+
+    @property
+    def offending_seeds(self) -> tuple[int, ...]:
+        return tuple(t.seed for t in self.trials if not t.ok)
+
+    def metrics(self) -> dict[str, object]:
+        return {
+            "base_seed": self.base_seed,
+            "trials": [t.metrics() for t in self.trials],
+            "ok": self.ok,
+        }
+
+
+def chaos_trial(seed: int,
+                config: ChaosConfig | None = None) -> ChaosTrialResult:
+    """Run one seeded trial; returns its violations and fingerprint."""
+    config = config or ChaosConfig()
+    model = DEFAULT_POWER_MODEL
+    server_ids = tuple(f"s{i}" for i in range(config.n_servers))
+    plan = generate_plan(seed, duration_s=config.duration_s,
+                         server_ids=server_ids, tick_s=config.tick_s)
+    injector = FaultInjector(plan, seed=seed)
+
+    busy_watts = model.uniform_server_watts(
+        config.base_utilization, _TURBO_GHZ, config.vm_cores)
+    rack = Rack("r0", config.rack_limit_factor
+                * config.n_servers * busy_watts)
+    servers = [Server(sid, model) for sid in server_ids]
+    for server in servers:
+        rack.add_server(server)
+    datacenter = Datacenter("chaos")
+    datacenter.add_rack(rack)
+    platform = SmartOClockPlatform(datacenter, config.control_config(),
+                                   fault_injector=injector)
+
+    services = []
+    for i, server in enumerate(servers):
+        vm = VirtualMachine(config.vm_cores, name=f"svc{i}-vm",
+                            priority=10, workload=f"svc{i}",
+                            utilization=config.base_utilization)
+        server.place_vm(vm)
+        agent = platform.register_service(
+            f"svc{i}",
+            metrics_policy=MetricsTriggerPolicy(
+                start_fraction=0.7, stop_fraction=0.2, consecutive=2))
+        platform.attach_vm(f"svc{i}", vm,
+                           target_freq_ghz=model.plan.overclock_max_ghz,
+                           priority=10)
+        services.append((agent, vm))
+
+    # All load randomness is drawn up front, indexed by (tick, service):
+    # fault-dependent control flow must not shift the draw order, or the
+    # same seed would mean different load under different fault fates.
+    ticks = int(config.duration_s / config.tick_s)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(event_entropy(seed, "chaos-load")))
+    util_noise = rng.uniform(-0.1, 0.1, size=(ticks, len(services)))
+    p99_noise = rng.uniform(-1.0, 1.0, size=(ticks, len(services)))
+
+    monitor = InvariantMonitor(platform)
+    peak_fraction = 0.0
+    peak_start = config.duration_s / 3.0
+    peak_end = 2.0 * config.duration_s / 3.0
+    for i in range(ticks):
+        now = i * config.tick_s
+        in_peak = peak_start <= now < peak_end
+        for j, (agent, vm) in enumerate(services):
+            vm.set_utilization(float(np.clip(
+                config.base_utilization + (0.15 if in_peak else 0.0)
+                + util_noise[i, j], 0.05, 1.0)))
+            p99 = (8.5 if in_peak else 2.5) + float(p99_noise[i, j])
+            agent.observe(now, p99, _SLO_MS)
+        platform.tick(now, config.tick_s)
+        monitor.check(now)
+        peak_fraction = max(peak_fraction,
+                            rack.power_watts() / rack.power_limit_watts)
+    if platform.lifecycle is not None:
+        platform.lifecycle.finish(config.duration_s)
+
+    counters = platform.fault_counters()
+    assert counters is not None  # injector is always present here
+    return ChaosTrialResult(
+        seed=seed,
+        violations=tuple(monitor.violations),
+        counters=counters,
+        channel=platform.channel_statistics(),
+        grants=platform.grant_statistics(),
+        peak_rack_power_fraction=peak_fraction)
+
+
+def chaos_sweep(trials: int, seed: int = 0,
+                config: ChaosConfig | None = None) -> ChaosSweepResult:
+    """Run ``trials`` independent trials at seeds ``seed .. seed+n-1``."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1: {trials}")
+    results = tuple(chaos_trial(seed + i, config) for i in range(trials))
+    return ChaosSweepResult(base_seed=seed, trials=results)
+
+
+def format_chaos_report(result: ChaosSweepResult, *,
+                        as_json: bool = False) -> str:
+    """Stable-format report; JSON mode is the CI determinism probe."""
+    if as_json:
+        return json.dumps(result.metrics(), indent=2, sort_keys=True)
+    lines = [f"{'seed':>8}  {'ok':>4}  {'faults':>7}  {'peak':>8}  "
+             f"{'stale rej':>9}  {'failovers':>9}"]
+    for trial in result.trials:
+        active = sum(v for k, v in trial.counters.items()
+                     if not k.startswith("ha_"))
+        lines.append(
+            f"{trial.seed:>8}  {'yes' if trial.ok else 'NO':>4}  "
+            f"{active:>7}  {trial.peak_rack_power_fraction:>8.4f}  "
+            f"{trial.counters.get('stale_pushes_rejected', 0):>9}  "
+            f"{trial.counters.get('ha_failovers', 0):>9}")
+    for trial in result.trials:
+        for violation in trial.violations:
+            lines.append(f"seed {trial.seed}: {violation}")
+    if result.ok:
+        lines.append(f"chaos: {len(result.trials)} trials, "
+                     "0 invariant violations")
+    else:
+        seeds = ", ".join(str(s) for s in result.offending_seeds)
+        lines.append(f"chaos: INVARIANT VIOLATIONS at seed(s) {seeds}")
+        lines.append("replay one deterministically with: "
+                     f"repro chaos --trials 1 --seed "
+                     f"{result.offending_seeds[0]}")
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ sampling, template predictions).
 
 from repro.faults.injector import FaultCounters, FaultInjector, event_entropy
 from repro.faults.spec import (
+    CheckpointCorruptionFault,
     FaultPlan,
     GoaOutage,
     MessageFault,
@@ -29,6 +30,7 @@ __all__ = [
     "ServerCrashFault",
     "SoaRestart",
     "TelemetryDropout",
+    "CheckpointCorruptionFault",
     "FaultInjector",
     "FaultCounters",
     "event_entropy",

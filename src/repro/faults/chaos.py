@@ -1,0 +1,126 @@
+"""Seeded random fault-plan generation for the chaos harness.
+
+:func:`generate_plan` turns ``(seed, topology, duration)`` into a
+:class:`~repro.faults.spec.FaultPlan` composing every fault type the
+injector knows — gOA outages, lossy/slow channels, telemetry dropouts,
+misprediction skew, forced server crashes, sOA process restarts and
+checkpoint corruption.  The draw is a pure function of the seed (one
+:class:`numpy.random.Generator` from the shared per-event entropy
+scheme), so ``repro chaos --trials 1 --seed <s>`` replays exactly the
+plan that trial ``<s>`` ran — the one-command deterministic repro the
+chaos sweep prints when an invariant trips.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.injector import event_entropy
+from repro.faults.spec import (
+    CheckpointCorruptionFault,
+    FaultPlan,
+    FaultWindow,
+    GoaOutage,
+    MessageFault,
+    MispredictionFault,
+    ServerCrashFault,
+    SoaRestart,
+    TelemetryDropout,
+)
+
+__all__ = ["generate_plan"]
+
+# How many instances of each fault type one plan may carry.  Low maxima
+# keep single trials readable; breadth comes from running many seeds.
+_MAX_PER_TYPE = 2
+
+
+def _window(rng: np.random.Generator, duration_s: float,
+            min_len_s: float) -> FaultWindow:
+    """A random half-open window inside the run, at least one tick long."""
+    start = float(rng.uniform(0.0, duration_s - min_len_s))
+    length = float(rng.uniform(min_len_s, duration_s - start))
+    return FaultWindow(start, start + length)
+
+
+def _pick_server(rng: np.random.Generator,
+                 server_ids: tuple[str, ...]) -> Optional[str]:
+    """A concrete server, or None (match all) one time in four."""
+    if rng.random() < 0.25:
+        return None
+    return str(rng.choice(np.asarray(server_ids, dtype=object)))
+
+
+def generate_plan(seed: int, *, duration_s: float,
+                  server_ids: tuple[str, ...],
+                  tick_s: float = 10.0) -> FaultPlan:
+    """One seeded random composite fault plan over ``[0, duration_s)``.
+
+    Every fault type appears with probability ~2/3 (so most plans
+    compose several and occasionally one is absent — absence is a
+    scenario too).  Crash windows always name a concrete server: a
+    whole-rack forced crash leaves no evacuation target and models a
+    power failure, not a control-plane fault.
+    """
+    if duration_s <= 4 * tick_s:
+        raise ValueError(f"duration too short for chaos: {duration_s}")
+    if not server_ids:
+        raise ValueError("need at least one server id")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(event_entropy(seed, "chaos-plan")))
+
+    def count() -> int:
+        # 0 with p≈1/3, else 1.._MAX_PER_TYPE.
+        return int(rng.integers(0, _MAX_PER_TYPE + 1))
+
+    goa_outages = tuple(
+        GoaOutage(_window(rng, duration_s, 6 * tick_s))
+        for _ in range(count()))
+    message_faults = tuple(
+        MessageFault(
+            _window(rng, duration_s, 6 * tick_s),
+            drop_prob=float(rng.uniform(0.1, 0.9)),
+            delay_s=float(rng.uniform(0.0, 6.0)) * tick_s)
+        for _ in range(count()))
+    telemetry_dropouts = tuple(
+        TelemetryDropout(
+            _window(rng, duration_s, 6 * tick_s),
+            drop_prob=float(rng.uniform(0.2, 1.0)),
+            server_id=_pick_server(rng, server_ids))
+        for _ in range(count()))
+    mispredictions = tuple(
+        MispredictionFault(
+            _window(rng, duration_s, 6 * tick_s),
+            scale=float(rng.uniform(0.6, 1.5)),
+            server_id=_pick_server(rng, server_ids))
+        for _ in range(count()))
+    server_crashes = tuple(
+        ServerCrashFault(
+            # Short windows: a forced-crash window holds the server down
+            # until it ends, so long ones just measure downtime.
+            _window(rng, duration_s * 0.8, 2 * tick_s),
+            server_id=str(rng.choice(np.asarray(server_ids, dtype=object))))
+        for _ in range(count()))
+    soa_restarts = tuple(
+        SoaRestart(
+            at_s=float(rng.uniform(0.0, duration_s * 0.8)),
+            server_id=_pick_server(rng, server_ids))
+        for _ in range(count()))
+    checkpoint_corruptions = tuple(
+        CheckpointCorruptionFault(
+            _window(rng, duration_s, 6 * tick_s),
+            corrupt_prob=float(rng.uniform(0.3, 1.0)),
+            server_id=_pick_server(rng, server_ids))
+        for _ in range(count()))
+
+    return FaultPlan(
+        goa_outages=goa_outages,
+        message_faults=message_faults,
+        telemetry_dropouts=telemetry_dropouts,
+        mispredictions=mispredictions,
+        server_crashes=server_crashes,
+        soa_restarts=soa_restarts,
+        checkpoint_corruptions=checkpoint_corruptions,
+    )

@@ -33,6 +33,7 @@ class FaultCounters:
     messages_delayed: int = 0
     telemetry_dropped: int = 0
     predictions_skewed: int = 0
+    checkpoints_corrupted: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -41,6 +42,7 @@ class FaultCounters:
             "messages_delayed": self.messages_delayed,
             "telemetry_dropped": self.telemetry_dropped,
             "predictions_skewed": self.predictions_skewed,
+            "checkpoints_corrupted": self.checkpoints_corrupted,
         }
 
 
@@ -131,6 +133,25 @@ class FaultInjector:
                 self.counters.telemetry_dropped += 1
                 return True
         return False
+
+    # ------------------------------------------------------------------
+    # Checkpoint corruption
+    # ------------------------------------------------------------------
+
+    def checkpoint_corruption(self, key: str, taken_at: float) -> bool:
+        """True when this checkpoint write rots on the durable medium."""
+        for fault in self.plan.checkpoint_corruptions:
+            if fault.matches(key, taken_at) and self._bernoulli(
+                    fault.corrupt_prob, "ckpt", key, taken_at):
+                self.counters.checkpoints_corrupted += 1
+                return True
+        return False
+
+    def corruption_hook(self) -> Callable[[str, float], bool]:
+        """The corruption hook to install on the platform's durable store."""
+        def hook(key: str, taken_at: float) -> bool:
+            return self.checkpoint_corruption(key, taken_at)
+        return hook
 
     # ------------------------------------------------------------------
     # Misprediction skew

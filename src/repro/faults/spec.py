@@ -25,6 +25,7 @@ __all__ = [
     "MispredictionFault",
     "ServerCrashFault",
     "SoaRestart",
+    "CheckpointCorruptionFault",
     "FaultPlan",
 ]
 
@@ -148,6 +149,30 @@ class ServerCrashFault:
 
 
 @dataclass(frozen=True)
+class CheckpointCorruptionFault:
+    """Durable checkpoint writes rot on the medium: each save in the
+    window is corrupted (one byte of the stored body flipped) with
+    ``corrupt_prob``.  Detected at restore time by the store's
+    fingerprint verification — the restore falls back to a cold start
+    rather than trusting corrupted state.  ``key`` selectors match the
+    durable-store key: a server id, or ``goa:<rack_id>`` for gOA
+    checkpoints (``server_id=None`` matches every key, gOA included)."""
+
+    window: FaultWindow
+    corrupt_prob: float = 1.0
+    server_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.corrupt_prob <= 1.0:
+            raise ValueError(
+                f"corrupt_prob must be in (0, 1]: {self.corrupt_prob}")
+
+    def matches(self, key: str, now: float) -> bool:
+        return (self.server_id is None or self.server_id == key) \
+            and self.window.active(now)
+
+
+@dataclass(frozen=True)
 class SoaRestart:
     """The sOA *process* dies at ``at_s`` and restarts from its durable
     checkpoint; the server itself (and its VMs) keep running.  Models a
@@ -175,13 +200,15 @@ class FaultPlan:
     mispredictions: tuple[MispredictionFault, ...] = ()
     server_crashes: tuple[ServerCrashFault, ...] = ()
     soa_restarts: tuple[SoaRestart, ...] = ()
+    checkpoint_corruptions: tuple[CheckpointCorruptionFault, ...] = ()
 
     def __post_init__(self) -> None:
         # Tolerate lists in hand-written specs; store canonical tuples so
         # plans stay hashable/frozen.
         for name in ("goa_outages", "message_faults",
                      "telemetry_dropouts", "mispredictions",
-                     "server_crashes", "soa_restarts"):
+                     "server_crashes", "soa_restarts",
+                     "checkpoint_corruptions"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -190,7 +217,8 @@ class FaultPlan:
     def empty(self) -> bool:
         return not (self.goa_outages or self.message_faults
                     or self.telemetry_dropouts or self.mispredictions
-                    or self.server_crashes or self.soa_restarts)
+                    or self.server_crashes or self.soa_restarts
+                    or self.checkpoint_corruptions)
 
     def server_crash_forced(self, server_id: str, now: float) -> bool:
         return any(c.matches(server_id, now) for c in self.server_crashes)

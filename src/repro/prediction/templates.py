@@ -49,6 +49,23 @@ class TemplateKind(str, enum.Enum):
     DAILY_MAX = "DailyMax"
 
 
+def _base_interval(intervals: np.ndarray) -> float:
+    """The sampling grid underlying the observed gaps (float Euclid GCD).
+
+    ``min(intervals)`` is not it: telemetry drops can eat *every*
+    adjacent pair at the base cadence, leaving e.g. gaps of 120 s and
+    180 s on a 60 s grid.  For a gapless history the GCD equals the
+    common gap, so regular inputs see no change."""
+    scale = float(np.max(intervals))
+    g = 0.0
+    for value in np.unique(intervals):
+        a, b = g, float(value)
+        while b > 1e-9 * scale:
+            a, b = b, a % b
+        g = a
+    return g
+
+
 def _validate_history(times: np.ndarray, values: np.ndarray) -> float:
     if len(times) != len(values):
         raise ValueError(
@@ -56,13 +73,18 @@ def _validate_history(times: np.ndarray, values: np.ndarray) -> float:
     if len(times) < 2:
         raise ValueError("need at least 2 history samples")
     intervals = np.diff(times)
-    interval = float(np.min(intervals))
-    if interval <= 0:
+    if float(np.min(intervals)) <= 0:
         raise ValueError("history must be regularly sampled")
     # Histories may have *gaps* — dropped telemetry, server downtime —
     # but every sample must still sit on the base sampling grid (each
     # gap a whole multiple of the interval).  Slot-aggregation handles
     # the unseen slots; a genuinely irregular cadence is still an error.
+    interval = _base_interval(intervals)
+    # A base far finer than every observed gap means the gaps share no
+    # credible grid (e.g. 300 s and 433 s "agree" only on a 1 s base):
+    # that is irregular sampling, not a gapped history.
+    if interval <= 0 or float(np.min(intervals)) > 64 * interval:
+        raise ValueError("history must be regularly sampled")
     ratios = intervals / interval
     if not np.allclose(ratios, np.round(ratios)):
         raise ValueError("history must be regularly sampled")

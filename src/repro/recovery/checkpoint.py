@@ -16,14 +16,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Union
 
-__all__ = ["SoaCheckpoint", "RestoreReport", "DurableStore"]
+__all__ = ["SoaCheckpoint", "GoaCheckpoint", "RestoreReport",
+           "CheckpointLoad", "DurableStore"]
 
 
 def _canonical_json(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -34,13 +40,40 @@ class SoaCheckpoint:
     taken_at: float
     payload: dict[str, Any]
 
+    def canonical_body(self) -> bytes:
+        """Canonical JSON encoding — what the durable store fingerprints
+        (and what a corruption fault flips bytes of)."""
+        return _canonical_json(
+            {"server_id": self.server_id, "taken_at": self.taken_at,
+             "payload": self.payload}).encode("utf-8")
+
     def fingerprint(self) -> str:
         """SHA-256 over the canonical JSON encoding of the snapshot —
         the identity used by the bit-identical round-trip tests."""
-        body = _canonical_json(
-            {"server_id": self.server_id, "taken_at": self.taken_at,
-             "payload": self.payload})
-        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+        return _sha256(self.canonical_body())
+
+
+@dataclass(frozen=True)
+class GoaCheckpoint:
+    """One durable snapshot of a gOA's HA-relevant state.
+
+    Far smaller than an sOA checkpoint by design: a promoted standby
+    rebuilds profiles by *re-pulling* them from the live sOAs, so the
+    only state that must survive a primary's death is the fencing epoch
+    (and bookkeeping around it).  See :mod:`repro.core.goa_ha`.
+    """
+
+    rack_id: str
+    taken_at: float
+    payload: dict[str, Any]
+
+    def canonical_body(self) -> bytes:
+        return _canonical_json(
+            {"rack_id": self.rack_id, "taken_at": self.taken_at,
+             "payload": self.payload}).encode("utf-8")
+
+    def fingerprint(self) -> str:
+        return _sha256(self.canonical_body())
 
 
 @dataclass(frozen=True)
@@ -56,6 +89,10 @@ class RestoreReport:
     stale_margin: float
     checkpoint_budget_watts: Optional[float]
     restored_budget_watts: Optional[float]
+    # True when a checkpoint existed but failed fingerprint verification:
+    # the restore deliberately fell back to a cold start rather than
+    # trusting corrupted durable state.
+    checkpoint_corrupted: bool = False
 
     @property
     def cold_start(self) -> bool:
@@ -73,28 +110,125 @@ class RestoreReport:
                 > self.checkpoint_budget_watts + 1e-9)
 
 
+_AnyCheckpoint = Union[SoaCheckpoint, GoaCheckpoint]
+
+#: Decides per save event whether the written bytes rot on the medium.
+#: Installed by the fault injector; the key is the server id (or
+#: ``goa:<rack_id>`` for gOA checkpoints) and the float is ``taken_at``.
+CorruptionHook = Callable[[str, float], bool]
+
+
+@dataclass(frozen=True)
+class CheckpointLoad:
+    """Outcome of a verified load: at most one of the two is truthy."""
+
+    checkpoint: Optional[_AnyCheckpoint]
+    corrupted: bool = False
+
+
+@dataclass
+class _Stored:
+    """One durable slot: the record plus its save-time fingerprint.
+
+    ``corrupt_body`` is None for a healthy save.  When a corruption
+    fault hit the write, it holds the canonical bytes *as the medium
+    kept them* (one flipped byte) — verification then recomputes the
+    hash over those bytes and the mismatch is detected at load time,
+    exactly like a real fingerprint-checked store."""
+
+    value: _AnyCheckpoint
+    fingerprint: str
+    corrupt_body: Optional[bytes] = None
+
+
+def _flip_byte(body: bytes, key: str, taken_at: float) -> bytes:
+    """Deterministic single-byte corruption (no RNG: the *whether* is the
+    injector's seeded coin, the *where* is a pure function of the event)."""
+    index = zlib.crc32(f"{key}@{taken_at}".encode("utf-8")) % len(body)
+    flipped = bytearray(body)
+    flipped[index] ^= 0xFF
+    return bytes(flipped)
+
+
 @dataclass
 class DurableStore:
     """The in-sim durable storage service (one per platform).
 
-    Keeps the latest checkpoint per server — SmartOClock's checkpoints
-    fully supersede each other, so retaining history would only model
-    storage we never read.
+    Keeps the latest checkpoint per server (and per rack gOA) —
+    SmartOClock's checkpoints fully supersede each other, so retaining
+    history would only model storage we never read.
+
+    Every ``save`` records the checkpoint's SHA-256 fingerprint; every
+    load re-verifies it.  A record whose bytes rotted (the
+    ``CheckpointCorruptionFault`` path) fails verification and loads as
+    *corrupted* — callers fall back to a cold start instead of trusting
+    durable state the control plane never wrote.
     """
 
     checkpoints_saved: int = 0
-    checkpoints_loaded: int = 0
-    _latest: dict[str, SoaCheckpoint] = field(default_factory=dict)
+    checkpoints_loaded: int = 0       # verified successful loads only
+    checkpoints_corrupted: int = 0    # saves whose bytes rotted
+    corruption_detected: int = 0      # loads that failed verification
+    corruption_hook: Optional[CorruptionHook] = None
+    _latest: dict[str, _Stored] = field(default_factory=dict)
+
+    # -- generic verified slots ---------------------------------------
+
+    def _store(self, key: str, value: _AnyCheckpoint,
+               taken_at: float) -> None:
+        self.checkpoints_saved += 1
+        stored = _Stored(value=value, fingerprint=value.fingerprint())
+        if self.corruption_hook is not None \
+                and self.corruption_hook(key, taken_at):
+            stored.corrupt_body = _flip_byte(
+                value.canonical_body(), key, taken_at)
+            self.checkpoints_corrupted += 1
+        self._latest[key] = stored
+
+    def _fetch(self, key: str) -> CheckpointLoad:
+        stored = self._latest.get(key)
+        if stored is None:
+            return CheckpointLoad(checkpoint=None)
+        if stored.corrupt_body is not None:
+            body = stored.corrupt_body
+        else:
+            body = stored.value.canonical_body()
+        if _sha256(body) != stored.fingerprint:
+            self.corruption_detected += 1
+            return CheckpointLoad(checkpoint=None, corrupted=True)
+        self.checkpoints_loaded += 1
+        return CheckpointLoad(checkpoint=stored.value)
+
+    # -- sOA checkpoints ------------------------------------------------
 
     def save(self, checkpoint: SoaCheckpoint) -> None:
-        self.checkpoints_saved += 1
-        self._latest[checkpoint.server_id] = checkpoint
+        self._store(checkpoint.server_id, checkpoint, checkpoint.taken_at)
+
+    def load_verified(self, server_id: str) -> CheckpointLoad:
+        """Load + fingerprint-verify; distinguishes missing from rotten."""
+        return self._fetch(server_id)
 
     def load(self, server_id: str) -> Optional[SoaCheckpoint]:
-        checkpoint = self._latest.get(server_id)
-        if checkpoint is not None:
-            self.checkpoints_loaded += 1
+        """Verified load; a corrupted record loads as None (the caller
+        cold-starts).  Use :meth:`load_verified` to tell the two apart."""
+        result = self._fetch(server_id)
+        checkpoint = result.checkpoint
+        assert checkpoint is None or isinstance(checkpoint, SoaCheckpoint)
         return checkpoint
 
     def has_checkpoint(self, server_id: str) -> bool:
+        """A record exists for ``server_id`` (it may still be rotten)."""
         return server_id in self._latest
+
+    # -- gOA checkpoints --------------------------------------------------
+
+    @staticmethod
+    def goa_key(rack_id: str) -> str:
+        return f"goa:{rack_id}"
+
+    def save_goa(self, checkpoint: GoaCheckpoint) -> None:
+        self._store(self.goa_key(checkpoint.rack_id), checkpoint,
+                    checkpoint.taken_at)
+
+    def load_goa(self, rack_id: str) -> CheckpointLoad:
+        return self._fetch(self.goa_key(rack_id))

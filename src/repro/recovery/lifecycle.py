@@ -29,6 +29,7 @@ while the histories coincide.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -38,7 +39,7 @@ import numpy as np
 from repro.cluster.placement import PlacementError, ResourceCentricPlacer
 from repro.faults.injector import event_entropy
 from repro.faults.spec import FaultPlan
-from repro.recovery.checkpoint import DurableStore, RestoreReport
+from repro.recovery.checkpoint import DurableStore, RestoreReport, SoaCheckpoint
 from repro.recovery.quarantine import QuarantineController
 from repro.reliability.hazard import HazardModel
 from repro.sim.metrics import DowntimeTracker
@@ -65,6 +66,7 @@ class RecoveryCounters:
     checkpoints_taken: int = 0
     restores_from_checkpoint: int = 0
     restores_cold: int = 0
+    restores_corrupted: int = 0
     grants_revoked_on_restore: int = 0
     quarantines: int = 0
 
@@ -80,6 +82,7 @@ class RecoveryCounters:
             "checkpoints_taken": self.checkpoints_taken,
             "restores_from_checkpoint": self.restores_from_checkpoint,
             "restores_cold": self.restores_cold,
+            "restores_corrupted": self.restores_corrupted,
             "grants_revoked_on_restore": self.grants_revoked_on_restore,
             "quarantines": self.quarantines,
         }
@@ -256,11 +259,21 @@ class ServerLifecycleManager:
 
     def _restore_soa(self, server_id: str, now: float) -> None:
         soa = self.platform.soas[server_id]
-        checkpoint = self.store.load(server_id)
+        load = self.store.load_verified(server_id)
+        checkpoint = load.checkpoint
+        assert checkpoint is None or isinstance(checkpoint, SoaCheckpoint)
         report = soa.restart(now, checkpoint)
         self.counters.soa_restarts += 1
         if checkpoint is None:
+            # Either no checkpoint was ever taken, or the stored one
+            # failed fingerprint verification: in both cases the sOA
+            # cold-starts rather than trusting bad durable state; the
+            # corruption is noted on the audit record.
             self.counters.restores_cold += 1
+            if load.corrupted:
+                self.counters.restores_corrupted += 1
+                report = dataclasses.replace(
+                    report, checkpoint_corrupted=True)
         else:
             self.counters.restores_from_checkpoint += 1
         self.counters.grants_revoked_on_restore += report.grants_revoked

@@ -1,0 +1,184 @@
+"""Runtime invariant monitors for chaos runs.
+
+The chaos harness (:mod:`repro.experiments.chaos`) is only as good as
+the properties it checks.  :class:`InvariantMonitor` wraps a
+:class:`~repro.core.platform.SmartOClockPlatform` and, once per platform
+tick, evaluates the safety invariants the paper's claims rest on:
+
+1. **rack-envelope** — every rack's post-enforcement draw is within its
+   power limit (capping is the last line of defence; it must hold under
+   any composition of control-plane faults);
+2. **budget-split** — every budget assignment installed on an sOA sums,
+   at the current slot, to at most the rack's planning limit (the gOA
+   may never hand out more than the rack owns).  Skipped when
+   oversubscription is enabled: the planning limit is then deliberately
+   above the physical one and admission is judged by capping instead;
+3. **wear-ledger** — no core's epoch overclocking ledger is overdrawn:
+   consumed + reserved seconds never exceed allowance + carryover
+   ("grants ≤ budget" in the lifetime sense — per-grant admission may
+   legally explore past the instantaneous power budget);
+4. **epoch-monotone** — the assignment epoch installed on a *live* sOA
+   never decreases (the fence works).  The floor resets across an sOA
+   crash: restoring an older checkpointed epoch after losing volatile
+   state is legal, reverting a live sOA is not.  gOA replica epochs must
+   never decrease, crash or not;
+5. **restore-no-overgrant** — no restored sOA considered itself entitled
+   to more budget than its checkpointed assignment allowed.
+
+Deliberately *not* invariants (would false-positive on healthy runs —
+see DESIGN.md for the unsoundness notes): per-server draw vs assigned
+budget (exploration and feedback transients legally exceed it between
+control ticks) and per-grant power admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # sim stays importable without the core package
+    from repro.core.platform import SmartOClockPlatform
+
+__all__ = ["InvariantViolation", "InvariantMonitor"]
+
+_POWER_RTOL = 1e-9       # relative slack on power comparisons
+_WATTS_ATOL = 1e-6       # absolute slack on budget sums (float accumulation)
+_SECONDS_ATOL = 1e-6     # absolute slack on wear-ledger seconds
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation (enough detail to debug from the seed)."""
+
+    invariant: str   # which monitor fired (e.g. "rack-envelope")
+    at_s: float      # simulated time of the offending tick
+    subject: str     # rack / server / replica the violation is about
+    detail: str      # human-readable numbers
+
+    def __str__(self) -> str:
+        return (f"[{self.invariant}] t={self.at_s:g}s {self.subject}: "
+                f"{self.detail}")
+
+
+class InvariantMonitor:
+    """Evaluates the safety invariants after every platform tick.
+
+    Violations accumulate in :attr:`violations`; ``check`` also returns
+    the tick's new ones so harnesses can stop early.
+    """
+
+    def __init__(self, platform: "SmartOClockPlatform") -> None:
+        self.platform = platform
+        self.violations: list[InvariantViolation] = []
+        # Per-sOA installed-epoch floor; dropped while the sOA is dead
+        # (a restore may legally come back at an older checkpointed
+        # epoch).  gOA floors never reset.
+        self._soa_epoch_floor: dict[str, int] = {}
+        self._goa_epoch_floor: dict[str, int] = {}
+        self._restore_reports_seen = 0
+
+    def check(self, now: float) -> list[InvariantViolation]:
+        """Run all invariants; returns (and records) new violations."""
+        found: list[InvariantViolation] = []
+        self._check_rack_envelope(now, found)
+        self._check_budget_split(now, found)
+        self._check_wear_ledger(now, found)
+        self._check_epoch_monotone(now, found)
+        self._check_restores(now, found)
+        self.violations.extend(found)
+        return found
+
+    # ------------------------------------------------------------------
+    # Individual invariants
+    # ------------------------------------------------------------------
+
+    def _check_rack_envelope(self, now: float,
+                             found: list[InvariantViolation]) -> None:
+        for rack_id in sorted(self.platform.datacenter.racks):
+            rack = self.platform.datacenter.racks[rack_id]
+            power = rack.power_watts()
+            limit = rack.power_limit_watts
+            if power > limit * (1.0 + _POWER_RTOL):
+                found.append(InvariantViolation(
+                    "rack-envelope", now, rack_id,
+                    f"draw {power:.3f} W exceeds limit {limit:.3f} W"))
+
+    def _check_budget_split(self, now: float,
+                            found: list[InvariantViolation]) -> None:
+        if self.platform.config.enable_oversubscription:
+            return
+        seen: set[int] = set()
+        for server_id in sorted(self.platform.soas):
+            soa = self.platform.soas[server_id]
+            assignment = soa._assignment
+            if assignment is None or id(assignment) in seen:
+                continue
+            seen.add(id(assignment))
+            rack = soa.server.rack
+            if rack is None:
+                continue
+            total = assignment.total_at(now, out_of_horizon="wrap")
+            if total > rack.power_limit_watts + _WATTS_ATOL:
+                found.append(InvariantViolation(
+                    "budget-split", now, server_id,
+                    f"assignment epoch {assignment.epoch} sums to "
+                    f"{total:.3f} W > rack limit "
+                    f"{rack.power_limit_watts:.3f} W"))
+
+    def _check_wear_ledger(self, now: float,
+                           found: list[InvariantViolation]) -> None:
+        for server_id in sorted(self.platform.soas):
+            soa = self.platform.soas[server_id]
+            for index, budget in enumerate(soa.core_budgets):
+                booked = budget._consumed + budget._reserved
+                capacity = (budget.epoch_allowance_seconds
+                            + budget._carryover)
+                if booked > capacity + _SECONDS_ATOL:
+                    found.append(InvariantViolation(
+                        "wear-ledger", now, f"{server_id}/core{index}",
+                        f"booked {booked:.6f}s exceeds capacity "
+                        f"{capacity:.6f}s"))
+
+    def _check_epoch_monotone(self, now: float,
+                              found: list[InvariantViolation]) -> None:
+        for server_id in sorted(self.platform.soas):
+            soa = self.platform.soas[server_id]
+            if not soa.alive:
+                # Crash pending restore: the next installed epoch may be
+                # the (older) checkpointed one — reset the floor.
+                self._soa_epoch_floor.pop(server_id, None)
+                continue
+            if soa._assignment is None:
+                continue
+            epoch = soa._assignment.epoch
+            floor = self._soa_epoch_floor.get(server_id)
+            if floor is not None and epoch < floor:
+                found.append(InvariantViolation(
+                    "epoch-monotone", now, server_id,
+                    f"installed epoch went backwards: {floor} -> {epoch}"))
+            self._soa_epoch_floor[server_id] = max(floor or 0, epoch)
+        for rack_id in sorted(self.platform.supervisors):
+            supervisor = self.platform.supervisors[rack_id]
+            for replica in supervisor.replicas:
+                key = f"{rack_id}/{replica.name}"
+                epoch = replica.goa.epoch
+                floor = self._goa_epoch_floor.get(key, 0)
+                if epoch < floor:
+                    found.append(InvariantViolation(
+                        "epoch-monotone", now, key,
+                        f"gOA epoch went backwards: {floor} -> {epoch}"))
+                self._goa_epoch_floor[key] = max(floor, epoch)
+
+    def _check_restores(self, now: float,
+                        found: list[InvariantViolation]) -> None:
+        lifecycle = self.platform.lifecycle
+        if lifecycle is None:
+            return
+        reports = lifecycle.restore_reports
+        for report in reports[self._restore_reports_seen:]:
+            if report.overgranted:
+                found.append(InvariantViolation(
+                    "restore-no-overgrant", now, report.server_id,
+                    f"restored budget {report.restored_budget_watts} W > "
+                    f"checkpointed {report.checkpoint_budget_watts} W"))
+        self._restore_reports_seen = len(reports)

@@ -1,0 +1,255 @@
+"""gOA high availability: heartbeat leases, standby failover, epoch
+fencing across split-brain windows, and checkpoint-seeded promotion."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Rack, Server, VirtualMachine
+from repro.core.budgets import BudgetAssignment
+from repro.core.config import SmartOClockConfig
+from repro.core.goa_ha import PRIMARY, STANDBY, GoaSupervisor
+from repro.core.messaging import (
+    GOA_HEARTBEAT,
+    Envelope,
+    MessageChannel,
+    MessageFate,
+)
+from repro.core.soa import ServerOverclockingAgent
+from repro.recovery.checkpoint import DurableStore
+
+TICK = 10.0
+HEARTBEAT = 30.0
+LEASE = 90.0
+
+
+def build(n_servers=2, rack_limit=3000.0, fate_hook=None, store=None,
+          down_hook=None):
+    config = SmartOClockConfig(enable_goa_ha=True,
+                               goa_heartbeat_interval_s=HEARTBEAT,
+                               goa_lease_s=LEASE)
+    rack = Rack("r0", rack_limit)
+    channel = MessageChannel(fate_hook)
+    soas = []
+    for i in range(n_servers):
+        server = Server(f"s{i}", DEFAULT_POWER_MODEL)
+        rack.add_server(server)
+        vm = VirtualMachine(8, utilization=0.8)
+        server.place_vm(vm)
+        soas.append(ServerOverclockingAgent(server, config))
+    store = store if store is not None else DurableStore()
+    supervisor = GoaSupervisor(rack, config, soas, channel, store,
+                               down_hook=down_hook)
+    return supervisor, soas, channel, store
+
+
+def run_ticks(supervisor, start, end, tick=TICK):
+    """Drive tick() over [start, end); pumps the channel like the
+    platform would."""
+    now = start
+    while now < end:
+        supervisor.channel.pump(now)
+        supervisor.tick(now)
+        now += tick
+
+
+def drop_heartbeats(envelope):
+    if envelope.kind == GOA_HEARTBEAT:
+        return MessageFate(dropped=True)
+    return MessageFate()
+
+
+def down_after(index, at_s):
+    """Replica ``index`` is dead from ``at_s`` on."""
+    def hook(i, now):
+        return i == index and now >= at_s
+    return hook
+
+
+class TestHealthyOperation:
+    def test_heartbeats_keep_standby_on_lease(self):
+        supervisor, _, _, _ = build()
+        run_ticks(supervisor, 0.0, 600.0)
+        assert supervisor.counters.failovers == 0
+        assert [r.role for r in supervisor.replicas] == [PRIMARY, STANDBY]
+        assert supervisor.counters.heartbeats_sent > 0
+        assert (supervisor.counters.heartbeats_received
+                == supervisor.counters.heartbeats_sent)
+
+    def test_update_pushes_monotone_epochs(self):
+        supervisor, soas, _, _ = build()
+        first = supervisor.update(0.0)
+        second = supervisor.update(150.0)
+        assert first is not None and second is not None
+        assert second.epoch == first.epoch + 1
+        for soa in soas:
+            assert soa._assignment.epoch == second.epoch
+
+    def test_active_goa_is_the_primary(self):
+        supervisor, _, _, _ = build()
+        assert supervisor.active_goa is supervisor.replicas[0].goa
+        assert supervisor.primary_indices == [0]
+
+
+class TestFailover:
+    def test_standby_promotes_within_one_lease_window(self):
+        supervisor, soas, _, _ = build(down_hook=down_after(0, 300.0))
+        supervisor.update(150.0)  # primary pushes epoch 1 before dying
+        promoted_at = None
+        now = 0.0
+        while now < 600.0:
+            supervisor.channel.pump(now)
+            supervisor.tick(now)
+            if promoted_at is None \
+                    and supervisor.replicas[1].role == PRIMARY:
+                promoted_at = now
+            now += TICK
+        assert promoted_at is not None
+        # Last heartbeat lands just before the outage; the lease lapses
+        # at most one lease window later.
+        assert promoted_at <= 300.0 + LEASE + TICK
+        assert supervisor.counters.failovers == 1
+        assert supervisor.active_goa is supervisor.replicas[1].goa
+        # Promotion re-pulled profiles and pushed at a strictly higher
+        # epoch than anything the old primary issued.
+        for soa in soas:
+            assert soa._assignment.epoch == 2
+            assert soa.stale_pushes_rejected == 0
+
+    def test_promotion_seeds_epoch_past_stored_checkpoint(self):
+        supervisor, soas, _, store = build(down_hook=down_after(0, 500.0))
+        for now in (0.0, 150.0, 300.0):
+            supervisor.update(now)
+        assert supervisor.replicas[0].goa.epoch == 3
+        load = store.load_goa("r0")
+        assert load.checkpoint is not None
+        assert load.checkpoint.payload["epoch"] == 3
+        run_ticks(supervisor, 500.0, 700.0)
+        # Seeded from the durable checkpoint (the standby heard no
+        # heartbeat after the last push), then bumped by its own push.
+        assert supervisor.replicas[1].goa.epoch == 4
+        for soa in soas:
+            assert soa._assignment.epoch == 4
+
+
+class TestSplitBrain:
+    def test_partition_window_is_fenced(self):
+        """Heartbeats partitioned, primary alive: the standby promotes,
+        both replicas believe primary, and the epoch fence keeps the
+        deposed primary's pushes out until it steps down."""
+        supervisor, soas, _, _ = build(fate_hook=drop_heartbeats)
+        old = supervisor.update(0.0)
+        assert old is not None and old.epoch == 1
+        # The standby's bootstrap lease (one full window) lapses unheard.
+        run_ticks(supervisor, 0.0, 100.0)
+        assert supervisor.counters.failovers == 1
+        assert supervisor.primary_indices == [0, 1]  # split brain
+        for soa in soas:
+            assert soa._assignment.epoch == 2
+        # A delayed in-flight push from the old primary arrives late:
+        # fenced, counted, installed assignment untouched.
+        installed = soas[0]._assignment
+        soas[0].receive_budget_push(old, now=110.0)
+        assert soas[0].stale_pushes_rejected == 1
+        assert soas[0]._assignment is installed
+        # The old primary's next cycle finds the standby's higher epoch
+        # in the durable checkpoint and steps down instead of pushing.
+        supervisor.update(150.0)
+        assert supervisor.counters.stepdowns == 1
+        assert supervisor.primary_indices == [1]
+        for soa in soas:
+            assert soa._assignment.epoch == 3
+
+    def test_healed_partition_deposes_old_primary_by_heartbeat(self):
+        hook_on = [True]
+
+        def flaky(envelope):
+            if hook_on[0]:
+                return drop_heartbeats(envelope)
+            return MessageFate()
+
+        supervisor, _, _, _ = build(fate_hook=flaky)
+        supervisor.update(0.0)
+        run_ticks(supervisor, 0.0, 100.0)   # standby promotes at epoch 2
+        assert supervisor.primary_indices == [0, 1]
+        hook_on[0] = False                  # partition heals
+        run_ticks(supervisor, 100.0, 200.0)
+        # The old primary (epoch 1) hears the new primary's epoch-2
+        # heartbeat and demotes itself; the winner stays.
+        assert supervisor.primary_indices == [1]
+        assert supervisor.counters.stepdowns == 1
+        assert [r.role for r in supervisor.replicas] == [STANDBY, PRIMARY]
+
+
+class TestGoaCheckpointCorruption:
+    def test_corrupted_checkpoint_degrades_epoch_floor_only(self):
+        store = DurableStore(
+            corruption_hook=lambda key, taken_at: key.startswith("goa:"))
+        supervisor, soas, _, _ = build(store=store,
+                                       down_hook=down_after(0, 300.0))
+        supervisor.update(150.0)  # epoch 1; its checkpoint rots
+        assert store.checkpoints_corrupted == 1
+        assert supervisor._stored_epoch() == 0
+        assert store.corruption_detected == 1
+        # Heartbeats carried epoch 1, so the promoted standby still
+        # fences past the dead primary without the checkpoint.
+        run_ticks(supervisor, 0.0, 500.0)
+        assert supervisor.counters.failovers == 1
+        assert supervisor.replicas[1].goa.epoch == 2
+        for soa in soas:
+            assert soa._assignment.epoch == 2
+            assert soa.stale_pushes_rejected == 0
+
+    def test_outage_without_pushes_misses_cycles(self):
+        supervisor, _, _, _ = build(
+            down_hook=lambda i, now: True)  # both replicas down
+        assert supervisor.update(100.0) is None
+        assert supervisor.counters.cycles_missed == 1
+
+
+class TestSoaEpochFence:
+    def assignment(self, soa, epoch, watts=500.0):
+        return BudgetAssignment(
+            slot_s=3600.0,
+            budgets={soa.server.server_id: np.full(4, watts)},
+            epoch=epoch)
+
+    def build_soa(self):
+        config = SmartOClockConfig()
+        server = Server("s0", DEFAULT_POWER_MODEL)
+        Rack("r0", 2000.0).add_server(server)
+        return ServerOverclockingAgent(server, config)
+
+    def test_rejects_lower_accepts_equal_and_higher(self):
+        soa = self.build_soa()
+        soa.receive_budget_push(self.assignment(soa, 3), now=0.0)
+        assert soa._assignment.epoch == 3
+
+        stale = self.assignment(soa, 2, watts=999.0)
+        soa.receive_budget_push(stale, now=10.0)
+        assert soa.stale_pushes_rejected == 1
+        assert soa._assignment.epoch == 3
+
+        redelivery = self.assignment(soa, 3)
+        soa.receive_budget_push(redelivery, now=20.0)
+        assert soa._assignment is redelivery  # equal epoch: installable
+        assert soa.stale_pushes_rejected == 1
+
+        soa.receive_budget_push(self.assignment(soa, 4), now=30.0)
+        assert soa._assignment.epoch == 4
+
+    def test_fence_survives_checkpoint_roundtrip(self):
+        soa = self.build_soa()
+        soa.receive_budget_push(self.assignment(soa, 5), now=0.0)
+        cp = soa.build_checkpoint(50.0)
+        soa.crash(60.0)
+        soa.restart(100.0, cp)
+        assert soa._assignment.epoch == 5
+        soa.receive_budget_push(self.assignment(soa, 4), now=110.0)
+        assert soa.stale_pushes_rejected == 1
+        assert soa._assignment.epoch == 5
+
+    def test_negative_epoch_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="epoch"):
+            BudgetAssignment(slot_s=3600.0,
+                             budgets={"s0": np.full(4, 1.0)}, epoch=-1)

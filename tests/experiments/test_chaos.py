@@ -1,0 +1,229 @@
+"""Chaos harness: sweep determinism, invariant cleanliness, and the
+end-to-end failover scenario from the control-plane hardening work."""
+
+import pytest
+
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
+from repro.core.config import SmartOClockConfig
+from repro.core.platform import SmartOClockPlatform
+from repro.core.workload_intelligence import MetricsTriggerPolicy
+from repro.experiments.chaos import (
+    ChaosConfig,
+    chaos_sweep,
+    chaos_trial,
+    format_chaos_report,
+)
+from repro.faults import FaultInjector
+from repro.faults.chaos import generate_plan
+from repro.faults.spec import (
+    CheckpointCorruptionFault,
+    FaultPlan,
+    GoaOutage,
+    ServerCrashFault,
+    window,
+)
+from repro.sim.monitors import InvariantMonitor
+
+# A short trial keeps the sweep tests fast; the CLI default (1800 s)
+# is exercised by the CI smoke run.
+SHORT = ChaosConfig(duration_s=600.0)
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan(self):
+        kw = dict(duration_s=1800.0, server_ids=("s0", "s1"))
+        assert generate_plan(3, **kw) == generate_plan(3, **kw)
+        assert generate_plan(3, **kw) != generate_plan(4, **kw)
+
+    def test_plans_stay_inside_the_run(self):
+        for seed in range(20):
+            plan = generate_plan(seed, duration_s=1800.0,
+                                 server_ids=("s0", "s1", "s2"))
+            for fault in (plan.goa_outages + plan.message_faults
+                          + plan.telemetry_dropouts + plan.mispredictions
+                          + plan.server_crashes
+                          + plan.checkpoint_corruptions):
+                assert 0.0 <= fault.window.start_s
+                assert fault.window.end_s <= 1800.0
+            for restart in plan.soa_restarts:
+                assert 0.0 <= restart.at_s <= 1800.0
+
+    def test_crashes_always_name_a_server(self):
+        for seed in range(30):
+            plan = generate_plan(seed, duration_s=1800.0,
+                                 server_ids=("s0", "s1"))
+            for crash in plan.server_crashes:
+                assert crash.server_id in ("s0", "s1")
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="duration"):
+            generate_plan(0, duration_s=30.0, server_ids=("s0",))
+        with pytest.raises(ValueError, match="server id"):
+            generate_plan(0, duration_s=1800.0, server_ids=())
+
+
+class TestChaosTrials:
+    def test_seeds_run_clean(self):
+        result = chaos_sweep(3, seed=0, config=SHORT)
+        assert result.ok
+        assert result.offending_seeds == ()
+        assert len(result.trials) == 3
+        assert [t.seed for t in result.trials] == [0, 1, 2]
+
+    def test_rerun_is_bit_identical(self):
+        first = chaos_trial(5, config=SHORT)
+        second = chaos_trial(5, config=SHORT)
+        assert first.metrics() == second.metrics()
+
+    def test_faults_actually_fire_across_seeds(self):
+        """The harness is vacuous if the sampled plans never do anything:
+        across a handful of seeds every counter class must trip."""
+        result = chaos_sweep(5, seed=0, config=SHORT)
+        totals: dict[str, int] = {}
+        for trial in result.trials:
+            for key, value in trial.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        assert totals["messages_dropped"] > 0
+        assert totals["telemetry_dropped"] > 0
+        assert totals["checkpoints_corrupted"] > 0
+        assert totals["ha_heartbeats_sent"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="too short"):
+            ChaosConfig(duration_s=100.0)
+        with pytest.raises(ValueError, match="servers"):
+            ChaosConfig(n_servers=1)
+        with pytest.raises(ValueError, match="trials"):
+            chaos_sweep(0)
+
+
+class TestReport:
+    def test_text_report_names_trials_and_verdict(self):
+        result = chaos_sweep(2, seed=0, config=SHORT)
+        text = format_chaos_report(result)
+        assert "2 trials, 0 invariant violations" in text
+        assert "replay" not in text  # only printed on failure
+
+    def test_json_report_is_the_metrics_fingerprint(self):
+        import json
+
+        result = chaos_sweep(2, seed=0, config=SHORT)
+        payload = json.loads(format_chaos_report(result, as_json=True))
+        assert payload["ok"] is True
+        assert [t["seed"] for t in payload["trials"]] == [0, 1]
+
+
+class TestFailoverScenario:
+    """The acceptance scenario: a gOA outage long enough to fail over,
+    a server crash whose checkpoint is corrupted, a fenced stale push —
+    and the rack inside its envelope throughout."""
+
+    TICK = 10.0
+    DURATION = 1800.0
+    OUTAGE = window(300.0, 1500.0)
+
+    def build(self):
+        config = SmartOClockConfig(
+            control_interval_s=self.TICK,
+            telemetry_interval_s=60.0,
+            budget_update_period_s=150.0,
+            checkpoint_interval_s=120.0,
+            soa_restart_delay_s=30.0,
+            server_restart_delay_s=60.0,
+            vm_restart_delay_s=30.0,
+            enable_goa_ha=True,
+            goa_heartbeat_interval_s=30.0,
+            goa_lease_s=90.0)
+        plan = FaultPlan(
+            goa_outages=(GoaOutage(self.OUTAGE, rack_id="r0"),),
+            server_crashes=(ServerCrashFault(window(600.0, 660.0),
+                                             server_id="s1"),),
+            checkpoint_corruptions=(CheckpointCorruptionFault(
+                window(0.0, self.DURATION), corrupt_prob=1.0,
+                server_id="s1"),))
+        model = DEFAULT_POWER_MODEL
+        busy = model.uniform_server_watts(0.75, model.plan.turbo_ghz, 24)
+        rack = Rack("r0", 1.06 * 3 * busy)
+        servers = [Server(f"s{i}", model) for i in range(3)]
+        for server in servers:
+            rack.add_server(server)
+        dc = Datacenter()
+        dc.add_rack(rack)
+        platform = SmartOClockPlatform(
+            dc, config, fault_injector=FaultInjector(plan, seed=11))
+        services = []
+        for i, server in enumerate(servers):
+            vm = VirtualMachine(24, name=f"svc{i}-vm", priority=10,
+                                workload=f"svc{i}", utilization=0.75)
+            server.place_vm(vm)
+            agent = platform.register_service(
+                f"svc{i}", metrics_policy=MetricsTriggerPolicy(
+                    start_fraction=0.7, stop_fraction=0.2, consecutive=2))
+            platform.attach_vm(f"svc{i}", vm,
+                               target_freq_ghz=model.plan.overclock_max_ghz,
+                               priority=10)
+            services.append(agent)
+        return platform, rack, services
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        platform, rack, services = self.build()
+        monitor = InvariantMonitor(platform)
+        supervisor = platform.supervisors["r0"]
+        promoted_at = None
+        stale_probe = None
+        now = 0.0
+        while now < self.DURATION:
+            for agent in services:
+                agent.observe(now, 8.5, 10.0)  # SLO pressure: overclock
+            platform.tick(now, self.TICK)
+            monitor.check(now)
+            if stale_probe is None \
+                    and platform.soas["s0"]._assignment is not None:
+                # The old primary's last pre-outage push, held back as
+                # the "delayed in flight" replay probe.
+                stale_probe = platform.soas["s0"]._assignment
+            if promoted_at is None \
+                    and supervisor.replicas[1].role == "primary":
+                promoted_at = now
+            now += self.TICK
+        assert platform.lifecycle is not None
+        platform.lifecycle.finish(self.DURATION)
+        return platform, monitor, supervisor, promoted_at, stale_probe
+
+    def test_takeover_within_one_lease_window(self, scenario):
+        platform, _, supervisor, promoted_at, _ = scenario
+        assert promoted_at is not None
+        assert promoted_at <= self.OUTAGE.start_s \
+            + platform.config.goa_lease_s + self.TICK
+        assert supervisor.counters.failovers == 1
+
+    def test_returning_primary_steps_down(self, scenario):
+        _, _, supervisor, _, _ = scenario
+        assert supervisor.counters.stepdowns == 1
+        assert supervisor.primary_indices == [1]
+
+    def test_stale_push_is_fenced_and_counted(self, scenario):
+        platform, _, _, _, stale_probe = scenario
+        soa = platform.soas["s0"]
+        assert stale_probe is not None
+        assert soa._assignment.epoch > stale_probe.epoch
+        before = soa.stale_pushes_rejected
+        installed = soa._assignment
+        soa.receive_budget_push(stale_probe, now=self.DURATION)
+        assert soa.stale_pushes_rejected == before + 1
+        assert soa._assignment is installed
+
+    def test_corrupted_checkpoint_cold_starts(self, scenario):
+        platform, _, _, _, _ = scenario
+        counters = platform.lifecycle.counters
+        assert counters.restores_corrupted >= 1
+        corrupted = [r for r in platform.lifecycle.restore_reports
+                     if r.checkpoint_corrupted]
+        assert corrupted and all(r.cold_start for r in corrupted)
+        assert all(r.server_id == "s1" for r in corrupted)
+
+    def test_rack_never_exceeds_envelope(self, scenario):
+        _, monitor, _, _, _ = scenario
+        assert monitor.violations == []

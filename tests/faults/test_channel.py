@@ -77,12 +77,34 @@ class TestFaultedChannel:
         assert channel.pump(100.0) == 2
         assert order == ["first", "second"]
 
+    def test_equal_deliver_at_from_different_sends_keeps_send_order(self):
+        # Same deliver_at reached via different (sent_at, delay) pairs:
+        # the tie still breaks by send order, not by delay or sent_at.
+        delays = {"a": 30.0, "b": 20.0}
+        channel = MessageChannel(lambda e: MessageFate(delay_s=delays[e.dst]))
+        order = []
+        channel.send(Envelope("budget_push", "r0", "a", 10.0),
+                     lambda at: order.append("a"))   # due at 40
+        channel.send(Envelope("budget_push", "r0", "b", 20.0),
+                     lambda at: order.append("b"))   # due at 40 too
+        assert channel.pump(40.0) == 2
+        assert order == ["a", "b"]
+
     def test_request_fails_on_drop_and_delay(self):
         dropped = MessageChannel(lambda e: MessageFate(dropped=True))
         assert dropped.request(envelope("profile_pull"), lambda: 1) is None
         delayed = MessageChannel(lambda e: MessageFate(delay_s=1.0))
         assert delayed.request(envelope("profile_pull"), lambda: 1) is None
-        assert dropped.dropped == 1 and delayed.dropped == 1
+        # A drop-fated pull is a lost message; a delay-fated pull is not
+        # (the network would deliver it, just too late for a synchronous
+        # exchange) — it counts as a failed pull so drop counts and the
+        # conservation identity stay true.
+        assert dropped.dropped == 1 and dropped.failed_pulls == 0
+        assert delayed.dropped == 0 and delayed.failed_pulls == 1
+        for channel in (dropped, delayed):
+            assert channel.sent == (channel.delivered + channel.dropped
+                                    + channel.failed_pulls
+                                    + channel.in_flight)
 
 
 class TestDelayedDeliveryAcrossRestart:

@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.messaging import Envelope
 from repro.faults import FaultInjector, FaultPlan, GoaOutage, MessageFault
-from repro.faults.spec import FaultWindow, MispredictionFault, TelemetryDropout
+from repro.faults.spec import (
+    CheckpointCorruptionFault,
+    FaultWindow,
+    MispredictionFault,
+    TelemetryDropout,
+)
 
 
 def lossy_plan(drop=0.5, delay=0.0):
@@ -85,8 +90,48 @@ class TestFates:
         assert other(50.0) == 1.0
         assert injector.counters.predictions_skewed == 1
 
+    def test_checkpoint_corruption_window_and_selector(self):
+        plan = FaultPlan(checkpoint_corruptions=(
+            CheckpointCorruptionFault(FaultWindow(100.0, 200.0),
+                                      corrupt_prob=1.0, server_id="s0"),))
+        injector = FaultInjector(plan)
+        assert injector.checkpoint_corruption("s0", 150.0)
+        assert not injector.checkpoint_corruption("s0", 250.0)  # outside
+        assert not injector.checkpoint_corruption("s1", 150.0)  # other key
+        assert injector.counters.checkpoints_corrupted == 1
+
+    def test_checkpoint_corruption_wildcard_covers_goa_keys(self):
+        plan = FaultPlan(checkpoint_corruptions=(
+            CheckpointCorruptionFault(FaultWindow(0.0, 100.0)),))
+        injector = FaultInjector(plan)
+        assert injector.checkpoint_corruption("goa:r0", 50.0)
+        assert injector.checkpoint_corruption("s3", 50.0)
+
+    def test_checkpoint_corruption_deterministic_per_event(self):
+        plan = FaultPlan(checkpoint_corruptions=(
+            CheckpointCorruptionFault(FaultWindow(0.0, 1000.0),
+                                      corrupt_prob=0.5),))
+
+        def fates(seed):
+            injector = FaultInjector(plan, seed=seed)
+            return [injector.checkpoint_corruption(f"s{i}", t * 100.0)
+                    for i in range(4) for t in range(10)]
+
+        assert fates(5) == fates(5)
+        assert fates(5) != fates(6)
+        assert any(fates(5)) and not all(fates(5))
+
+    def test_corruption_hook_counts_like_direct_calls(self):
+        plan = FaultPlan(checkpoint_corruptions=(
+            CheckpointCorruptionFault(FaultWindow(0.0, 100.0)),))
+        injector = FaultInjector(plan)
+        hook = injector.corruption_hook()
+        assert hook("s0", 10.0)
+        assert injector.counters.checkpoints_corrupted == 1
+
     def test_counters_as_dict_keys(self):
         counters = FaultInjector(FaultPlan()).counters.as_dict()
         assert set(counters) == {
             "goa_cycles_missed", "messages_dropped", "messages_delayed",
-            "telemetry_dropped", "predictions_skewed"}
+            "telemetry_dropped", "predictions_skewed",
+            "checkpoints_corrupted"}

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.faults.spec import (
+    CheckpointCorruptionFault,
     FaultPlan,
     FaultWindow,
     GoaOutage,
@@ -68,6 +69,23 @@ class TestValidation:
     def test_misprediction_rejects_nonpositive_scale(self):
         with pytest.raises(ValueError, match="scale"):
             MispredictionFault(FaultWindow(0.0, 1.0), scale=0.0)
+
+    def test_checkpoint_corruption_rejects_bad_prob(self):
+        with pytest.raises(ValueError, match="corrupt_prob"):
+            CheckpointCorruptionFault(FaultWindow(0.0, 1.0),
+                                      corrupt_prob=0.0)
+        with pytest.raises(ValueError, match="corrupt_prob"):
+            CheckpointCorruptionFault(FaultWindow(0.0, 1.0),
+                                      corrupt_prob=1.5)
+
+    def test_checkpoint_corruption_matches_key_and_window(self):
+        fault = CheckpointCorruptionFault(FaultWindow(10.0, 20.0),
+                                          server_id="s0")
+        assert fault.matches("s0", 15.0)
+        assert not fault.matches("s0", 20.0)      # half-open window
+        assert not fault.matches("goa:r0", 15.0)  # selector is exact
+        wildcard = CheckpointCorruptionFault(FaultWindow(10.0, 20.0))
+        assert wildcard.matches("goa:r0", 15.0)
 
 
 class TestFaultPlan:

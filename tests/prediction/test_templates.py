@@ -136,8 +136,9 @@ class TestBuildTemplate:
             build_template("Bogus", times, values)
 
     def test_irregular_sampling_rejected(self):
-        # 700 is not on the 300-second grid: genuinely irregular.
-        times = np.array([0.0, 300.0, 700.0])
+        # 300 s and 433 s gaps share no credible grid: genuinely
+        # irregular (not just a gapped history).
+        times = np.array([0.0, 300.0, 733.0])
         with pytest.raises(ValueError, match="regular"):
             build_template("FlatMed", times, np.ones(3))
 
@@ -146,6 +147,15 @@ class TestBuildTemplate:
         as every sample sits on the base sampling grid."""
         times = np.array([0.0, 300.0, 900.0, 1200.0])
         template = build_template("DailyMed", times, np.ones(4))
+        assert template.predict(600.0) == 1.0
+
+    def test_gaps_hiding_the_base_cadence_accepted(self):
+        """Drops can eat every adjacent pair at the base cadence (here
+        60 s, observed gaps 180 s and 120 s); the base is the GCD of the
+        gaps, not the smallest one.  Found by the chaos harness."""
+        times = np.array([0.0, 180.0, 300.0])
+        template = build_template("DailyMed", times, np.ones(3))
+        assert template.interval == 60.0
         assert template.predict(600.0) == 1.0
 
 

@@ -11,7 +11,12 @@ from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
 from repro.core.config import SmartOClockConfig
 from repro.core.platform import SmartOClockPlatform
 from repro.core.workload_intelligence import MetricsTriggerPolicy
-from repro.recovery.checkpoint import DurableStore, RestoreReport, SoaCheckpoint
+from repro.recovery.checkpoint import (
+    DurableStore,
+    GoaCheckpoint,
+    RestoreReport,
+    SoaCheckpoint,
+)
 
 TURBO = DEFAULT_POWER_MODEL.plan.turbo_ghz
 WEEK = 7 * 24 * 3600.0
@@ -108,6 +113,88 @@ class TestRestoreReport:
                                restored_budget_watts=95.0).overgranted
         assert self.report(checkpoint_budget_watts=100.0,
                            restored_budget_watts=100.1).overgranted
+
+
+class TestCorruptionDetection:
+    def corrupting(self, when=lambda key, taken_at: True):
+        return DurableStore(corruption_hook=when)
+
+    def test_healthy_load_verified_is_identity(self):
+        store = DurableStore()
+        cp = checkpoint()
+        store.save(cp)
+        load = store.load_verified("s0")
+        assert load.checkpoint is cp
+        assert not load.corrupted
+        assert store.checkpoints_loaded == 1
+        assert store.corruption_detected == 0
+
+    def test_corrupted_save_fails_verification(self):
+        store = self.corrupting()
+        store.save(checkpoint())
+        assert store.checkpoints_saved == 1
+        assert store.checkpoints_corrupted == 1
+        load = store.load_verified("s0")
+        assert load.checkpoint is None
+        assert load.corrupted
+        assert store.corruption_detected == 1
+        assert store.checkpoints_loaded == 0  # a failed load is not a load
+        # The convenience loader agrees: corrupted reads as missing.
+        assert store.load("s0") is None
+
+    def test_missing_is_not_corrupted(self):
+        load = DurableStore().load_verified("s0")
+        assert load.checkpoint is None and not load.corrupted
+
+    def test_selective_corruption_spares_other_keys(self):
+        store = self.corrupting(lambda key, taken_at: key == "s0")
+        store.save(checkpoint("s0"))
+        store.save(checkpoint("s1"))
+        assert store.load_verified("s0").corrupted
+        clean = store.load_verified("s1")
+        assert clean.checkpoint is not None and not clean.corrupted
+
+    def test_newer_clean_save_replaces_corrupted_one(self):
+        toggle = [True]
+        store = self.corrupting(lambda key, taken_at: toggle[0])
+        store.save(checkpoint(taken_at=100.0))
+        toggle[0] = False
+        good = checkpoint(taken_at=200.0, marker=2.0)
+        store.save(good)
+        load = store.load_verified("s0")
+        assert load.checkpoint is good and not load.corrupted
+
+
+class TestGoaCheckpoints:
+    def goa_checkpoint(self, rack_id="r0", epoch=3):
+        return GoaCheckpoint(rack_id=rack_id, taken_at=50.0,
+                             payload={"epoch": epoch})
+
+    def test_goa_key_namespace(self):
+        assert DurableStore.goa_key("r0") == "goa:r0"
+
+    def test_save_load_roundtrip(self):
+        store = DurableStore()
+        cp = self.goa_checkpoint()
+        store.save_goa(cp)
+        load = store.load_goa("r0")
+        assert load.checkpoint is cp and not load.corrupted
+        assert store.load_goa("r1").checkpoint is None
+
+    def test_goa_keys_do_not_collide_with_server_ids(self):
+        store = DurableStore()
+        store.save(checkpoint("r0"))  # a server named like a rack
+        store.save_goa(self.goa_checkpoint("r0"))
+        assert isinstance(store.load("r0"), SoaCheckpoint)
+        assert isinstance(store.load_goa("r0").checkpoint, GoaCheckpoint)
+
+    def test_corrupted_goa_checkpoint_detected(self):
+        store = DurableStore(
+            corruption_hook=lambda key, taken_at: key.startswith("goa:"))
+        store.save_goa(self.goa_checkpoint())
+        load = store.load_goa("r0")
+        assert load.checkpoint is None and load.corrupted
+        assert store.corruption_detected == 1
 
 
 class TestSoaRestore:

@@ -9,7 +9,13 @@ from repro.core.platform import SmartOClockPlatform
 from repro.core.types import RejectionReason
 from repro.core.workload_intelligence import MetricsTriggerPolicy
 from repro.faults.injector import FaultInjector
-from repro.faults.spec import FaultPlan, ServerCrashFault, SoaRestart, window
+from repro.faults.spec import (
+    CheckpointCorruptionFault,
+    FaultPlan,
+    ServerCrashFault,
+    SoaRestart,
+    window,
+)
 from repro.recovery.lifecycle import ServerLifecycleManager
 from repro.reliability.hazard import HazardModel
 
@@ -197,6 +203,41 @@ class TestSoaProcessRestart:
         assert counters.server_crashes == 0
         assert counters.server_restarts == 0
         assert counters.restores_from_checkpoint == 1
+
+
+class TestCorruptedRestore:
+    def test_corrupted_checkpoint_cold_starts_and_is_audited(self):
+        plan = FaultPlan(
+            soa_restarts=(SoaRestart(at_s=50.0, server_id="s0"),),
+            checkpoint_corruptions=(CheckpointCorruptionFault(
+                window(0.0, 1000.0), corrupt_prob=1.0, server_id="s0"),))
+        platform, servers = build(n_servers=2, plan=plan)
+        run(platform, 90.0)
+        soa = platform.soas["s0"]
+        assert soa.alive                         # restarted regardless
+        counters = platform.lifecycle.counters
+        assert counters.soa_restarts == 1
+        assert counters.restores_from_checkpoint == 0
+        assert counters.restores_cold == 1       # fell back to cold start
+        assert counters.restores_corrupted == 1
+        report = platform.lifecycle.restore_reports[-1]
+        assert report.checkpoint_corrupted
+        assert report.cold_start
+        merged = platform.fault_counters()
+        assert merged["checkpoints_corrupted"] >= 1
+        assert merged["checkpoint_corruption_detected"] == 1
+
+    def test_clean_checkpoints_unaffected_by_other_servers_fault(self):
+        plan = FaultPlan(
+            soa_restarts=(SoaRestart(at_s=50.0, server_id="s1"),),
+            checkpoint_corruptions=(CheckpointCorruptionFault(
+                window(0.0, 1000.0), corrupt_prob=1.0, server_id="s0"),))
+        platform, servers = build(n_servers=2, plan=plan)
+        run(platform, 90.0)
+        counters = platform.lifecycle.counters
+        assert counters.restores_from_checkpoint == 1
+        assert counters.restores_corrupted == 0
+        assert not platform.lifecycle.restore_reports[-1].checkpoint_corrupted
 
 
 class TestCheckpointCadence:
