@@ -195,7 +195,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
     config = FaultScenarioConfig(duration_s=args.duration, seed=args.seed,
                                  message_drop_prob=args.drop_prob)
-    result = fault_injection_experiment(config)
+    result = fault_injection_experiment(config, workers=args.workers)
     print(format_fault_report(result))
     # Exit non-zero if the decentralization claim failed: a faulted run
     # must never leave the rack above its limit after enforcement.
@@ -211,7 +211,7 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     )
     config = RecoveryScenarioConfig(duration_s=args.duration,
                                     seed=args.seed)
-    result = recovery_experiment(config)
+    result = recovery_experiment(config, workers=args.workers)
     print(format_recovery_report(result, as_json=args.json))
     # Exit non-zero if a hard safety claim failed: rack above its limit
     # after enforcement, or a restored sOA granting beyond its
@@ -236,7 +236,8 @@ def _cmd_oversub(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos import chaos_sweep, format_chaos_report
-    result = chaos_sweep(args.trials, seed=args.seed)
+    result = chaos_sweep(args.trials, seed=args.seed,
+                         workers=args.workers)
     print(format_chaos_report(result, as_json=args.json))
     # Exit non-zero on any invariant violation; the report names the
     # offending seed(s) for one-command deterministic replay.
@@ -316,14 +317,26 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--duration", type=float, default=3600.0)
             p.add_argument("--drop-prob", type=float, default=0.5,
                            help="budget/profile message drop probability")
+            p.add_argument(
+                "--workers", type=_workers_count, default=1, metavar="N",
+                help="process-pool size for the matched pair (1 = "
+                     "serial, byte-identical output either way)")
         if name == "recovery":
             p.add_argument("--duration", type=float, default=3600.0)
+            p.add_argument(
+                "--workers", type=_workers_count, default=1, metavar="N",
+                help="process-pool size for the matched triple (1 = "
+                     "serial, byte-identical output either way)")
             p.add_argument("--json", action="store_true",
                            help="emit canonical JSON (CI diffs repeats)")
         if name == "chaos":
             p.add_argument("--trials", type=_trials_count, default=20,
                            help="independent trials at seeds "
                                 "seed..seed+N-1")
+            p.add_argument(
+                "--workers", type=_workers_count, default=1, metavar="N",
+                help="process-pool size for the trial sweep (1 = "
+                     "serial, byte-identical output either way)")
             p.add_argument("--json", action="store_true",
                            help="emit canonical JSON (CI diffs repeats)")
         if name == "oversub":

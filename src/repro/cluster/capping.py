@@ -266,6 +266,8 @@ class RackPowerManager:
         is computed once and every per-step budget check is an O(1) read
         of the rack's cached power.
         """
+        if self.rack.below_turbo_vms() == 0:
+            return  # nothing throttled: the restore scan is a no-op
         budget = self.restore_fraction * self.rack.power_limit_watts
         vms = [(vm, server) for server in self.rack.servers
                for vm in server.vms.values()]

@@ -19,7 +19,7 @@ is the from-scratch evaluation kept for validation.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.cluster.frequency import FrequencyPlan
 from repro.cluster.power import PowerModel
@@ -39,10 +39,13 @@ class Core:
     ``freq_ghz``, ``vm_id`` and ``utilization_override`` are
     invalidation-aware properties: writes notify the owning server so it
     can delta-update its cached wattage (guest-side code such as
-    :mod:`repro.cluster.containers` mutates them directly).
+    :mod:`repro.cluster.containers` mutates them directly), and they
+    first fold any pending lazy accrual in at the *old* operating point.
+    ``busy_seconds``/``overclock_seconds`` likewise flush on read, so
+    deferred accrual is invisible to every observer.
     """
 
-    __slots__ = ("index", "busy_seconds", "overclock_seconds",
+    __slots__ = ("index", "_busy_seconds", "_overclock_seconds",
                  "_freq_ghz", "_vm_id", "_utilization_override", "_server")
 
     def __init__(self, index: int, freq_ghz: float,
@@ -51,12 +54,56 @@ class Core:
                  overclock_seconds: float = 0.0,
                  utilization_override: Optional[float] = None) -> None:
         self.index = index
-        self.busy_seconds = busy_seconds
-        self.overclock_seconds = overclock_seconds
+        self._busy_seconds = busy_seconds
+        self._overclock_seconds = overclock_seconds
         self._freq_ghz = freq_ghz
         self._vm_id = vm_id
         self._utilization_override = utilization_override
         self._server: Optional["Server"] = None
+
+    @property
+    def busy_seconds(self) -> float:
+        server = self._server
+        if server is not None and server._pending_runs:
+            server._flush_accrual()
+        return self._busy_seconds
+
+    @busy_seconds.setter
+    def busy_seconds(self, value: float) -> None:
+        self._busy_seconds = value
+
+    @property
+    def overclock_seconds(self) -> float:
+        server = self._server
+        if server is not None and server._pending_runs:
+            server._flush_accrual()
+        return self._overclock_seconds
+
+    @overclock_seconds.setter
+    def overclock_seconds(self, value: float) -> None:
+        self._overclock_seconds = value
+
+    def _replay_accrual(self, runs: list[list[float]], vm_utilization: float,
+                        plan: FrequencyPlan) -> None:
+        """Fold pending ``[dt, count]`` runs into the accumulators.
+
+        The operating point is constant across the pending window (any
+        change flushes first), so the per-tick increments are hoisted;
+        the left fold itself is replayed add-by-add to stay bit-identical
+        with the eager per-tick loop.
+        """
+        eff = self.effective_utilization(vm_utilization)
+        overclocked = plan.is_overclocked(self._freq_ghz)
+        busy = self._busy_seconds
+        oc = self._overclock_seconds
+        for dt, count in runs:
+            inc = eff * dt
+            for _ in itertools.repeat(None, int(count)):
+                busy += inc
+                if overclocked:
+                    oc += dt
+        self._busy_seconds = busy
+        self._overclock_seconds = oc
 
     @property
     def freq_ghz(self) -> float:
@@ -70,6 +117,7 @@ class Core:
         if server is None:
             self._freq_ghz = value
             return
+        server._flush_accrual()
         before = server._core_watts(self)
         self._freq_ghz = value
         server._apply_core_delta(server._core_watts(self) - before)
@@ -86,6 +134,7 @@ class Core:
         if server is None:
             self._vm_id = value
             return
+        server._flush_accrual()
         before = server._core_watts(self)
         self._vm_id = value
         server._apply_core_delta(server._core_watts(self) - before)
@@ -102,6 +151,7 @@ class Core:
         if server is None:
             self._utilization_override = value
             return
+        server._flush_accrual()
         before = server._core_watts(self)
         self._utilization_override = value
         server._apply_core_delta(server._core_watts(self) - before)
@@ -196,6 +246,17 @@ class Server:
         # Powered off (crashed): draws nothing, contributes nothing to
         # the rack aggregate until brought back online.
         self._offline = False
+        # Lazy accrual: ``advance`` appends/extends [dt, tick-count] runs
+        # here instead of touching every core; any operating-point change
+        # (and any accumulator read) folds the runs in at the still-old
+        # point via ``_flush_accrual``.  ``eager_accounting`` disables the
+        # deferral — the equivalence oracle's reference mode.
+        self._pending_runs: list[list[float]] = []
+        self._accrual_hooks: dict[str, Callable[[], None]] = {}
+        self.eager_accounting = False
+        # VMs currently below the plan's turbo frequency; lets the rack
+        # restore step skip entirely when nothing needs stepping up.
+        self._below_turbo_vms = 0
         plan = power_model.plan
         self.cores = [Core(i, plan.turbo_ghz)
                       for i in range(power_model.cores)]
@@ -232,6 +293,7 @@ class Server:
         """
         if value == self._offline:
             return
+        self._flush_accrual()
         live_watts = (self.power_model.idle_watts + self._dynamic_watts
                       + self._background_watts)
         self._offline = value
@@ -260,6 +322,7 @@ class Server:
     def _vm_utilization_changed(self, vm: VirtualMachine,
                                 utilization: float) -> None:
         """Re-account the VM's cores around a VM-level utilization write."""
+        self._flush_accrual()
         cores = self._vm_cores.get(vm.vm_id, ())
         before = sum(self._core_watts(c) for c in cores)
         # The one sanctioned cross-object write: this *is* the delta
@@ -282,6 +345,9 @@ class Server:
             raise ValueError(
                 f"{self.server_id}: need {vm.n_cores} cores, "
                 f"only {len(free)} free")
+        # Flush before registration: pending runs predate this VM and
+        # must not accrue onto its cores.
+        self._flush_accrual()
         assigned = free[:vm.n_cores]
         # Register the VM first so the core setters below can see its
         # utilization and delta-update the cached wattage.
@@ -296,6 +362,10 @@ class Server:
     def remove_vm(self, vm: VirtualMachine) -> None:
         if vm.vm_id not in self.vms:
             raise KeyError(f"{vm.name} is not on {self.server_id}")
+        self._flush_accrual()
+        if (vm.freq_ghz is not None
+                and vm.freq_ghz < self.plan.turbo_ghz - 1e-9):
+            self._below_turbo_vms -= 1
         for core in self._vm_cores[vm.vm_id]:
             core.vm_id = None
             core.freq_ghz = self.plan.turbo_ghz
@@ -313,10 +383,16 @@ class Server:
         the actually-applied frequency."""
         if vm.vm_id not in self.vms:
             raise KeyError(f"{vm.name} is not on {self.server_id}")
+        # Explicit flush: vm.freq_ghz feeds the wear ledger's voltage even
+        # when every core already sits at the target (guest-side writes).
+        self._flush_accrual()
         applied = self.plan.clamp(freq_ghz)
+        threshold = self.plan.turbo_ghz - 1e-9
+        was_below = vm.freq_ghz is not None and vm.freq_ghz < threshold
         for core in self._vm_cores[vm.vm_id]:
             core.freq_ghz = applied
         vm.freq_ghz = applied
+        self._below_turbo_vms += (applied < threshold) - was_below
         return applied
 
     def reassign_vm_cores(self, vm: VirtualMachine,
@@ -336,6 +412,7 @@ class Server:
             if core.allocated and core.vm_id != vm.vm_id:
                 raise ValueError(
                     f"core {core.index} is allocated to VM {core.vm_id}")
+        self._flush_accrual()
         freq = vm.freq_ghz if vm.freq_ghz is not None else self.plan.turbo_ghz
         for core in self._vm_cores[vm.vm_id]:
             core.vm_id = None
@@ -384,18 +461,60 @@ class Server:
                    if c.allocated and plan.is_overclocked(c.freq_ghz))
 
     def advance(self, dt: float) -> None:
-        """Accrue ``dt`` seconds of busy/overclock time on allocated cores."""
+        """Accrue ``dt`` seconds of busy/overclock time on allocated cores.
+
+        O(1) on the fast path: the tick is noted as a pending run and
+        folded into the per-core accumulators lazily — on read, or when
+        an operating point changes (change-point integration).  With
+        ``eager_accounting`` set the fold happens immediately, which is
+        the reference arithmetic the equivalence oracle compares against.
+        """
         if dt < 0:
             raise ValueError(f"dt must be non-negative, got {dt}")
         if self._offline:
             return  # powered off: no cycles executed, no wear accrued
-        plan = self.plan
-        for vm in self.vms.values():
-            for core in self._vm_cores[vm.vm_id]:
-                core.busy_seconds += core.effective_utilization(
-                    vm.utilization) * dt
-                if plan.is_overclocked(core.freq_ghz):
-                    core.overclock_seconds += dt
+        if self.eager_accounting:
+            plan = self.plan
+            for vm in self.vms.values():
+                for core in self._vm_cores[vm.vm_id]:
+                    core.busy_seconds += core.effective_utilization(
+                        vm.utilization) * dt
+                    if plan.is_overclocked(core.freq_ghz):
+                        core.overclock_seconds += dt
+            return
+        runs = self._pending_runs
+        if runs and runs[-1][0] == dt:
+            runs[-1][1] += 1
+        else:
+            runs.append([dt, 1])
+
+    def set_accrual_hook(self, key: str,
+                         hook: Callable[[], None]) -> None:
+        """Register a flush participant (e.g. the sOA's wear ledger).
+
+        Hooks run whenever this server's pending accrual is folded in, so
+        co-located lazy accounting stays synchronised with the same
+        change points.
+        """
+        self._accrual_hooks[key] = hook
+
+    def _flush_accrual(self) -> None:
+        """Fold pending runs into every allocated core, then run hooks.
+
+        Hooks always run — the sOA notes wear *before* ``advance`` sees
+        the tick (control ticks precede plant advancement), so its ledger
+        can be pending while ``_pending_runs`` is empty.
+        """
+        runs = self._pending_runs
+        if runs:
+            self._pending_runs = []
+            plan = self.plan
+            for vm in self.vms.values():
+                util = vm._utilization
+                for core in self._vm_cores[vm.vm_id]:
+                    core._replay_accrual(runs, util, plan)
+        for hook in self._accrual_hooks.values():
+            hook()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Server({self.server_id}, vms={len(self.vms)}, "
@@ -440,6 +559,14 @@ class Rack:
     def utilization(self) -> float:
         """Rack power as a fraction of the rack limit."""
         return self.power_watts() / self.power_limit_watts
+
+    def below_turbo_vms(self) -> int:
+        """VMs in this rack currently below their plan's turbo frequency.
+
+        O(servers): sums per-server counters maintained on placement and
+        frequency changes.  Zero means the restore step has nothing to do.
+        """
+        return sum(s._below_turbo_vms for s in self.servers)
 
     def fair_share_watts(self) -> float:
         """The even per-server split of the rack budget (the baseline the

@@ -64,6 +64,14 @@ class SmartOClockPlatform:
         self.channels: dict[str, MessageChannel] = {}
         self.rack_managers: dict[str, RackPowerManager] = {}
         self.services: dict[str, GlobalWIAgent] = {}
+        # Revocation/exhaustion routing indexes (add-only supersets):
+        # vm_id → service names and server_id → service names with VMs
+        # there.  Entries are added on attach and on placement (VM moves
+        # never remove the old server's entry); the routing methods
+        # re-verify against the live locals, so a stale superset only
+        # costs a skipped service, never a wrong delivery.
+        self._vm_services: dict[int, set[str]] = {}
+        self._server_services: dict[str, set[str]] = {}
         self._last_telemetry = -float("inf")
         self._last_budget_update = -float("inf")
 
@@ -89,6 +97,8 @@ class SmartOClockPlatform:
         for rack in datacenter.racks.values():
             rack_soas: list[ServerOverclockingAgent] = []
             for server in rack.servers:
+                if self.config.eager_accounting:
+                    server.eager_accounting = True
                 soa = ServerOverclockingAgent(
                     server, self.config,
                     on_exhaustion=self._route_exhaustion,
@@ -204,13 +214,38 @@ class SmartOClockPlatform:
         local = LocalWIAgent(vm, soa, target_freq_ghz=target_freq_ghz,
                              priority=priority)
         service.attach(local)
+        self._vm_services.setdefault(vm.vm_id, set()).add(service_name)
+        self._server_services.setdefault(
+            vm.server.server_id, set()).add(service_name)
         return local
+
+    def note_vm_placement(self, vm: VirtualMachine) -> None:
+        """Record a VM's (re)placement in the routing indexes.
+
+        Called by the recovery lifecycle after an evacuation rebinds the
+        VM's Local WI agent to the new server's sOA, so exhaustion
+        signals from that server keep reaching the owning service.
+        """
+        if vm.server is None:
+            return
+        names = self._vm_services.get(vm.vm_id)
+        if names:
+            self._server_services.setdefault(
+                vm.server.server_id, set()).update(names)
 
     def _route_revocation(self, vm: VirtualMachine, why: str,
                           now: float) -> None:
         """A grant was revoked (budget ran out): the owning service takes
         corrective action (§IV-D "Managing resource exhaustion")."""
-        for service in self.services.values():
+        names = self._vm_services.get(vm.vm_id)
+        if not names:
+            return
+        # Iterate in registration order, restricted by the index, and
+        # re-verify against the live locals: identical delivery to the
+        # full scan at O(index hit) cost.
+        for name, service in self.services.items():
+            if name not in names:
+                continue
             if any(local.vm.vm_id == vm.vm_id for local in service.locals):
                 service.on_rejection(now)
                 return
@@ -218,7 +253,12 @@ class SmartOClockPlatform:
     def _route_exhaustion(self, signal: ExhaustionSignal) -> None:
         """Deliver an sOA exhaustion signal to the services with VMs on the
         affected server."""
-        for service in self.services.values():
+        names = self._server_services.get(signal.server_id)
+        if not names:
+            return
+        for name, service in self.services.items():
+            if name not in names:
+                continue
             if any(local.vm.server is not None
                    and local.vm.server.server_id == signal.server_id
                    for local in service.locals):
@@ -240,7 +280,8 @@ class SmartOClockPlatform:
         if self.lifecycle is not None:
             self.lifecycle.tick(now, dt)
         for channel in self.channels.values():
-            channel.pump(now)
+            if channel.in_flight:
+                channel.pump(now)
         for supervisor in self.supervisors.values():
             supervisor.tick(now)
         for soa in self.soas.values():
@@ -253,13 +294,13 @@ class SmartOClockPlatform:
                 server.advance(dt)
         if now - self._last_telemetry >= self.config.telemetry_interval_s:
             self._last_telemetry = now
-            for server_id in self.soas:
-                if not self.soas[server_id].alive:
+            for server_id, soa in self.soas.items():
+                if not soa.alive:
                     continue
                 if self.fault_injector is not None and \
                         self.fault_injector.telemetry_drop(server_id, now):
                     continue
-                self.soas[server_id].telemetry_tick(now)
+                soa.telemetry_tick(now)
         if now - self._last_budget_update >= self.config.budget_update_period_s:
             # First update happens immediately (bootstraps fair-share away).
             if self._last_budget_update > -float("inf"):

@@ -32,7 +32,7 @@ from repro.cluster.topology import Core, Server, VirtualMachine
 from repro.core.budgets import BudgetAssignment
 from repro.core.config import SmartOClockConfig
 from repro.core.enforcement import FeedbackLoop
-from repro.core.exploration import ExplorationController
+from repro.core.exploration import ExplorationController, ExplorationPhase
 from repro.core.types import (
     AdmissionDecision,
     ExhaustionKind,
@@ -134,6 +134,15 @@ class ServerOverclockingAgent:
         ]
         self.wear_counters = [CoreWearoutCounter()
                               for _ in server.cores]
+        # Lazy wear ledger: control ticks note [dt, tick-count] runs here;
+        # the notes replay through ``accumulate_run`` when a counter is
+        # read or the server's operating point changes.  Notes pending at
+        # a crash are dropped with the rest of the volatile state — the
+        # restore overwrites the counters from the checkpoint either way.
+        self._pending_wear: list[list[float]] = []
+        for counter in self.wear_counters:
+            counter._flush_hook = self._flush_wear
+        server.set_accrual_hook("soa", self._flush_wear)
         self.online_budgets = [
             OnlineWearBudget(counter,
                              safety_margin=config.online_wear_safety_margin,
@@ -543,6 +552,21 @@ class ServerOverclockingAgent:
         """One control iteration: budgets, expiry, feedback, exploration."""
         if dt <= 0:
             raise ValueError(f"dt must be > 0: {dt}")
+        if (not self.config.eager_accounting
+                and not self._grants
+                and self.loop.active_vms == 0
+                and self.explorer.phase is ExplorationPhase.IDLE
+                and now - self._last_power_rejection_at
+                >= 2 * self.config.explore_confirm_s):
+            # Idle fast path: with no grants, no enforcement targets, an
+            # idle explorer and no recent power rejection, every step
+            # below is provably mutation-free (lifetime/expiry loops
+            # have nothing to visit, the feedback tick prunes and steps
+            # nothing, the explorer's IDLE branch ignores an
+            # unconstrained tick, exhaustion prediction bails without
+            # grants) — except wear accrual, which the ledger notes.
+            self._note_wear(now, dt)
+            return
         self._consume_lifetime(now, dt)
         self._expire_grants(now)
         if self.config.enable_admission_control:
@@ -562,23 +586,33 @@ class ServerOverclockingAgent:
             constrained = self.loop.constrained(budget) or recently_rejected
             at_target = self.loop.all_at_target() and not recently_rejected
             self.explorer.tick(now, constrained, at_target)
-        self._accrue_wear(now, dt)
+        self._note_wear(now, dt)
         if self.config.enable_proactive_scaleout:
             self._predict_exhaustion(now)
 
     def _consume_lifetime(self, now: float, dt: float) -> None:
+        if not self._grants:
+            return
+        # Iterate the live dict and defer the mutations (dead-grant
+        # deletions, reschedules/revocations) until after the scan: a
+        # consume only touches the grant's own cores, a reschedule only
+        # claims *unallocated* cores and a revocation only retunes its
+        # own VM, so deferral is order-equivalent and saves the per-tick
+        # list() copy of the ledger.
         plan = self.server.plan
-        for vm_id, grant in list(self._grants.items()):
+        dead: list[int] = []
+        troubled: list[VirtualMachine] = []
+        for vm_id, grant in self._grants.items():
             vm = self.server.vms.get(vm_id)
             if vm is None:
-                del self._grants[vm_id]
+                dead.append(vm_id)
                 continue
             if vm.freq_ghz is None or not plan.is_overclocked(vm.freq_ghz):
                 continue  # granted but not ramped up yet: no budget burned
             cores = self.server.vm_cores(vm)
             exhausted: list[Core] = []
             if self.config.lifetime_mode == "online":
-                # Wear accrues through the counters in _accrue_wear; the
+                # Wear accrues through the counters in _note_wear; the
                 # grant ends when a core's credits run dry.
                 volts = plan.voltage(vm.freq_ghz)
                 for core in cores:
@@ -592,8 +626,12 @@ class ServerOverclockingAgent:
                     if not ok:
                         exhausted.append(core)
             if exhausted:
-                if not self._reschedule_cores(vm, now):
-                    self._revoke(vm, now, "lifetime budget exhausted")
+                troubled.append(vm)
+        for vm_id in dead:
+            del self._grants[vm_id]
+        for vm in troubled:
+            if not self._reschedule_cores(vm, now):
+                self._revoke(vm, now, "lifetime budget exhausted")
 
     def _reschedule_cores(self, vm: VirtualMachine, now: float) -> bool:
         """Per-core budget exploration: move the VM onto cores that still
@@ -621,13 +659,18 @@ class ServerOverclockingAgent:
         return True
 
     def _expire_grants(self, now: float) -> None:
-        for vm_id, grant in list(self._grants.items()):
-            if grant.granted_until is not None and now >= grant.granted_until:
-                vm = self.server.vms.get(vm_id)
-                if vm is not None:
-                    self._revoke(vm, now, "grant expired")
-                else:
-                    del self._grants[vm_id]
+        if not self._grants:
+            return
+        # Collect first, revoke after: revocations mutate the ledger.
+        expired = [vm_id for vm_id, grant in self._grants.items()
+                   if grant.granted_until is not None
+                   and now >= grant.granted_until]
+        for vm_id in expired:
+            vm = self.server.vms.get(vm_id)
+            if vm is not None:
+                self._revoke(vm, now, "grant expired")
+            else:
+                del self._grants[vm_id]
 
     def _revoke(self, vm: VirtualMachine, now: float, why: str) -> None:
         self._grants.pop(vm.vm_id, None)
@@ -642,6 +685,38 @@ class ServerOverclockingAgent:
             for core in self.server.vm_cores(vm):
                 self.wear_counters[core.index].accumulate(
                     dt, vm.utilization, volts)
+
+    def _note_wear(self, now: float, dt: float) -> None:
+        """Record one control tick's wear, eagerly or in the ledger."""
+        if self.config.eager_accounting:
+            self._accrue_wear(now, dt)
+            return
+        pending = self._pending_wear
+        if pending and pending[-1][0] == dt:
+            pending[-1][1] += 1
+        else:
+            pending.append([dt, 1])
+
+    def _flush_wear(self) -> None:
+        """Replay the pending wear ledger into the counters.
+
+        Runs from the counters' read hooks and from the server's accrual
+        flush, i.e. always *before* an operating-point change lands — the
+        VM state read here is still the state every pending tick saw.
+        """
+        pending = self._pending_wear
+        if not pending:
+            return
+        self._pending_wear = []
+        plan = self.server.plan
+        for vm in self.server.vms.values():
+            volts = plan.voltage(vm.freq_ghz) if vm.freq_ghz else \
+                plan.voltage(plan.turbo_ghz)
+            for core in self.server.vm_cores(vm):
+                counter = self.wear_counters[core.index]
+                for dt, count in pending:
+                    counter.accumulate_run(dt, vm.utilization, volts,
+                                           int(count))
 
     # ------------------------------------------------------------------
     # Rack events

@@ -28,6 +28,7 @@ from repro.cluster.topology import Datacenter, Rack, Server, VirtualMachine
 from repro.core.config import SmartOClockConfig
 from repro.core.platform import SmartOClockPlatform
 from repro.core.workload_intelligence import MetricsTriggerPolicy
+from repro.experiments.parallel import run_jobs
 from repro.faults import FaultInjector, event_entropy
 from repro.faults.chaos import generate_plan
 from repro.sim.monitors import InvariantMonitor, InvariantViolation
@@ -210,13 +211,27 @@ def chaos_trial(seed: int,
         peak_rack_power_fraction=peak_fraction)
 
 
+def _trial_job(payload: "tuple[int, ChaosConfig | None]") -> ChaosTrialResult:
+    """Spawn-safe sweep worker: one seeded trial per payload."""
+    trial_seed, config = payload
+    return chaos_trial(trial_seed, config)
+
+
 def chaos_sweep(trials: int, seed: int = 0,
-                config: ChaosConfig | None = None) -> ChaosSweepResult:
-    """Run ``trials`` independent trials at seeds ``seed .. seed+n-1``."""
+                config: ChaosConfig | None = None, *,
+                workers: int | None = 1) -> ChaosSweepResult:
+    """Run ``trials`` independent trials at seeds ``seed .. seed+n-1``.
+
+    Trials are pure functions of (seed, config), so they shard over a
+    spawn pool with a seed-keyed merge: output is byte-identical at any
+    ``workers`` count (``1`` runs in-process, ``None`` → usable CPUs).
+    """
     if trials < 1:
         raise ValueError(f"trials must be >= 1: {trials}")
-    results = tuple(chaos_trial(seed + i, config) for i in range(trials))
-    return ChaosSweepResult(base_seed=seed, trials=results)
+    results = run_jobs(_trial_job,
+                       [(seed + i, config) for i in range(trials)],
+                       workers=workers)
+    return ChaosSweepResult(base_seed=seed, trials=tuple(results))
 
 
 def format_chaos_report(result: ChaosSweepResult, *,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.experiments.cluster import ClusterConfig, EnvironmentResult, run_environment
+from repro.experiments.parallel import run_jobs
 from repro.faults import (
     FaultPlan,
     GoaOutage,
@@ -134,18 +135,30 @@ class FaultExperimentResult:
         return out
 
 
+def _fault_job(payload: "tuple[FaultScenarioConfig, Optional[FaultPlan]]"
+               ) -> EnvironmentResult:
+    """Spawn-safe variant worker: fault-free (plan None) or faulted."""
+    config, plan = payload
+    cluster = config.cluster_config()
+    if plan is None:
+        return run_environment("SmartOClock", cluster,
+                               label="SmartOClock/fault-free")
+    return run_environment("SmartOClock", cluster, fault_plan=plan,
+                           label="SmartOClock/faulted")
+
+
 def fault_injection_experiment(
         config: Optional[FaultScenarioConfig] = None, *,
-        plan: Optional[FaultPlan] = None) -> FaultExperimentResult:
+        plan: Optional[FaultPlan] = None,
+        workers: Optional[int] = 1) -> FaultExperimentResult:
     """Run the matched pair.  ``plan`` overrides the default composite
-    fault plan (pass a plan with only a gOA outage to isolate it)."""
+    fault plan (pass a plan with only a gOA outage to isolate it); the
+    plan is resolved here and shipped in the payload, so both workers
+    see the identical plan object state."""
     config = config or FaultScenarioConfig()
     plan = plan if plan is not None else default_fault_plan(config)
-    cluster = config.cluster_config()
-    fault_free = run_environment("SmartOClock", cluster,
-                                 label="SmartOClock/fault-free")
-    faulted = run_environment("SmartOClock", cluster, fault_plan=plan,
-                              label="SmartOClock/faulted")
+    fault_free, faulted = run_jobs(
+        _fault_job, [(config, None), (config, plan)], workers=workers)
     return FaultExperimentResult(fault_free=fault_free, faulted=faulted,
                                  plan=plan)
 

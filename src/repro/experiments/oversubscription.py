@@ -42,6 +42,7 @@ from repro.experiments.largescale import (
     PolicyScore,
     compare_policies_streaming,
 )
+from repro.experiments.parallel import run_jobs
 from repro.faults import FaultPlan, MispredictionFault
 from repro.faults.spec import FaultWindow
 from repro.traces.synthetic import FleetConfig
@@ -246,30 +247,48 @@ def oversubscription_ablation(
     return OversubAblationResult(scores=scores)
 
 
-def mispredict_stress(
-        config: Optional[OversubScenarioConfig] = None
-) -> OversubStressResult:
-    """Run the matched platform quadruple under one seed."""
-    config = config or OversubScenarioConfig()
+def _stress_job(
+        payload: "tuple[str, OversubScenarioConfig]") -> EnvironmentResult:
+    """Spawn-safe variant worker: one matched stress run per payload."""
+    variant, config = payload
     cluster = config.cluster_config()
     base_config = SmartOClockConfig(
         control_interval_s=cluster.tick_s,
         oc_budget_fraction=cluster.oc_budget_fraction,
         enable_proactive_scaleout=cluster.proactive_scaleout)
+    if variant == "smart":
+        return run_environment("SmartOClock", cluster,
+                               soc_config=base_config,
+                               label="SmartOClock/base")
+    if variant == "naive":
+        return run_environment("SmartOClock", cluster,
+                               soc_config=base_config.as_naive(),
+                               label="NaiveOClock")
     osub_config = base_config.with_oversubscription(
         config.stress_risk_level)
-    smart = run_environment("SmartOClock", cluster,
-                            soc_config=base_config,
-                            label="SmartOClock/base")
-    naive = run_environment("SmartOClock", cluster,
-                            soc_config=base_config.as_naive(),
-                            label="NaiveOClock")
-    osub = run_environment("SmartOClock", cluster, soc_config=osub_config,
-                           label="SmartOClock+OSub/fault-free")
-    osub_faulted = run_environment(
+    if variant == "osub":
+        return run_environment("SmartOClock", cluster,
+                               soc_config=osub_config,
+                               label="SmartOClock+OSub/fault-free")
+    return run_environment(
         "SmartOClock", cluster, soc_config=osub_config,
         fault_plan=config.fault_plan(),
         label="SmartOClock+OSub/mispredict")
+
+
+def mispredict_stress(
+        config: Optional[OversubScenarioConfig] = None, *,
+        workers: Optional[int] = 1) -> OversubStressResult:
+    """Run the matched platform quadruple under one seed.
+
+    The four variants derive everything from the frozen scenario config,
+    so they shard over a spawn pool with a deterministic merge."""
+    config = config or OversubScenarioConfig()
+    smart, naive, osub, osub_faulted = run_jobs(
+        _stress_job,
+        [("smart", config), ("naive", config), ("osub", config),
+         ("osub_faulted", config)],
+        workers=workers)
     return OversubStressResult(smart=smart, naive=naive, osub=osub,
                                osub_faulted=osub_faulted)
 
@@ -281,7 +300,7 @@ def oversubscription_experiment(
     config = config or OversubScenarioConfig()
     return OversubExperimentResult(
         ablation=oversubscription_ablation(config, workers=workers),
-        stress=mispredict_stress(config))
+        stress=mispredict_stress(config, workers=workers))
 
 
 def format_oversub_report(result: OversubExperimentResult,

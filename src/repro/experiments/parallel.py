@@ -41,7 +41,16 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.traces.schema import RackTrace
@@ -56,7 +65,11 @@ __all__ = [
     "resolve_workers",
     "iter_rack_policy_results",
     "run_rack_policy_jobs",
+    "run_jobs",
 ]
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
 
 
 @dataclass(frozen=True)
@@ -153,6 +166,35 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+def run_jobs(fn: "Callable[[_P], _R]", payloads: "Iterable[_P]", *,
+             workers: Optional[int] = 1) -> "list[_R]":
+    """Run ``fn`` over ``payloads``, returning results in payload order.
+
+    The generic sharding primitive behind the multi-trial and
+    matched-variant experiment sweeps (``repro chaos/recovery/faults/
+    oversub --workers N``): ``fn`` must be a module-level function and
+    every payload must pickle (the pool always uses the ``spawn`` start
+    method).  Results are gathered future-by-future in submission order,
+    so the merge is deterministic at any worker count; ``workers=1``
+    short-circuits to a plain in-process loop — the byte-identity
+    baseline.  A worker exception cancels everything still queued.
+    """
+    items = list(payloads)
+    n_workers = resolve_workers(workers)
+    if n_workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(items)),
+                             mp_context=get_context("spawn")) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def iter_rack_policy_results(

@@ -39,6 +39,7 @@ from repro.experiments.cluster import (
     EnvironmentResult,
     run_environment,
 )
+from repro.experiments.parallel import run_jobs
 from repro.faults.spec import FaultPlan, SoaRestart
 from repro.reliability.hazard import HazardModel
 
@@ -156,29 +157,52 @@ class RecoveryExperimentResult:
         return out
 
 
-def recovery_experiment(
-        config: Optional[RecoveryScenarioConfig] = None
-) -> RecoveryExperimentResult:
-    """Run the matched triple under one crash seed."""
-    config = config or RecoveryScenarioConfig()
+def _recovery_job(
+        payload: "tuple[str, RecoveryScenarioConfig]") -> EnvironmentResult:
+    """Spawn-safe variant worker: one matched run per payload.
+
+    The cluster config and hazard model are frozen, stateless recipes,
+    so rebuilding them per worker is byte-identical to sharing one
+    instance across the three runs.
+    """
+    variant, config = payload
     cluster = config.cluster_config()
     hazard = config.hazard_model()
-    naive_config = SmartOClockConfig(
-        control_interval_s=cluster.tick_s,
-        oc_budget_fraction=cluster.oc_budget_fraction,
-        enable_proactive_scaleout=False).as_naive()
-    naive = run_environment(
-        "SmartOClock", cluster, soc_config=naive_config,
-        hazard_model=hazard, fault_seed=config.seed, label="NaiveOClock")
-    smart = run_environment(
-        "SmartOClock", cluster, hazard_model=hazard,
-        fault_seed=config.seed)
+    if variant == "naive":
+        naive_config = SmartOClockConfig(
+            control_interval_s=cluster.tick_s,
+            oc_budget_fraction=cluster.oc_budget_fraction,
+            enable_proactive_scaleout=False).as_naive()
+        return run_environment(
+            "SmartOClock", cluster, soc_config=naive_config,
+            hazard_model=hazard, fault_seed=config.seed,
+            label="NaiveOClock")
+    if variant == "smart":
+        return run_environment(
+            "SmartOClock", cluster, hazard_model=hazard,
+            fault_seed=config.seed)
     restart_plan = FaultPlan(
         soa_restarts=(SoaRestart(at_s=config.soa_restart_at_s),))
-    smart_restored = run_environment(
+    return run_environment(
         "SmartOClock", cluster, hazard_model=hazard,
         fault_plan=restart_plan, fault_seed=config.seed,
         label="SmartOClock/restored")
+
+
+def recovery_experiment(
+        config: Optional[RecoveryScenarioConfig] = None, *,
+        workers: Optional[int] = 1
+) -> RecoveryExperimentResult:
+    """Run the matched triple under one crash seed.
+
+    The three variants share nothing mutable, so they shard over a
+    spawn pool (``workers``) with a deterministic merge.
+    """
+    config = config or RecoveryScenarioConfig()
+    naive, smart, smart_restored = run_jobs(
+        _recovery_job,
+        [("naive", config), ("smart", config), ("smart_restored", config)],
+        workers=workers)
     return RecoveryExperimentResult(
         naive=naive, smart=smart, smart_restored=smart_restored)
 

@@ -306,6 +306,7 @@ class ServerLifecycleManager:
                 continue
             self.vm_downtime.mark_up(vm.name, now)
             self._rebind_local_agent(vm, target.server_id)
+            self.platform.note_vm_placement(vm)
         self._pending_vms = still_pending
 
     def _rebind_local_agent(self, vm: "VirtualMachine",

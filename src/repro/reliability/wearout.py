@@ -15,6 +15,8 @@ Two pieces (paper §IV-B "Managing lifetime impact from overclocking"):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import repeat
+from typing import Callable, Optional
 
 from repro.reliability.aging import DEFAULT_AGING_MODEL, AgingModel
 
@@ -39,21 +41,34 @@ class CoreWearoutCounter:
         self._busy_seconds = 0.0
         self._overclock_seconds = 0.0
         self._wear_seconds = 0.0  # wear in reference-seconds
+        # Owners running lazy accrual install a hook that folds any
+        # pending time into the accumulators before they are read; the
+        # properties and state_dict() call it so deferred accounting is
+        # invisible to every reader (including checkpoints).
+        self._flush_hook: Optional[Callable[[], None]] = None
 
     @property
     def elapsed_seconds(self) -> float:
+        if self._flush_hook is not None:
+            self._flush_hook()
         return self._elapsed_seconds
 
     @property
     def busy_seconds(self) -> float:
+        if self._flush_hook is not None:
+            self._flush_hook()
         return self._busy_seconds
 
     @property
     def overclock_seconds(self) -> float:
+        if self._flush_hook is not None:
+            self._flush_hook()
         return self._overclock_seconds
 
     @property
     def wear_seconds(self) -> float:
+        if self._flush_hook is not None:
+            self._flush_hook()
         return self._wear_seconds
 
     def accumulate(self, dt: float, utilization: float, volts: float,
@@ -68,8 +83,45 @@ class CoreWearoutCounter:
         self._wear_seconds += self.model.aging(dt, utilization, volts,
                                                temp_k)
 
+    def accumulate_run(self, dt: float, utilization: float, volts: float,
+                       count: int, temp_k: float | None = None) -> None:
+        """Account ``count`` consecutive ticks of ``dt`` seconds each.
+
+        Bit-identical to calling :meth:`accumulate` ``count`` times with
+        the same arguments: the per-tick increments are hoisted out of
+        the loop (they depend only on the operating point, which is
+        constant across the run) and then folded in one at a time —
+        float addition does not reassociate, so the left fold must be
+        replayed, but each fold step is now just one add.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0: {dt}")
+        if count <= 0:
+            if count == 0:
+                return
+            raise ValueError(f"count must be >= 0: {count}")
+        busy_inc = utilization * dt
+        wear_inc = self.model.aging(dt, utilization, volts, temp_k)
+        overclocked = volts > self.model.reference_volts + 1e-12
+        elapsed = self._elapsed_seconds
+        busy = self._busy_seconds
+        oc = self._overclock_seconds
+        wear = self._wear_seconds
+        for _ in repeat(None, count):
+            elapsed += dt
+            busy += busy_inc
+            if overclocked:
+                oc += dt
+            wear += wear_inc
+        self._elapsed_seconds = elapsed
+        self._busy_seconds = busy
+        self._overclock_seconds = oc
+        self._wear_seconds = wear
+
     def state_dict(self) -> dict[str, float]:
         """Serializable accumulator snapshot (checkpoint payload)."""
+        if self._flush_hook is not None:
+            self._flush_hook()
         return {
             "elapsed_seconds": self._elapsed_seconds,
             "busy_seconds": self._busy_seconds,

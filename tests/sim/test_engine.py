@@ -259,6 +259,120 @@ class TestRunControl:
         assert seen == [1, 10]
 
 
+class TestRunControlInteractions:
+    """``run(max_events=)``, ``stop()`` and tombstone compaction each
+    have simple contracts in isolation; these tests pin down their
+    *combined* behavior — budget-bounded runs resuming exactly where
+    they left off, stop() trumping a remaining budget, and mass
+    cancellation from inside a running callback compacting the heap
+    without perturbing the survivors' firing order."""
+
+    def test_max_events_run_is_resumable(self):
+        engine = SimulationEngine()
+        seen = []
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda i=i: seen.append(i))
+        engine.run(max_events=3)
+        assert seen == [0, 1, 2]
+        assert engine.now == 3.0
+        assert engine.pending_events == 7
+        engine.run(max_events=3)
+        assert seen == [0, 1, 2, 3, 4, 5]
+        engine.run()
+        assert seen == list(range(10))
+        assert engine.events_processed == 10
+
+    def test_stop_trumps_remaining_max_events_budget(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: (seen.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: seen.append(2))
+        engine.run(max_events=5)
+        assert seen == [1]
+        assert engine.pending_events == 1
+        # stop() is per-run: the next run() starts with a clean flag.
+        engine.run(max_events=5)
+        assert seen == [1, 2]
+
+    def test_max_events_and_until_whichever_binds_first(self):
+        engine = SimulationEngine()
+        seen = []
+        for i in range(6):
+            engine.schedule(float(i + 1), lambda i=i: seen.append(i))
+        # Budget binds at two events — but run(until=) always leaves
+        # the clock at the bound, even when the budget cut the run
+        # short, so a caller alternating budgeted slices never sees
+        # time stand still.
+        engine.run(until=2.5, max_events=2)
+        assert seen == [0, 1]
+        assert engine.now == 2.5
+        assert engine.pending_events == 4
+        engine.run(until=4.0, max_events=100)  # bound binds
+        assert seen == [0, 1, 2, 3]
+        assert engine.now == 4.0
+
+    def test_cancelled_tombstones_do_not_consume_max_events(self):
+        engine = SimulationEngine()
+        seen = []
+        doomed = [engine.schedule(float(i + 1), lambda: seen.append(-1))
+                  for i in range(5)]
+        engine.schedule(10.0, lambda: seen.append(10))
+        engine.schedule(11.0, lambda: seen.append(11))
+        for event in doomed:
+            event.cancel()
+        # The five tombstones at the head are pruned, not "processed":
+        # a budget of 2 must still fire both live events.
+        engine.run(max_events=2)
+        assert seen == [10, 11]
+        assert engine.events_processed == 2
+
+    def test_mid_run_mass_cancellation_compacts_and_preserves_order(self):
+        engine = SimulationEngine()
+        seen = []
+        doomed = [engine.schedule(100.0 + i, lambda: seen.append(-1))
+                  for i in range(90)]
+        for i in range(5):
+            engine.schedule(float(i + 2), lambda i=i: seen.append(i))
+
+        def cull():
+            seen.append("cull")
+            for event in doomed:
+                event.cancel()
+
+        engine.schedule(1.0, cull)
+        heap_before = len(engine._queue)
+        engine.run()
+        # The cull callback ran first, cancelled 90 queued events while
+        # the loop was mid-run (tombstones > live triggers compaction),
+        # and the survivors still fired in exact time order.
+        assert seen == ["cull", 0, 1, 2, 3, 4]
+        assert len(engine._queue) < heap_before - 80
+        assert engine.pending_events == 0
+
+    def test_mid_run_compaction_with_stop_and_budget(self):
+        engine = SimulationEngine()
+        seen = []
+        doomed = [engine.schedule(100.0 + i, lambda: seen.append(-1))
+                  for i in range(80)]
+        engine.schedule(2.0, lambda: seen.append(2))
+        engine.schedule(3.0, lambda: seen.append(3))
+
+        def cull_and_stop():
+            for event in doomed:
+                event.cancel()
+            engine.stop()
+
+        engine.schedule(1.0, cull_and_stop)
+        engine.run(max_events=10)
+        # stop() ended the run after the culling event despite the
+        # remaining budget; the compacted queue kept both live events.
+        assert seen == []
+        assert engine.pending_events == 2
+        assert len(engine._queue) <= SimulationEngine._COMPACT_MIN_QUEUE
+        engine.run(max_events=10)
+        assert seen == [2, 3]
+
+
 class TestProcess:
     def test_process_owns_and_cancels_events(self):
         engine = SimulationEngine()

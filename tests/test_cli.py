@@ -19,6 +19,15 @@ class TestParser:
         assert args.racks == 30
         assert args.seed == 1
 
+    @pytest.mark.parametrize("command", ["chaos", "recovery", "faults",
+                                         "oversub"])
+    def test_sweep_commands_take_workers(self, command):
+        # Every sweep/matched-run command shards over the spawn pool;
+        # the serial default keeps single runs pool-free.
+        assert build_parser().parse_args([command]).workers == 1
+        args = build_parser().parse_args([command, "--workers", "4"])
+        assert args.workers == 4
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -72,6 +81,11 @@ class TestNumericValidation:
         ["fig5", "--seed", "-1"],
         ["fig15", "--racks", "-2"],
         ["fig15", "--seed", "-1"],
+        ["chaos", "--workers", "0"],
+        ["chaos", "--trials", "0"],
+        ["recovery", "--workers", "-1"],
+        ["faults", "--workers", "0"],
+        ["oversub", "--workers", "0"],
     ])
     def test_rejected_with_usage_error(self, argv, capsys):
         with pytest.raises(SystemExit) as excinfo:
